@@ -1,0 +1,55 @@
+// A1 -- ablation: criticality metric variants (DESIGN.md design choice).
+//
+// The DATE'15 paper drives test criticality from core utilization; the
+// TC'16 extension adds the aging estimate; a pure time-driven metric is the
+// naive baseline. This ablation measures what each signal buys: detection
+// latency on stressed cores, interval tails, and test volume.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace mcs;
+using namespace mcs::bench;
+
+int main() {
+    print_header("A1 (ablation): criticality metric",
+                 "utilization/aging terms focus tests on stressed cores");
+
+    constexpr int kSeeds = 4;
+    constexpr SimDuration kHorizon = 12 * kSecond;
+
+    TablePrinter table({"criticality mode", "tests/core/s",
+                        "mean interval [s]", "max open gap [s]",
+                        "mean det. latency [s]", "detected/injected"});
+    for (CriticalityMode mode : {CriticalityMode::UtilizationDriven,
+                                 CriticalityMode::TimeDriven,
+                                 CriticalityMode::Hybrid}) {
+        SampleSet latencies;
+        std::uint64_t injected = 0, detected = 0;
+        RunningStats interval, open_gap, rate;
+        for (int s = 0; s < kSeeds; ++s) {
+            SystemConfig cfg = base_config(61 + static_cast<unsigned>(s));
+            set_occupancy(cfg, 0.6);
+            cfg.criticality = CriticalityParams::for_mode(mode);
+            cfg.enable_fault_injection = true;
+            cfg.faults.base_rate_per_core_s = 0.05;
+            const RunMetrics m = run_one(std::move(cfg), kHorizon);
+            injected += m.faults_injected;
+            detected += m.faults_detected;
+            interval.add(m.test_interval_s.mean());
+            open_gap.add(m.max_open_test_gap_s);
+            rate.add(m.tests_per_core_per_s);
+            for (double v : m.detection_latency_samples.samples()) {
+                latencies.add(v);
+            }
+        }
+        table.add_row(
+            {std::string(to_string(mode)), fmt(rate.mean(), 2),
+             fmt(interval.mean(), 2), fmt(open_gap.mean(), 2),
+             fmt(latencies.empty() ? 0.0 : latencies.mean(), 2),
+             fmt(detected) + "/" + fmt(injected)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    return 0;
+}

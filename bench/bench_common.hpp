@@ -1,0 +1,92 @@
+#pragma once
+
+// Shared support for the experiment harness (bench/bench_e*.cpp). Each
+// experiment binary regenerates one table/figure of the paper's evaluation;
+// see DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
+// measured results.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "util/table.hpp"
+
+namespace mcs::bench {
+
+/// Standard evaluation platform: 8x8 mesh at 16 nm (the paper's headline
+/// configuration).
+inline SystemConfig base_config(std::uint64_t seed = 1) {
+    SystemConfig cfg;
+    cfg.width = 8;
+    cfg.height = 8;
+    cfg.node = TechNode::nm16;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/// Sets the Poisson arrival rate so mapped applications reserve
+/// `occupancy` of all core-time.
+inline void set_occupancy(SystemConfig& cfg, double occupancy) {
+    const double capacity = static_cast<double>(cfg.width) *
+                            static_cast<double>(cfg.height) *
+                            technology(cfg.node).max_freq_hz;
+    cfg.workload.arrival_rate_hz =
+        rate_for_occupancy(occupancy, cfg.workload.graphs, capacity);
+}
+
+/// Runs one configuration for `horizon` and returns its metrics.
+inline RunMetrics run_one(SystemConfig cfg, SimDuration horizon) {
+    ManycoreSystem sys(std::move(cfg));
+    return sys.run(horizon);
+}
+
+/// Metrics averaged across seed replicates (each seed = an independent
+/// workload trace; schedulers compared at the same seed see identical
+/// arrivals).
+struct Replicates {
+    std::vector<RunMetrics> runs;
+
+    double mean(double RunMetrics::* field) const {
+        double sum = 0.0;
+        for (const auto& r : runs) {
+            sum += r.*field;
+        }
+        return sum / static_cast<double>(runs.size());
+    }
+    double mean_u64(std::uint64_t RunMetrics::* field) const {
+        double sum = 0.0;
+        for (const auto& r : runs) {
+            sum += static_cast<double>(r.*field);
+        }
+        return sum / static_cast<double>(runs.size());
+    }
+};
+
+/// Runs `seeds` replicates of a configuration template; `tweak` is applied
+/// after the seed is set (so it can depend on it).
+template <typename Tweak>
+Replicates replicate(const SystemConfig& base, int seeds, SimDuration horizon,
+                     Tweak&& tweak) {
+    Replicates out;
+    for (int s = 0; s < seeds; ++s) {
+        SystemConfig cfg = base;
+        cfg.seed = base.seed + static_cast<std::uint64_t>(s) * 7919;
+        tweak(cfg);
+        out.runs.push_back(run_one(std::move(cfg), horizon)); // NOLINT
+    }
+    return out;
+}
+
+inline Replicates replicate(const SystemConfig& base, int seeds,
+                            SimDuration horizon) {
+    return replicate(base, seeds, horizon, [](SystemConfig&) {});
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+    std::printf("\n=== %s ===\n", experiment.c_str());
+    std::printf("reconstructed claim: %s\n\n", claim.c_str());
+}
+
+}  // namespace mcs::bench

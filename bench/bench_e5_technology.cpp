@@ -1,0 +1,89 @@
+// E5 -- "Technology node sweep" (reconstructed Table I).
+//
+// Claims under test:
+//  (a) dark/dim silicon grows as the node shrinks: under a compute-bound
+//      saturating load, the fraction of peak chip compute that the power
+//      budget can sustain falls toward 16 nm (the utilization wall);
+//  (b) at every node the power-aware online test scheduler rides the
+//      TDP gap without violations, and at 16 nm its throughput penalty
+//      stays below 1%.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace mcs;
+using namespace mcs::bench;
+
+int main() {
+    print_header("E5: technology nodes 45/32/22/16 nm",
+                 "dark silicon grows with scaling; PA-OTS penalty < 1% at "
+                 "16 nm");
+
+    constexpr int kSeeds = 3;
+    constexpr SimDuration kHorizon = 8 * kSecond;
+    const std::vector<TechNode> nodes{TechNode::nm45, TechNode::nm32,
+                                      TechNode::nm22, TechNode::nm16};
+
+    // (a) Utilization wall: independent single-task apps saturate every
+    // core, so the power cap alone decides how much of the chip stays lit.
+    TablePrinter wall({"node", "TDP [W]", "peak/TDP", "sustained/peak",
+                       "mean power [W]", "TDP viol."});
+    for (TechNode node : nodes) {
+        SystemConfig cfg = base_config(37);
+        cfg.node = node;
+        cfg.scheduler = SchedulerKind::None;
+        cfg.workload.graphs.min_tasks = 1;
+        cfg.workload.graphs.max_tasks = 1;
+        set_occupancy(cfg, 1.3);
+        const Replicates r = replicate(cfg, kSeeds, kHorizon);
+        const auto& tech = technology(node);
+        const double peak_over_tdp =
+            tech.core_peak_power_w() * 64.0 / tech.chip_tdp_w(64);
+        const double sustained = r.mean(&RunMetrics::work_cycles_per_s) /
+                                 (64.0 * tech.max_freq_hz);
+        wall.add_row({std::string(to_string(node)),
+                      fmt(r.mean(&RunMetrics::tdp_w), 1),
+                      fmt(peak_over_tdp, 2), fmt_pct(sustained, 1),
+                      fmt(r.mean(&RunMetrics::mean_power_w), 1),
+                      fmt_pct(r.mean(&RunMetrics::tdp_violation_rate), 3)});
+    }
+    std::printf("-- (a) utilization wall under compute-bound saturation --\n"
+                "%s\n",
+                wall.to_string().c_str());
+
+    // (b) Online testing at a realistic dynamic load (the paper's setup).
+    TablePrinter testing({"node", "tests/core/s", "test energy",
+                          "mean interval [s]", "penalty", "TDP viol."});
+    for (TechNode node : nodes) {
+        SystemConfig cfg = base_config(37);
+        cfg.node = node;
+        set_occupancy(cfg, 0.7);
+
+        SystemConfig none = cfg;
+        none.scheduler = SchedulerKind::None;
+        const double baseline = replicate(none, kSeeds, kHorizon)
+                                    .mean(&RunMetrics::work_cycles_per_s);
+        const Replicates pa = replicate(cfg, kSeeds, kHorizon);
+        double interval = 0.0;
+        for (const auto& run : pa.runs) {
+            interval += run.test_interval_s.mean();
+        }
+        interval /= static_cast<double>(pa.runs.size());
+
+        testing.add_row(
+            {std::string(to_string(node)),
+             fmt(pa.mean(&RunMetrics::tests_per_core_per_s), 2),
+             fmt_pct(pa.mean(&RunMetrics::test_energy_share)),
+             fmt(interval, 2),
+             fmt_pct(1.0 - pa.mean(&RunMetrics::work_cycles_per_s) /
+                               baseline),
+             fmt_pct(pa.mean(&RunMetrics::tdp_violation_rate), 3)});
+    }
+    std::printf("-- (b) power-aware online testing at occupancy 0.7 --\n%s\n",
+                testing.to_string().c_str());
+    std::printf("note: peak/TDP is the dark-silicon ratio (all cores at max "
+                "vs sustainable power); sustained/peak is the lit fraction "
+                "the budget actually allows.\n");
+    return 0;
+}

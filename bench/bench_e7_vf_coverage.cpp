@@ -1,0 +1,70 @@
+// E7 -- "V/F level coverage of tests" (reconstructed Fig.; journal
+// extension claim).
+//
+// Claim under test: with the rotation policy, test sessions cover every
+// voltage/frequency level of the platform over time (frequency-dependent
+// faults require testing at every operating point), whereas a fixed-level
+// policy leaves all other levels untested.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace mcs;
+using namespace mcs::bench;
+
+namespace {
+
+RunMetrics run_policy(TestVfPolicy policy) {
+    SystemConfig cfg = base_config(47);
+    set_occupancy(cfg, 0.5);
+    cfg.power_aware.vf_policy = policy;
+    return run_one(std::move(cfg), 10 * kSecond);
+}
+
+}  // namespace
+
+int main() {
+    print_header("E7: V/F level coverage of test sessions",
+                 "rotation covers all DVFS levels; fixed policy leaves "
+                 "levels untested");
+
+    const auto& table_levels =
+        build_vf_table(technology(TechNode::nm16));
+    const RunMetrics rotate_m = run_policy(TestVfPolicy::RotateAll);
+    const RunMetrics max_m = run_policy(TestVfPolicy::MaxOnly);
+    const RunMetrics min_m = run_policy(TestVfPolicy::MinOnly);
+    const auto& rotate = rotate_m.tests_per_vf_level;
+    const auto& max_only = max_m.tests_per_vf_level;
+    const auto& min_only = min_m.tests_per_vf_level;
+
+    TablePrinter table({"VF level", "voltage [V]", "freq [GHz]",
+                        "tests (rotate-all)", "tests (max-only)",
+                        "tests (min-only)"});
+    for (std::size_t l = 0; l < table_levels.size(); ++l) {
+        table.add_row({fmt(static_cast<std::int64_t>(l)),
+                       fmt(table_levels[l].voltage_v, 2),
+                       fmt(table_levels[l].freq_hz / 1e9, 2), fmt(rotate[l]),
+                       fmt(max_only[l]), fmt(min_only[l])});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    int covered = 0;
+    for (auto c : rotate) {
+        covered += c > 0 ? 1 : 0;
+    }
+    std::printf("rotation policy covered %d/%zu levels\n", covered,
+                rotate.size());
+    std::printf("completed/aborted: rotate-all %llu/%llu | max-only "
+                "%llu/%llu | min-only %llu/%llu\n",
+                static_cast<unsigned long long>(rotate_m.tests_completed),
+                static_cast<unsigned long long>(rotate_m.tests_aborted),
+                static_cast<unsigned long long>(max_m.tests_completed),
+                static_cast<unsigned long long>(max_m.tests_aborted),
+                static_cast<unsigned long long>(min_m.tests_completed),
+                static_cast<unsigned long long>(min_m.tests_aborted));
+    std::printf("note: min-only sessions run ~12x longer (0.2 vs 2.5 GHz), "
+                "so under mapping contention many are aborted -- the "
+                "rotation policy amortizes this across levels.\n");
+    return 0;
+}

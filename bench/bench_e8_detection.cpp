@@ -1,0 +1,84 @@
+// E8 -- "Fault detection latency" (reconstructed Fig.).
+//
+// Claim under test: online testing turns silent wear-out faults into
+// detected, decommissioned cores; the criticality-driven scheduler finds
+// faults on stressed cores sooner than a blind periodic one, and without
+// testing faults linger and corrupt workload output.
+//
+// Fault rates are scaled to simulation time (see DESIGN.md substitutions);
+// only relative latencies are meaningful.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace mcs;
+using namespace mcs::bench;
+
+int main() {
+    print_header("E8: fault detection latency",
+                 "testing bounds detection latency; criticality-driven "
+                 "scheduling detects faults on stressed cores sooner");
+
+    constexpr int kSeeds = 4;
+    constexpr SimDuration kHorizon = 12 * kSecond;
+    const std::vector<SchedulerKind> schedulers{
+        SchedulerKind::PowerAware, SchedulerKind::Periodic,
+        SchedulerKind::Greedy, SchedulerKind::None};
+
+    TablePrinter table({"scheduler", "injected", "detected", "escape ratio",
+                        "mean latency [s]", "p95 latency [s]",
+                        "corrupted tasks"});
+    TablePrinter kinds({"scheduler", "stuck-at det/inj", "delay det/inj",
+                        "low-voltage det/inj"});
+    for (SchedulerKind sched : schedulers) {
+        SampleSet latencies;
+        std::uint64_t injected = 0, detected = 0, escapes = 0, corrupted = 0;
+        std::uint64_t kind_inj[3] = {0, 0, 0};
+        std::uint64_t kind_det[3] = {0, 0, 0};
+        for (int s = 0; s < kSeeds; ++s) {
+            SystemConfig cfg = base_config(53 + static_cast<unsigned>(s));
+            set_occupancy(cfg, 0.6);
+            cfg.scheduler = sched;
+            cfg.enable_fault_injection = true;
+            cfg.faults.base_rate_per_core_s = 0.05;
+            ManycoreSystem sys(cfg);
+            const RunMetrics m = sys.run(kHorizon);
+            injected += m.faults_injected;
+            detected += m.faults_detected;
+            escapes += m.test_escapes;
+            corrupted += m.corrupted_tasks;
+            for (double v : m.detection_latency_samples.samples()) {
+                latencies.add(v);
+            }
+            for (const Fault& f : sys.fault_injector()->history()) {
+                ++kind_inj[static_cast<int>(f.kind)];
+                kind_det[static_cast<int>(f.kind)] += f.detected ? 1 : 0;
+            }
+        }
+        kinds.add_row({std::string(to_string(sched)),
+                       fmt(kind_det[0]) + "/" + fmt(kind_inj[0]),
+                       fmt(kind_det[1]) + "/" + fmt(kind_inj[1]),
+                       fmt(kind_det[2]) + "/" + fmt(kind_inj[2])});
+        const double mean =
+            latencies.empty() ? 0.0 : latencies.mean();
+        const double p95 =
+            latencies.empty() ? 0.0 : latencies.quantile(0.95);
+        const double escape_ratio =
+            injected > 0
+                ? 1.0 - static_cast<double>(detected) /
+                            static_cast<double>(injected)
+                : 0.0;
+        table.add_row({std::string(to_string(sched)), fmt(injected),
+                       fmt(detected), fmt_pct(escape_ratio, 1), fmt(mean, 2),
+                       fmt(p95, 2), fmt(corrupted)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("-- detection by fault class (rotation covers every "
+                "manifestation window; fixed-level baselines are blind to "
+                "part of the mix) --\n%s\n",
+                kinds.to_string().c_str());
+    std::printf("note: 'escape ratio' counts faults still latent at the end "
+                "of the run (finite horizon), not permanent escapes.\n");
+    return 0;
+}

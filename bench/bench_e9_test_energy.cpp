@@ -1,0 +1,43 @@
+// E9 -- "Test energy share" (reconstructed from the TC'16 extension's
+// claim: testing consumes about 2% of the actually consumed power while
+// keeping the throughput penalty below 1%).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace mcs;
+using namespace mcs::bench;
+
+int main() {
+    print_header("E9: test energy share",
+                 "testing costs ~2% of consumed energy and < 1% throughput");
+
+    constexpr int kSeeds = 3;
+    constexpr SimDuration kHorizon = 10 * kSecond;
+
+    TablePrinter table({"occupancy", "test energy share", "busy energy",
+                        "idle energy", "NoC energy", "penalty",
+                        "tests/core/s"});
+    for (double occ : {0.3, 0.5, 0.7, 0.9}) {
+        SystemConfig none = base_config(59);
+        set_occupancy(none, occ);
+        none.scheduler = SchedulerKind::None;
+        const double baseline = replicate(none, kSeeds, kHorizon)
+                                    .mean(&RunMetrics::work_cycles_per_s);
+
+        SystemConfig cfg = base_config(59);
+        set_occupancy(cfg, occ);
+        const Replicates r = replicate(cfg, kSeeds, kHorizon);
+        const double total = r.mean(&RunMetrics::energy_total_j);
+        table.add_row(
+            {fmt(occ, 1), fmt_pct(r.mean(&RunMetrics::test_energy_share)),
+             fmt_pct(r.mean(&RunMetrics::energy_busy_j) / total, 1),
+             fmt_pct(r.mean(&RunMetrics::energy_idle_j) / total, 1),
+             fmt_pct(r.mean(&RunMetrics::energy_noc_j) / total, 1),
+             fmt_pct(1.0 - r.mean(&RunMetrics::work_cycles_per_s) / baseline),
+             fmt(r.mean(&RunMetrics::tests_per_core_per_s), 2)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    return 0;
+}

@@ -1,0 +1,135 @@
+// M1-M3 -- google-benchmark microbenchmarks of the simulator substrates:
+// event-queue throughput, NoC routing, power-model evaluation, thermal
+// stepping, and mapper decisions. These bound the cost of one simulated
+// second and guard against performance regressions in the hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "arch/chip.hpp"
+#include "mapping/contiguous_mapper.hpp"
+#include "noc/network.hpp"
+#include "power/power_model.hpp"
+#include "sim/event_queue.hpp"
+#include "thermal/thermal_model.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mcs;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    EventQueue q;
+    Rng rng(1);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < batch; ++i) {
+            q.schedule(rng.next_u64() % 1'000'000, [] {});
+        }
+        while (!q.empty()) {
+            benchmark::DoNotOptimize(q.pop());
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+    EventQueue q;
+    Rng rng(2);
+    for (auto _ : state) {
+        std::vector<EventId> ids;
+        ids.reserve(1024);
+        for (int i = 0; i < 1024; ++i) {
+            ids.push_back(q.schedule(rng.next_u64() % 1'000'000, [] {}));
+        }
+        for (std::size_t i = 0; i < ids.size(); i += 2) {
+            q.cancel(ids[i]);
+        }
+        while (!q.empty()) {
+            benchmark::DoNotOptimize(q.pop());
+        }
+    }
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_NocXyRoute(benchmark::State& state) {
+    const int side = static_cast<int>(state.range(0));
+    MeshTopology topo(side, side);
+    Rng rng(3);
+    for (auto _ : state) {
+        const auto src = static_cast<CoreId>(rng.index(topo.node_count()));
+        const auto dst = static_cast<CoreId>(rng.index(topo.node_count()));
+        benchmark::DoNotOptimize(topo.xy_route(src, dst));
+    }
+}
+BENCHMARK(BM_NocXyRoute)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_NocSend(benchmark::State& state) {
+    Network net(16, 16);
+    Rng rng(4);
+    for (auto _ : state) {
+        const auto src = static_cast<CoreId>(rng.index(256));
+        const auto dst = static_cast<CoreId>(rng.index(256));
+        benchmark::DoNotOptimize(net.send(src, dst, 4096));
+    }
+}
+BENCHMARK(BM_NocSend);
+
+void BM_ChipPowerEvaluation(benchmark::State& state) {
+    const int side = static_cast<int>(state.range(0));
+    Chip chip(side, side, TechNode::nm16);
+    PowerModel model(chip.tech(), chip.vf_table());
+    std::vector<double> temps(chip.core_count(), 55.0);
+    // Mixed states for a realistic evaluation.
+    for (CoreId id = 0; id < chip.core_count(); ++id) {
+        if (id % 3 == 0) {
+            chip.core(id).start_task(0);
+        } else if (id % 3 == 1) {
+            chip.core(id).power_gate(0);
+        }
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.chip_power_w(chip, temps));
+    }
+}
+BENCHMARK(BM_ChipPowerEvaluation)->Arg(8)->Arg(16);
+
+void BM_ThermalStep(benchmark::State& state) {
+    const int side = static_cast<int>(state.range(0));
+    ThermalModel thermal(side, side);
+    std::vector<double> power(
+        static_cast<std::size_t>(side) * static_cast<std::size_t>(side), 0.8);
+    for (auto _ : state) {
+        thermal.step(power, 0.5e-3);
+    }
+    benchmark::DoNotOptimize(thermal.max_temp_c());
+}
+BENCHMARK(BM_ThermalStep)->Arg(8)->Arg(16);
+
+void BM_ContiguousMapping(benchmark::State& state) {
+    const int side = static_cast<int>(state.range(0));
+    const auto n = static_cast<std::size_t>(side * side);
+    std::vector<std::uint8_t> alloc(n, 1);
+    std::vector<double> util(n, 0.3);
+    std::vector<double> crit(n, 0.5);
+    Rng rng(5);
+    for (std::size_t i = 0; i < n; ++i) {
+        alloc[i] = rng.bernoulli(0.5) ? 1 : 0;
+    }
+    PlatformView view;
+    view.width = side;
+    view.height = side;
+    view.allocatable = alloc;
+    view.utilization = util;
+    view.criticality = crit;
+    auto mapper = ContiguousMapper::test_aware();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper.map({1, 9}, view, rng));
+    }
+}
+BENCHMARK(BM_ContiguousMapping)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

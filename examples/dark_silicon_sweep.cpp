@@ -1,0 +1,81 @@
+// Dark-silicon exploration: how much of a chip can each technology node
+// keep lit under its power budget, and how much of the leftover budget the
+// online test scheduler can harvest.
+//
+// Usage: dark_silicon_sweep [seconds=6] [seed=42]
+
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+using namespace mcs;
+
+namespace {
+
+RunMetrics run_node(TechNode node, double occupancy, SchedulerKind sched,
+                    double seconds, std::uint64_t seed, bool compute_bound) {
+    SystemConfig cfg;
+    cfg.width = 8;
+    cfg.height = 8;
+    cfg.node = node;
+    cfg.seed = seed;
+    cfg.scheduler = sched;
+    if (compute_bound) {
+        cfg.workload.graphs.min_tasks = 1;
+        cfg.workload.graphs.max_tasks = 1;
+    }
+    const double capacity = 64.0 * technology(node).max_freq_hz;
+    cfg.workload.arrival_rate_hz =
+        rate_for_occupancy(occupancy, cfg.workload.graphs, capacity);
+    ManycoreSystem sys(cfg);
+    return sys.run(from_seconds(seconds));
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+    const Config args = Config::from_args(
+        std::span<const char* const>(argv + 1,
+                                     static_cast<std::size_t>(argc - 1)));
+    const double seconds = args.get_double("seconds", 6.0);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+    std::printf("dark-silicon sweep: 8x8 chip, four technology nodes\n\n");
+
+    TablePrinter table({"node", "TDP [W]", "lit fraction (saturated)",
+                        "tests/core/s (occ 0.6)", "test energy",
+                        "mean test interval [s]"});
+    for (TechNode node : {TechNode::nm45, TechNode::nm32, TechNode::nm22,
+                          TechNode::nm16}) {
+        // How much compute survives the power cap when demand is unlimited.
+        const RunMetrics wall =
+            run_node(node, 1.3, SchedulerKind::None, seconds, seed, true);
+        const double lit = wall.work_cycles_per_s /
+                           (64.0 * technology(node).max_freq_hz);
+        // What the test scheduler harvests at a normal dynamic load.
+        const RunMetrics pa = run_node(node, 0.6, SchedulerKind::PowerAware,
+                                       seconds, seed, false);
+        table.add_row({std::string(to_string(node)), fmt(pa.tdp_w, 1),
+                       fmt_pct(lit, 1), fmt(pa.tests_per_core_per_s, 2),
+                       fmt_pct(pa.test_energy_share),
+                       fmt(pa.test_interval_s.count()
+                               ? pa.test_interval_s.mean()
+                               : 0.0, 2)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("The lit fraction shrinks each generation (dark silicon); "
+                "the widening TDP gap is the budget the paper's scheduler "
+                "spends on online testing.\n");
+    return 0;
+}
+
+int main(int argc, char** argv) {
+    try {
+        return run(argc, argv);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "dark_silicon_sweep: error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,99 @@
+// Quickstart: simulate an 8x8 16nm manycore running a dynamic workload with
+// power-aware online testing, and print the headline numbers.
+//
+// Usage: quickstart [width=8] [height=8] [seconds=10] [occupancy=0.6]
+//                   [seed=42] [scheduler=power-aware|periodic|greedy|none]
+
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "util/config.hpp"
+
+int run(int argc, char** argv) {
+    const mcs::Config args = mcs::Config::from_args(
+        std::span<const char* const>(argv + 1, static_cast<std::size_t>(
+                                                   argc - 1)));
+
+    mcs::SystemConfig cfg;
+    cfg.width = static_cast<int>(args.get_int("width", 8));
+    cfg.height = static_cast<int>(args.get_int("height", 8));
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+    const std::string sched = args.get_string("scheduler", "power-aware");
+    if (sched == "periodic") {
+        cfg.scheduler = mcs::SchedulerKind::Periodic;
+    } else if (sched == "greedy") {
+        cfg.scheduler = mcs::SchedulerKind::Greedy;
+    } else if (sched == "none") {
+        cfg.scheduler = mcs::SchedulerKind::None;
+    }
+
+    cfg.workload.graphs.min_tasks =
+        static_cast<int>(args.get_int("min_tasks", 4));
+    cfg.workload.graphs.max_tasks =
+        static_cast<int>(args.get_int("max_tasks", 16));
+
+    // Translate the requested chip occupancy into a Poisson arrival rate.
+    const double occupancy = args.get_double("occupancy", 0.6);
+    const auto& tech = mcs::technology(cfg.node);
+    const double chip_cycles_per_s =
+        static_cast<double>(cfg.width) * static_cast<double>(cfg.height) *
+        tech.max_freq_hz;
+    cfg.workload.arrival_rate_hz = mcs::rate_for_occupancy(
+        occupancy, cfg.workload.graphs, chip_cycles_per_s);
+
+    const double seconds = args.get_double("seconds", 10.0);
+
+    std::printf("manycore online-test quickstart\n");
+    std::printf("  chip        : %dx%d @ %s, TDP-capped\n", cfg.width,
+                cfg.height, mcs::to_string(cfg.node));
+    std::printf("  scheduler   : %s\n", sched.c_str());
+    std::printf("  occupancy   : %.2f (%.1f apps/s)\n", occupancy,
+                cfg.workload.arrival_rate_hz);
+    std::printf("  horizon     : %.1f s\n\n", seconds);
+
+    mcs::ManycoreSystem sys(cfg);
+    const mcs::RunMetrics m = sys.run(mcs::from_seconds(seconds));
+
+    std::printf("results\n");
+    std::printf("  TDP                  : %.1f W\n", m.tdp_w);
+    std::printf("  mean / max power     : %.1f / %.1f W\n", m.mean_power_w,
+                m.max_power_w);
+    std::printf("  TDP violation rate   : %.4f%%\n",
+                m.tdp_violation_rate * 100.0);
+    std::printf("  apps completed       : %llu / %llu\n",
+                static_cast<unsigned long long>(m.apps_completed),
+                static_cast<unsigned long long>(m.apps_arrived));
+    std::printf("  task throughput      : %.1f tasks/s\n",
+                m.throughput_tasks_per_s);
+    std::printf("  work throughput      : %.3e cycles/s\n",
+                m.work_cycles_per_s);
+    std::printf("  chip utilization     : %.1f%% busy, %.1f%% reserved, "
+                "%.1f%% dark\n",
+                m.mean_chip_utilization * 100.0,
+                m.mean_reserved_fraction * 100.0,
+                m.mean_dark_fraction * 100.0);
+    std::printf("  tests completed      : %llu (%.2f per core per s)\n",
+                static_cast<unsigned long long>(m.tests_completed),
+                m.tests_per_core_per_s);
+    std::printf("  mean test interval   : %.3f s\n", m.test_interval_s.mean());
+    std::printf("  test energy share    : %.2f%%\n",
+                m.test_energy_share * 100.0);
+    std::printf("  untested cores       : %.1f%% (max open gap %.2f s)\n",
+                m.untested_core_fraction * 100.0, m.max_open_test_gap_s);
+    std::printf("  tests aborted        : %llu\n",
+                static_cast<unsigned long long>(m.tests_aborted));
+    std::printf("  mean queue wait      : %.2f ms\n",
+                m.app_queue_wait_ms.mean());
+    std::printf("  peak temperature     : %.1f C\n", m.peak_temp_c);
+    return 0;
+}
+
+int main(int argc, char** argv) {
+    try {
+        return run(argc, argv);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "quickstart: error: %s\n", e.what());
+        return 1;
+    }
+}

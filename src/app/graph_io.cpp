@@ -1,0 +1,98 @@
+#include "app/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+TaskGraph read_task_graph(std::istream& in) {
+    std::vector<Task> tasks;
+    std::vector<bool> declared;
+    bool have_count = false;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.erase(hash);
+        }
+        std::istringstream ls(line);
+        std::string directive;
+        if (!(ls >> directive)) {
+            continue;  // blank / comment line
+        }
+        const std::string where =
+            " (line " + std::to_string(line_no) + ")";
+        if (directive == "tasks") {
+            MCS_REQUIRE(!have_count, "duplicate 'tasks' directive" + where);
+            std::size_t count = 0;
+            MCS_REQUIRE(static_cast<bool>(ls >> count),
+                        "malformed 'tasks' directive" + where);
+            MCS_REQUIRE(count > 0, "graph must have tasks" + where);
+            tasks.resize(count);
+            declared.assign(count, false);
+            have_count = true;
+        } else if (directive == "task") {
+            MCS_REQUIRE(have_count, "'task' before 'tasks'" + where);
+            std::size_t index = 0;
+            std::uint64_t cycles = 0;
+            MCS_REQUIRE(static_cast<bool>(ls >> index >> cycles),
+                        "malformed 'task' directive" + where);
+            MCS_REQUIRE(index < tasks.size(), "task index out of range" +
+                                                  where);
+            MCS_REQUIRE(!declared[index], "duplicate task" + where);
+            MCS_REQUIRE(cycles > 0, "task cycles must be positive" + where);
+            tasks[index].cycles = cycles;
+            declared[index] = true;
+        } else if (directive == "edge") {
+            MCS_REQUIRE(have_count, "'edge' before 'tasks'" + where);
+            std::size_t src = 0, dst = 0;
+            std::uint64_t bytes = 0;
+            MCS_REQUIRE(static_cast<bool>(ls >> src >> dst >> bytes),
+                        "malformed 'edge' directive" + where);
+            MCS_REQUIRE(src < tasks.size() && dst < tasks.size(),
+                        "edge endpoint out of range" + where);
+            tasks[src].successors.push_back(
+                TaskEdge{static_cast<TaskIndex>(dst), bytes});
+        } else {
+            MCS_REQUIRE(false, "unknown directive '" + directive + "'" +
+                                   where);
+        }
+    }
+    MCS_REQUIRE(have_count, "missing 'tasks' directive");
+    for (std::size_t i = 0; i < declared.size(); ++i) {
+        MCS_REQUIRE(declared[i],
+                    "task " + std::to_string(i) + " not declared");
+    }
+    return TaskGraph(std::move(tasks));
+}
+
+TaskGraph load_task_graph(const std::string& path) {
+    std::ifstream in(path);
+    MCS_REQUIRE(in.is_open(), "cannot open task graph file: " + path);
+    return read_task_graph(in);
+}
+
+void write_task_graph(const TaskGraph& graph, std::ostream& out) {
+    out << "tasks " << graph.size() << "\n";
+    for (TaskIndex i = 0; i < graph.size(); ++i) {
+        out << "task " << i << " " << graph.task(i).cycles << "\n";
+    }
+    for (TaskIndex i = 0; i < graph.size(); ++i) {
+        for (const TaskEdge& e : graph.task(i).successors) {
+            out << "edge " << i << " " << e.dst << " " << e.bytes << "\n";
+        }
+    }
+}
+
+void save_task_graph(const TaskGraph& graph, const std::string& path) {
+    std::ofstream out(path);
+    MCS_REQUIRE(out.is_open(), "cannot open task graph file: " + path);
+    write_task_graph(graph, out);
+}
+
+}  // namespace mcs

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "app/task_graph.hpp"
+
+namespace mcs {
+
+/// Plain-text task-graph format (TGFF-like, one directive per line):
+///
+///     # comment / blank lines ignored
+///     tasks <count>
+///     task <index> <cycles>
+///     edge <src> <dst> <bytes>
+///
+/// `tasks` must come first; every task index must be declared exactly once;
+/// edges reference declared tasks. The resulting graph is validated by the
+/// TaskGraph constructor (acyclicity etc.).
+TaskGraph read_task_graph(std::istream& in);
+TaskGraph load_task_graph(const std::string& path);
+
+void write_task_graph(const TaskGraph& graph, std::ostream& out);
+void save_task_graph(const TaskGraph& graph, const std::string& path);
+
+}  // namespace mcs

@@ -1,0 +1,67 @@
+#include "app/task_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+TaskGraph::TaskGraph(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
+    MCS_REQUIRE(!tasks_.empty(), "task graph must be non-empty");
+    const std::size_t n = tasks_.size();
+    pred_counts_.assign(n, 0);
+    for (const Task& t : tasks_) {
+        total_cycles_ += t.cycles;
+        for (const TaskEdge& e : t.successors) {
+            MCS_REQUIRE(e.dst < n, "task edge target out of range");
+            ++pred_counts_[e.dst];
+            total_bytes_ += e.bytes;
+            ++edge_count_;
+        }
+    }
+    for (TaskIndex i = 0; i < n; ++i) {
+        if (pred_counts_[i] == 0) {
+            sources_.push_back(i);
+        }
+    }
+    MCS_REQUIRE(!sources_.empty(), "task graph has no source (cyclic)");
+
+    // Kahn's algorithm: verifies acyclicity and computes the critical path.
+    std::vector<std::uint32_t> remaining = pred_counts_;
+    std::vector<std::uint64_t> finish_cycles(n, 0);
+    std::queue<TaskIndex> ready;
+    for (TaskIndex s : sources_) {
+        ready.push(s);
+        finish_cycles[s] = tasks_[s].cycles;
+    }
+    std::size_t visited = 0;
+    while (!ready.empty()) {
+        const TaskIndex u = ready.front();
+        ready.pop();
+        ++visited;
+        for (const TaskEdge& e : tasks_[u].successors) {
+            finish_cycles[e.dst] =
+                std::max(finish_cycles[e.dst],
+                         finish_cycles[u] + tasks_[e.dst].cycles);
+            if (--remaining[e.dst] == 0) {
+                ready.push(e.dst);
+            }
+        }
+    }
+    MCS_REQUIRE(visited == n, "task graph contains a cycle");
+    critical_path_cycles_ =
+        *std::max_element(finish_cycles.begin(), finish_cycles.end());
+}
+
+const Task& TaskGraph::task(TaskIndex i) const {
+    MCS_REQUIRE(i < tasks_.size(), "task index out of range");
+    return tasks_[i];
+}
+
+std::uint32_t TaskGraph::pred_count(TaskIndex i) const {
+    MCS_REQUIRE(i < pred_counts_.size(), "task index out of range");
+    return pred_counts_[i];
+}
+
+}  // namespace mcs

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcs {
+
+using TaskIndex = std::uint32_t;
+
+/// Directed communication edge: when the owning task finishes it sends
+/// `bytes` to task `dst`, which cannot start before the data arrives.
+struct TaskEdge {
+    TaskIndex dst = 0;
+    std::uint64_t bytes = 0;
+};
+
+/// One task: a computation of `cycles` clock cycles plus outgoing edges.
+struct Task {
+    std::uint64_t cycles = 0;
+    std::vector<TaskEdge> successors;
+};
+
+/// An immutable application task graph (DAG). Construction validates edge
+/// targets and acyclicity and precomputes predecessor counts.
+class TaskGraph {
+public:
+    explicit TaskGraph(std::vector<Task> tasks);
+
+    std::size_t size() const noexcept { return tasks_.size(); }
+    const Task& task(TaskIndex i) const;
+    std::uint32_t pred_count(TaskIndex i) const;
+
+    /// Tasks with no predecessors (ready at application start).
+    const std::vector<TaskIndex>& sources() const noexcept { return sources_; }
+
+    std::uint64_t total_cycles() const noexcept { return total_cycles_; }
+    std::uint64_t total_comm_bytes() const noexcept { return total_bytes_; }
+    std::size_t edge_count() const noexcept { return edge_count_; }
+
+    /// Length (in cycles) of the longest dependency chain — the lower bound
+    /// on makespan at a fixed frequency with unlimited cores.
+    std::uint64_t critical_path_cycles() const noexcept {
+        return critical_path_cycles_;
+    }
+
+private:
+    std::vector<Task> tasks_;
+    std::vector<std::uint32_t> pred_counts_;
+    std::vector<TaskIndex> sources_;
+    std::uint64_t total_cycles_ = 0;
+    std::uint64_t total_bytes_ = 0;
+    std::size_t edge_count_ = 0;
+    std::uint64_t critical_path_cycles_ = 0;
+};
+
+}  // namespace mcs

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/task_graph.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace mcs {
+
+/// TGFF-style random task-graph parameters. Graphs are layered DAGs:
+/// `min_tasks..max_tasks` tasks arranged in layers, each non-source task
+/// drawing 1..max_fanin predecessors from the previous layer. Cycle counts
+/// are log-uniform (task sizes span decades, as in real mixes).
+struct TaskGraphGenParams {
+    int min_tasks = 4;
+    int max_tasks = 16;
+    std::uint64_t min_cycles = 400'000;
+    std::uint64_t max_cycles = 4'000'000;
+    std::uint64_t min_edge_bytes = 2'000;
+    std::uint64_t max_edge_bytes = 64'000;
+    int max_fanin = 3;
+};
+
+/// Generates random applications (one task per core in the paper family's
+/// mapping model, so an n-task graph requests an n-core region).
+class TaskGraphGenerator {
+public:
+    explicit TaskGraphGenerator(TaskGraphGenParams params = {});
+
+    TaskGraph generate(Rng& rng) const;
+
+    const TaskGraphGenParams& params() const noexcept { return params_; }
+
+    /// Monte-Carlo estimate of the mean total cycles of one application;
+    /// used to translate an arrival rate into offered chip utilization.
+    static double estimate_mean_app_cycles(const TaskGraphGenParams& params,
+                                           std::uint64_t seed = 1,
+                                           int samples = 2000);
+
+private:
+    TaskGraphGenParams params_;
+};
+
+/// Application criticality classes (the ICCD'14 power-management companion
+/// distinguishes hard real-time, soft real-time and best-effort workloads
+/// and treats them with according priority).
+enum class QosClass { BestEffort, SoftRealTime, HardRealTime };
+inline constexpr std::size_t kQosClassCount = 3;
+
+const char* to_string(QosClass qos);
+
+/// One dynamically arriving application instance.
+struct ApplicationSpec {
+    std::uint64_t id = 0;
+    SimTime arrival = 0;
+    QosClass qos = QosClass::BestEffort;
+    /// Completion deadline relative to arrival (0 = none / best effort).
+    SimDuration relative_deadline = 0;
+    TaskGraph graph;
+};
+
+/// Dynamic workload parameters: Poisson arrivals at `arrival_rate_hz`.
+/// Application shapes come from the random generator (`graphs`) unless a
+/// fixed `graph_library` is supplied (e.g. loaded via app/graph_io.hpp), in
+/// which case each arrival draws uniformly from the library.
+struct WorkloadParams {
+    double arrival_rate_hz = 50.0;
+    TaskGraphGenParams graphs;
+    std::vector<TaskGraph> graph_library;
+
+    /// Class mix (normalized internally). Default: best-effort only (the
+    /// DATE'15 evaluation); the QoS experiments raise the real-time shares.
+    double best_effort_weight = 1.0;
+    double soft_rt_weight = 0.0;
+    double hard_rt_weight = 0.0;
+    /// Deadlines are `factor x` the application's ideal makespan (critical
+    /// path at `reference_freq_hz`, no queueing or communication).
+    double hard_deadline_factor = 2.0;
+    double soft_deadline_factor = 4.0;
+    double reference_freq_hz = 2.5e9;
+};
+
+/// Pre-generates a deterministic arrival trace for a simulation horizon.
+class WorkloadGenerator {
+public:
+    WorkloadGenerator(WorkloadParams params, std::uint64_t seed);
+
+    /// All applications arriving strictly before `horizon`.
+    std::vector<ApplicationSpec> generate(SimTime horizon);
+
+    /// Offered chip utilization for a given compute capacity
+    /// (cores * nominal frequency), in [0, inf): 1.0 means arrivals demand
+    /// exactly the whole chip.
+    static double offered_utilization(const WorkloadParams& params,
+                                      double chip_cycles_per_s);
+
+    /// Arrival rate that produces a target offered utilization.
+    static double rate_for_utilization(double target_utilization,
+                                       const TaskGraphGenParams& graphs,
+                                       double chip_cycles_per_s);
+
+private:
+    WorkloadParams params_;
+    Rng rng_;
+    std::uint64_t next_id_ = 1;
+};
+
+}  // namespace mcs

@@ -1,0 +1,127 @@
+#include "arch/core.hpp"
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+const char* to_string(CoreState state) {
+    switch (state) {
+        case CoreState::Idle: return "Idle";
+        case CoreState::Busy: return "Busy";
+        case CoreState::Testing: return "Testing";
+        case CoreState::Dark: return "Dark";
+        case CoreState::Faulty: return "Faulty";
+    }
+    return "?";
+}
+
+Core::Core(CoreId id, int x, int y, const std::vector<VfLevel>* vf_table)
+    : id_(id), x_(x), y_(y), vf_table_(vf_table) {
+    MCS_REQUIRE(vf_table_ != nullptr && !vf_table_->empty(),
+                "core needs a non-empty VF table");
+    vf_level_ = static_cast<int>(vf_table_->size()) - 1;  // boot at max
+}
+
+double Core::freq_hz() const {
+    return (*vf_table_)[static_cast<std::size_t>(vf_level_)].freq_hz;
+}
+
+double Core::voltage_v() const {
+    return (*vf_table_)[static_cast<std::size_t>(vf_level_)].voltage_v;
+}
+
+void Core::checkpoint(SimTime now) {
+    MCS_REQUIRE(now >= last_checkpoint_, "core checkpoint going backwards");
+    const SimDuration span = now - last_checkpoint_;
+    last_checkpoint_ = now;
+    if (span == 0) {
+        return;
+    }
+    if (state_ == CoreState::Busy) {
+        const auto cycles = cycles_in(span, freq_hz());
+        busy_cycles_since_test_ += cycles;
+        total_busy_cycles_ += cycles;
+        total_busy_time_ += span;
+    } else if (state_ == CoreState::Testing) {
+        total_test_time_ += span;
+    }
+}
+
+void Core::transition(SimTime now, CoreState to) {
+    checkpoint(now);
+    state_ = to;
+    last_state_change_ = now;
+}
+
+void Core::start_task(SimTime now) {
+    MCS_REQUIRE(state_ == CoreState::Idle,
+                std::string("start_task from state ") + to_string(state_));
+    transition(now, CoreState::Busy);
+}
+
+void Core::finish_task(SimTime now) {
+    MCS_REQUIRE(state_ == CoreState::Busy,
+                std::string("finish_task from state ") + to_string(state_));
+    transition(now, CoreState::Idle);
+    ++tasks_executed_;
+}
+
+void Core::start_test(SimTime now) {
+    MCS_REQUIRE(state_ == CoreState::Idle,
+                std::string("start_test from state ") + to_string(state_));
+    transition(now, CoreState::Testing);
+}
+
+void Core::finish_test(SimTime now, bool completed) {
+    MCS_REQUIRE(state_ == CoreState::Testing,
+                std::string("finish_test from state ") + to_string(state_));
+    transition(now, CoreState::Idle);
+    if (completed) {
+        ++tests_completed_;
+        last_test_end_ = now;
+        busy_cycles_since_test_ = 0;
+    } else {
+        ++tests_aborted_;
+    }
+}
+
+void Core::mark_faulty(SimTime now) {
+    MCS_REQUIRE(state_ != CoreState::Faulty, "core is already faulty");
+    transition(now, CoreState::Faulty);
+    reserved_ = false;
+}
+
+void Core::power_gate(SimTime now) {
+    MCS_REQUIRE(state_ == CoreState::Idle,
+                std::string("power_gate from state ") + to_string(state_));
+    MCS_REQUIRE(!reserved_, "cannot power-gate a reserved core");
+    transition(now, CoreState::Dark);
+}
+
+void Core::wake(SimTime now) {
+    MCS_REQUIRE(state_ == CoreState::Dark,
+                std::string("wake from state ") + to_string(state_));
+    transition(now, CoreState::Idle);
+}
+
+void Core::set_vf_level(SimTime now, int level) {
+    MCS_REQUIRE(level >= 0 &&
+                    level < static_cast<int>(vf_table_->size()),
+                "VF level out of range");
+    checkpoint(now);  // integrate at the old frequency first
+    vf_level_ = level;
+}
+
+double Core::busy_fraction(SimTime now) const {
+    if (now <= birth_) {
+        return 0.0;
+    }
+    // Include the in-flight interval since the last checkpoint.
+    SimDuration busy = total_busy_time_;
+    if (state_ == CoreState::Busy && now > last_checkpoint_) {
+        busy += now - last_checkpoint_;
+    }
+    return static_cast<double>(busy) / static_cast<double>(now - birth_);
+}
+
+}  // namespace mcs

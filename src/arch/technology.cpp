@@ -1,0 +1,131 @@
+#include "arch/technology.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+const char* to_string(TechNode node) {
+    switch (node) {
+        case TechNode::nm45: return "45nm";
+        case TechNode::nm32: return "32nm";
+        case TechNode::nm22: return "22nm";
+        case TechNode::nm16: return "16nm";
+    }
+    return "?";
+}
+
+double TechnologyParams::core_peak_power_w() const {
+    const double dyn = switched_cap_f * nominal_vdd_v * nominal_vdd_v *
+                       max_freq_hz;
+    const double leak = leak_current_a * nominal_vdd_v;
+    return dyn + leak;
+}
+
+double TechnologyParams::chip_tdp_w(std::size_t core_count) const {
+    return tdp_fraction * core_peak_power_w() *
+           static_cast<double>(core_count);
+}
+
+namespace {
+
+// Scaling story across nodes (documented modeling constants, DESIGN.md §2):
+// each generation shrinks per-core switched capacitance by ~0.7x and raises
+// frequency modestly, but Vdd barely scales, so per-core power falls slower
+// than integration density rises. With the same die hosting ~2x the cores,
+// the fraction of peak chip power the package can sustain (tdp_fraction)
+// drops node over node -- that fraction is the dark-silicon signature the
+// paper's 16nm experiments rely on.
+std::array<TechnologyParams, 4> make_nodes() {
+    std::array<TechnologyParams, 4> nodes{};
+
+    TechnologyParams n45;
+    n45.node = TechNode::nm45;
+    n45.name = "45nm";
+    n45.nominal_vdd_v = 1.10;
+    n45.min_vdd_v = 0.65;
+    n45.max_freq_hz = 1.6e9;
+    n45.min_freq_hz = 0.2e9;
+    n45.switched_cap_f = 1.00e-9;
+    n45.leak_current_a = 0.10;
+    n45.tdp_fraction = 0.95;
+    nodes[0] = n45;
+
+    TechnologyParams n32 = n45;
+    n32.node = TechNode::nm32;
+    n32.name = "32nm";
+    n32.nominal_vdd_v = 1.05;
+    n32.min_vdd_v = 0.60;
+    n32.max_freq_hz = 1.9e9;
+    n32.switched_cap_f = 0.72e-9;
+    n32.leak_current_a = 0.13;
+    n32.tdp_fraction = 0.78;
+    nodes[1] = n32;
+
+    TechnologyParams n22 = n32;
+    n22.node = TechNode::nm22;
+    n22.name = "22nm";
+    n22.nominal_vdd_v = 1.00;
+    n22.min_vdd_v = 0.57;
+    n22.max_freq_hz = 2.2e9;
+    n22.switched_cap_f = 0.52e-9;
+    n22.leak_current_a = 0.16;
+    n22.tdp_fraction = 0.60;
+    nodes[2] = n22;
+
+    TechnologyParams n16 = n22;
+    n16.node = TechNode::nm16;
+    n16.name = "16nm";
+    n16.nominal_vdd_v = 0.95;
+    n16.min_vdd_v = 0.55;
+    n16.max_freq_hz = 2.5e9;
+    n16.switched_cap_f = 0.38e-9;
+    n16.leak_current_a = 0.20;
+    n16.tdp_fraction = 0.45;
+    nodes[3] = n16;
+
+    return nodes;
+}
+
+const std::array<TechnologyParams, 4>& nodes() {
+    static const std::array<TechnologyParams, 4> instance = make_nodes();
+    return instance;
+}
+
+}  // namespace
+
+const TechnologyParams& technology(TechNode node) {
+    switch (node) {
+        case TechNode::nm45: return nodes()[0];
+        case TechNode::nm32: return nodes()[1];
+        case TechNode::nm22: return nodes()[2];
+        case TechNode::nm16: return nodes()[3];
+    }
+    MCS_REQUIRE(false, "unknown technology node");
+    return nodes()[0];  // unreachable
+}
+
+std::vector<VfLevel> build_vf_table(const TechnologyParams& tech) {
+    MCS_REQUIRE(tech.vf_levels >= 2, "need at least two DVFS levels");
+    MCS_REQUIRE(tech.max_freq_hz > tech.min_freq_hz,
+                "frequency range must be non-empty");
+    MCS_REQUIRE(tech.nominal_vdd_v > tech.min_vdd_v,
+                "voltage range must be non-empty");
+    std::vector<VfLevel> table;
+    table.reserve(static_cast<std::size_t>(tech.vf_levels));
+    const int n = tech.vf_levels;
+    for (int i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+        VfLevel level;
+        level.freq_hz =
+            tech.min_freq_hz + t * (tech.max_freq_hz - tech.min_freq_hz);
+        level.voltage_v =
+            tech.min_vdd_v + t * (tech.nominal_vdd_v - tech.min_vdd_v);
+        table.push_back(level);
+    }
+    return table;
+}
+
+}  // namespace mcs

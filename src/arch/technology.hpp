@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcs {
+
+/// Process nodes the evaluation sweeps over (paper: 16 nm headline result,
+/// older nodes for the dark-silicon trend).
+enum class TechNode { nm45, nm32, nm22, nm16 };
+
+const char* to_string(TechNode node);
+
+/// One DVFS operating point.
+struct VfLevel {
+    double voltage_v = 0.0;
+    double freq_hz = 0.0;
+};
+
+/// Technology-node parameters for the per-core power model and the chip
+/// power budget. The constants are ITRS-style scaling factors chosen to
+/// reproduce the dark-silicon *trend* (usable chip-power fraction shrinks
+/// with each node), not any specific foundry's numbers; see DESIGN.md
+/// "Substitutions".
+struct TechnologyParams {
+    TechNode node = TechNode::nm16;
+    std::string name;
+
+    double nominal_vdd_v = 1.0;   ///< supply at the top DVFS level
+    double min_vdd_v = 0.55;      ///< near-threshold floor (ICCD'14 substrate)
+    double max_freq_hz = 2.0e9;   ///< frequency at nominal Vdd
+    double min_freq_hz = 0.2e9;   ///< frequency at the near-threshold level
+
+    /// Effective switched capacitance of one core at workload activity 1.0,
+    /// in farads; dynamic power = activity * C * V^2 * f.
+    double switched_cap_f = 0.5e-9;
+
+    /// Leakage current of one core at nominal Vdd and reference temperature,
+    /// in amperes; leakage power = I0 * V * exp((T - Tref)/Tslope).
+    double leak_current_a = 0.15;
+    double leak_ref_temp_c = 45.0;
+    double leak_temp_slope_c = 30.0;
+
+    /// Fraction of peak chip power the package/TDP can sustain. This is the
+    /// dark-silicon knob: it shrinks with each node.
+    double tdp_fraction = 0.45;
+
+    int vf_levels = 5;
+
+    /// Peak power of one core: busy at the top DVFS level, reference temp.
+    double core_peak_power_w() const;
+    /// Chip TDP for `core_count` cores.
+    double chip_tdp_w(std::size_t core_count) const;
+};
+
+/// Canonical parameter sets for the four nodes in the evaluation.
+const TechnologyParams& technology(TechNode node);
+
+/// Builds the DVFS table for a node: `vf_levels` points from the
+/// near-threshold level up to (nominal Vdd, max frequency), with voltage
+/// scaling affinely in frequency. Level 0 is the slowest.
+std::vector<VfLevel> build_vf_table(const TechnologyParams& tech);
+
+}  // namespace mcs

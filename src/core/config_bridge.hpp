@@ -1,0 +1,42 @@
+#pragma once
+
+#include "core/system.hpp"
+#include "util/config.hpp"
+
+namespace mcs {
+
+/// Builds a SystemConfig from generic key=value configuration (CLI args or
+/// a config file). Unknown keys are rejected so typos fail loudly.
+///
+/// Key reference (defaults in parentheses):
+///   width (8), height (8)            chip dimensions
+///   node (16nm)                      45nm | 32nm | 22nm | 16nm
+///   seed (42)                        master RNG seed
+///   tdp_scale (1.0)                  power-budget scaling
+///   occupancy (0.6)                  target reserved core-time fraction;
+///                                    translated into an arrival rate
+///   arrival_rate_hz                  overrides occupancy when given
+///   min_tasks (4), max_tasks (16)    application size range
+///   min_cycles, max_cycles           task length range
+///   graph_file                       fixed task-graph library file
+///                                    (app/graph_io.hpp format)
+///   scheduler (power-aware)          power-aware | periodic | greedy | none
+///   test_period_ms (1000)            periodic-scheduler period
+///   guard_band (0.04)                PA guard band fraction of TDP
+///   criticality_threshold (0.5)
+///   criticality_mode (utilization)   utilization | time | hybrid
+///   vf_policy (rotate-all)           rotate-all | max-only | min-only
+///   mapper (test-aware)              test-aware | util-oriented |
+///                                    contiguous | random | first-fit
+///   abort_tests (true)               mapper may abort in-flight tests
+///   segmented (false)                aborted sessions resume per-routine
+///   hard_rt_share (0), soft_rt_share (0)  QoS class mix (rest best-effort)
+///   noc_testing (false)              enable online link testing
+///   link_fault_rate (0)              link wear rate per link-second
+///   faults (false)                   enable fault injection
+///   fault_rate (0.01)                per core-second at acceleration 1
+///   capping (pid)                    pid | bang-bang
+///   gate_delay_ms (2)                idle-to-dark delay
+SystemConfig system_config_from(const Config& cfg);
+
+}  // namespace mcs

@@ -1,0 +1,148 @@
+#include "core/schedulers.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+const char* to_string(TestVfPolicy policy) {
+    switch (policy) {
+        case TestVfPolicy::RotateAll: return "rotate-all";
+        case TestVfPolicy::MaxOnly: return "max-only";
+        case TestVfPolicy::MinOnly: return "min-only";
+    }
+    return "?";
+}
+
+PowerAwareTestScheduler::PowerAwareTestScheduler(PowerAwareParams params)
+    : params_(params) {
+    MCS_REQUIRE(params_.guard_band_fraction >= 0.0 &&
+                    params_.guard_band_fraction < 1.0,
+                "guard band must be in [0,1)");
+    MCS_REQUIRE(params_.max_concurrent_tests > 0,
+                "max concurrent tests must be positive");
+}
+
+int PowerAwareTestScheduler::next_vf_level(CoreId core,
+                                           const SchedulerContext& ctx) {
+    const int level = next_vf_level_peek(core, ctx);
+    if (params_.vf_policy == TestVfPolicy::RotateAll) {
+        // Advance the rotation. Sessions later aborted by the mapper keep
+        // their advance: the rotation is cyclic, so no level is permanently
+        // skipped, and coverage is measured by *completions* per level.
+        ++rotation_[core];
+    }
+    return level;
+}
+
+int PowerAwareTestScheduler::next_vf_level_peek(
+    CoreId core, const SchedulerContext& ctx) const {
+    const int levels = static_cast<int>(ctx.vf_table->size());
+    switch (params_.vf_policy) {
+        case TestVfPolicy::MaxOnly:
+            return levels - 1;
+        case TestVfPolicy::MinOnly:
+            return 0;
+        case TestVfPolicy::RotateAll: {
+            // Walk downwards from the top so early tests are short; the
+            // per-core counter guarantees every level is eventually covered.
+            const auto it = rotation_.find(core);
+            const int counter = it == rotation_.end() ? 0 : it->second;
+            return levels - 1 - (counter % levels);
+        }
+    }
+    return levels - 1;
+}
+
+void PowerAwareTestScheduler::epoch(SchedulerContext& ctx) {
+    if (ctx.candidates.empty()) {
+        return;
+    }
+    // Most critical first; ties by core id for determinism.
+    std::sort(ctx.candidates.begin(), ctx.candidates.end(),
+              [](const TestCandidate& a, const TestCandidate& b) {
+                  if (a.criticality != b.criticality) {
+                      return a.criticality > b.criticality;
+                  }
+                  return a.core < b.core;
+              });
+    const double guard = params_.guard_band_fraction * ctx.tdp_w;
+    double slack = ctx.power_slack_w;
+    int running = ctx.tests_running;
+    for (const TestCandidate& cand : ctx.candidates) {
+        if (running >= params_.max_concurrent_tests) {
+            break;
+        }
+        if (cand.criticality < params_.criticality_threshold) {
+            break;  // candidates are sorted: the rest are below threshold too
+        }
+        if (!cand.dark && cand.idle_age < params_.min_idle_age) {
+            continue;  // just freed: likely to be remapped immediately
+        }
+        if (cand.temp_c > params_.max_test_temp_c) {
+            continue;  // thermal guard: testing would worsen a hot spot
+        }
+        if (params_.require_predicted_idle && ctx.test_duration) {
+            const auto needed = static_cast<SimDuration>(
+                params_.predicted_idle_margin *
+                static_cast<double>(ctx.test_duration(
+                    next_vf_level_peek(cand.core, ctx))));
+            if (!cand.dark && cand.predicted_idle_remaining < needed) {
+                continue;  // the mapper would likely abort this session
+            }
+        }
+        const int level = next_vf_level(cand.core, ctx);
+        const double power = ctx.test_power_w(cand.core, level);
+        if (power + guard > slack) {
+            // Roll the rotation back: this level was not actually covered.
+            if (params_.vf_policy == TestVfPolicy::RotateAll) {
+                --rotation_[cand.core];
+            }
+            ++rejected_power_;
+            continue;  // a cheaper (lower-V/F) core might still fit
+        }
+        ctx.start_test(cand.core, level);
+        slack -= power;
+        ++running;
+        ++admitted_;
+    }
+}
+
+PeriodicTestScheduler::PeriodicTestScheduler(SimDuration period)
+    : period_(period) {
+    MCS_REQUIRE(period_ > 0, "test period must be positive");
+}
+
+void PeriodicTestScheduler::epoch(SchedulerContext& ctx) {
+    const int top = static_cast<int>(ctx.vf_table->size()) - 1;
+    for (const TestCandidate& cand : ctx.candidates) {
+        auto [it, inserted] = due_.try_emplace(cand.core, 0);
+        // Stagger initial due times across cores to avoid a thundering herd
+        // at t = 0 (classic periodic-test practice).
+        if (inserted) {
+            it->second = period_ * (cand.core % 16) / 16;
+        }
+        if (ctx.now >= it->second) {
+            ctx.start_test(cand.core, top);
+            it->second = ctx.now + period_;
+        }
+    }
+}
+
+GreedyTestScheduler::GreedyTestScheduler(SimDuration min_gap)
+    : min_gap_(min_gap) {}
+
+void GreedyTestScheduler::epoch(SchedulerContext& ctx) {
+    const int top = static_cast<int>(ctx.vf_table->size()) - 1;
+    for (const TestCandidate& cand : ctx.candidates) {
+        auto it = last_start_.find(cand.core);
+        if (it != last_start_.end() && ctx.now - it->second < min_gap_) {
+            continue;
+        }
+        ctx.start_test(cand.core, top);
+        last_start_[cand.core] = ctx.now;
+    }
+}
+
+}  // namespace mcs

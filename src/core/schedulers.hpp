@@ -1,0 +1,99 @@
+#pragma once
+
+#include <limits>
+#include <unordered_map>
+
+#include "core/test_scheduler.hpp"
+
+namespace mcs {
+
+/// Parameters of the paper's power-aware online test scheduler.
+struct PowerAwareParams {
+    /// Fraction of TDP kept as a safety margin below the cap when admitting
+    /// test power (guard band against measurement/actuation lag).
+    double guard_band_fraction = 0.04;
+    /// Optional cap on simultaneously running test sessions.
+    int max_concurrent_tests = std::numeric_limits<int>::max();
+    TestVfPolicy vf_policy = TestVfPolicy::RotateAll;
+    /// Minimum criticality for a core to be considered for testing.
+    double criticality_threshold = 0.5;
+    /// A core must have been idle at least this long before it is tested;
+    /// freshly freed cores are usually claimed back by the mapper within an
+    /// epoch or two, and racing it only produces aborted (wasted) tests.
+    SimDuration min_idle_age = 500 * kMicrosecond;
+    /// Thermal guard: cores above this temperature are not tested (SBST
+    /// activity is above workload level and would push a hot spot further).
+    double max_test_temp_c = 90.0;
+    /// Idle-period prediction (extension): admit a test only if the core's
+    /// predicted remaining availability covers the session duration times
+    /// `predicted_idle_margin`. Off by default (the DATE'15 policy).
+    bool require_predicted_idle = false;
+    double predicted_idle_margin = 1.2;
+};
+
+/// The paper's policy (PA-OTS): rank eligible idle cores by test
+/// criticality, pick each test's V/F level (rotating across all levels),
+/// and admit tests most-critical-first while their power fits inside the
+/// remaining budget slack minus a guard band. Strictly non-intrusive: only
+/// offered (idle) cores are ever used and workload power is never displaced.
+class PowerAwareTestScheduler : public TestScheduler {
+public:
+    explicit PowerAwareTestScheduler(PowerAwareParams params = {});
+
+    void epoch(SchedulerContext& ctx) override;
+    std::string_view name() const override { return "power-aware"; }
+
+    const PowerAwareParams& params() const noexcept { return params_; }
+    std::uint64_t admitted() const noexcept { return admitted_; }
+    std::uint64_t rejected_power() const noexcept { return rejected_power_; }
+
+private:
+    int next_vf_level(CoreId core, const SchedulerContext& ctx);
+    /// The level next_vf_level would return, without advancing rotation.
+    int next_vf_level_peek(CoreId core, const SchedulerContext& ctx) const;
+
+    PowerAwareParams params_;
+    std::unordered_map<CoreId, int> rotation_;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t rejected_power_ = 0;
+};
+
+/// Power-oblivious baseline: every core is due for a test each `period`;
+/// a due core is tested (at the top V/F level) as soon as it shows up idle,
+/// regardless of the available power budget. Represents classic online-test
+/// scheduling that predates dark-silicon power capping.
+class PeriodicTestScheduler : public TestScheduler {
+public:
+    explicit PeriodicTestScheduler(SimDuration period);
+
+    void epoch(SchedulerContext& ctx) override;
+    std::string_view name() const override { return "periodic"; }
+
+private:
+    SimDuration period_;
+    std::unordered_map<CoreId, SimTime> due_;
+};
+
+/// Power-oblivious upper bound: tests any eligible idle core immediately at
+/// the top level (subject only to a small per-core re-test gap). Maximizes
+/// test throughput at the worst power cost.
+class GreedyTestScheduler : public TestScheduler {
+public:
+    explicit GreedyTestScheduler(SimDuration min_gap = 50 * kMillisecond);
+
+    void epoch(SchedulerContext& ctx) override;
+    std::string_view name() const override { return "greedy"; }
+
+private:
+    SimDuration min_gap_;
+    std::unordered_map<CoreId, SimTime> last_start_;
+};
+
+/// No online testing at all (throughput reference).
+class NullTestScheduler : public TestScheduler {
+public:
+    void epoch(SchedulerContext&) override {}
+    std::string_view name() const override { return "none"; }
+};
+
+}  // namespace mcs

@@ -1,0 +1,280 @@
+#pragma once
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "aging/aging_model.hpp"
+#include "aging/criticality.hpp"
+#include "app/workload.hpp"
+#include "arch/chip.hpp"
+#include "core/idle_predictor.hpp"
+#include "core/metrics.hpp"
+#include "core/schedulers.hpp"
+#include "core/test_scheduler.hpp"
+#include "mapping/contiguous_mapper.hpp"
+#include "mapping/mapper.hpp"
+#include "noc/link_test.hpp"
+#include "noc/network.hpp"
+#include "power/power_budget.hpp"
+#include "power/power_manager.hpp"
+#include "power/power_model.hpp"
+#include "sbst/fault_model.hpp"
+#include "sbst/test_suite.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace mcs {
+
+enum class SchedulerKind { PowerAware, Periodic, Greedy, None };
+enum class MapperKind {
+    TestAware,
+    ThermalAware,
+    UtilizationOriented,
+    Contiguous,
+    Random,
+    FirstFit,
+};
+
+const char* to_string(SchedulerKind kind);
+const char* to_string(MapperKind kind);
+
+/// Full configuration of one simulated system instance. Defaults reproduce
+/// the paper's headline setup: 8x8 mesh at 16 nm, PID power capping to the
+/// dark-silicon TDP, power-aware online testing, test-aware mapping.
+struct SystemConfig {
+    int width = 8;
+    int height = 8;
+    TechNode node = TechNode::nm16;
+    std::uint64_t seed = 42;
+    /// Scales the technology TDP (power-budget sweeps, E3).
+    double tdp_scale = 1.0;
+
+    WorkloadParams workload{};
+    NocParams noc{};
+    ActivityFactors activity{};
+    PowerManagerParams power{};
+    ThermalParams thermal{};
+    AgingParams aging{};
+    CriticalityParams criticality{};
+
+    bool enable_fault_injection = false;
+    FaultModelParams faults{};
+
+    SchedulerKind scheduler = SchedulerKind::PowerAware;
+    PowerAwareParams power_aware{};
+    SimDuration periodic_test_period = 1 * kSecond;
+    /// When set, overrides `scheduler`: the system installs the returned
+    /// policy instead (plug-in point for user-defined schedulers).
+    std::function<std::unique_ptr<TestScheduler>()> scheduler_factory;
+
+    MapperKind mapper = MapperKind::TestAware;
+    /// When set, overrides `mapper` (plug-in point for user mappers).
+    std::function<std::unique_ptr<Mapper>()> mapper_factory;
+    /// The mapper may claim a core that is mid-test (the test is aborted);
+    /// keeps testing strictly non-intrusive to workload admission.
+    bool abort_tests_for_mapping = true;
+    /// After an aborted test the core is not offered to the test scheduler
+    /// again for this long (prevents start/abort churn under contention).
+    SimDuration test_retry_backoff = 20 * kMillisecond;
+    /// Segmented sessions (extension): the SBST suite executes routine by
+    /// routine and an aborted session resumes from the last completed
+    /// routine instead of restarting, so under mapping contention only one
+    /// routine's worth of work is ever lost. Detection still happens at
+    /// full-suite completion.
+    bool segmented_tests = false;
+
+    /// SBST library; defaults to TestSuite::standard().
+    std::optional<TestSuite> suite{};
+
+    /// NoC online testing (extension): when enabled, idle links are tested
+    /// under the same power budget; link wear is controlled by
+    /// `noc_test.fault_rate_per_link_s`.
+    bool enable_noc_testing = false;
+    NocTestParams noc_test{};
+
+    // Controller / observer epochs.
+    SimDuration power_epoch = 100 * kMicrosecond;
+    SimDuration thermal_epoch = 500 * kMicrosecond;
+    SimDuration test_epoch = 500 * kMicrosecond;
+    SimDuration wear_epoch = 1 * kMillisecond;  ///< aging + fault arrivals
+    SimDuration trace_epoch = 5 * kMillisecond;
+};
+
+/// The integrated manycore simulation: dynamic workload arrival, runtime
+/// mapping, task execution over the NoC, PID power capping with DVFS and
+/// power gating, thermal and aging tracking, and online test scheduling.
+///
+/// Typical use:
+///     ManycoreSystem sys(cfg);
+///     RunMetrics m = sys.run(20 * kSecond);
+class ManycoreSystem {
+public:
+    explicit ManycoreSystem(SystemConfig cfg);
+    ManycoreSystem(const ManycoreSystem&) = delete;
+    ManycoreSystem& operator=(const ManycoreSystem&) = delete;
+
+    /// Runs the system for `horizon` simulated time and returns the metrics.
+    /// May only be called once per instance.
+    RunMetrics run(SimDuration horizon);
+
+    /// Streams power/state trace samples during run() (E2's figure).
+    void set_trace_sink(TraceSink sink) { trace_sink_ = std::move(sink); }
+
+    /// Makes capping and admission ignore QoS classes (deadlines are still
+    /// measured); the baseline for the mixed-criticality experiments. Must
+    /// be called before run().
+    void set_priority_blind(bool blind);
+
+    // --- introspection (tests, examples) ---
+    const SystemConfig& config() const noexcept { return cfg_; }
+    Chip& chip() noexcept { return chip_; }
+    const Chip& chip() const noexcept { return chip_; }
+    Simulator& simulator() noexcept { return sim_; }
+    const Network& network() const noexcept { return noc_; }
+    const PowerBudget& budget() const noexcept { return budget_; }
+    const FaultInjector* fault_injector() const noexcept {
+        return faults_ ? &*faults_ : nullptr;
+    }
+    const LinkTester* link_tester() const noexcept {
+        return link_tester_ ? &*link_tester_ : nullptr;
+    }
+    const AgingTracker& aging() const noexcept { return aging_; }
+    const TestSuite& suite() const noexcept { return suite_; }
+    const TestScheduler& scheduler() const noexcept { return *scheduler_; }
+    const Mapper& mapper() const noexcept { return *mapper_; }
+    int tests_running() const noexcept { return tests_running_; }
+
+private:
+    // --- lifecycle of one application ---
+    struct AppRun {
+        explicit AppRun(ApplicationSpec s) : spec(std::move(s)) {}
+
+        ApplicationSpec spec;
+        bool done = false;
+        bool corrupted = false;  ///< any task or message silently corrupted
+        std::vector<CoreId> task_core;         ///< core of task i
+        std::vector<std::uint32_t> waiting;    ///< undelivered preds of task i
+        std::size_t tasks_done = 0;
+    };
+
+    /// Execution state of the task currently on a core.
+    struct CoreExec {
+        bool active = false;
+        std::size_t app_index = 0;
+        TaskIndex task = 0;
+        double remaining_cycles = 0.0;
+        SimTime last_progress = 0;
+        EventId completion{};
+    };
+
+    /// State of a test session running on a core. In segmented mode the
+    /// suite position lives in test_progress_ (it persists across aborted
+    /// sessions).
+    struct TestExec {
+        bool active = false;
+        int vf_level = 0;
+        EventId completion{};
+    };
+
+    void prepare(SimDuration horizon);
+    RunMetrics finalize();
+
+    void on_arrival(std::size_t app_index);
+    void try_map_pending();
+    void commit_mapping(std::size_t app_index, const MappingResult& result);
+    PlatformView build_view();
+    void refresh_criticality();
+
+    void start_task(std::size_t app_index, TaskIndex task);
+    void on_task_complete(CoreId core);
+    void deliver_edge(std::size_t app_index, TaskIndex dst);
+    void release_app(std::size_t app_index);
+    void on_vf_change(CoreId core, int old_level, int new_level);
+
+    void test_epoch_fn();
+    void schedule_link_tests(SimTime now);
+    void on_link_test_complete(LinkId link);
+    void start_test_session(CoreId core, int vf_level);
+    void on_test_complete(CoreId core);
+    void on_routine_complete(CoreId core);
+    void abort_test(CoreId core);
+    /// Remembers per-core suite progress across aborted segmented sessions.
+    std::vector<std::size_t> test_progress_;
+
+    void power_epoch_fn();
+    void thermal_epoch_fn();
+    void wear_epoch_fn();
+    void trace_epoch_fn();
+    void accumulate_energy(SimTime now);
+    double core_power_now(const Core& core) const;
+    /// NoC static power plus in-flight link-test power.
+    double noc_power_w() const;
+
+    SystemConfig cfg_;
+    Simulator sim_;
+    Chip chip_;
+    Network noc_;
+    TestSuite suite_;
+    PowerModel power_model_;
+    PowerBudget budget_;
+    PowerManager power_mgr_;
+    ThermalModel thermal_;
+    AgingTracker aging_;
+    CriticalityEvaluator crit_eval_;
+    std::optional<FaultInjector> faults_;
+    std::optional<LinkTester> link_tester_;
+    std::vector<SimTime> last_link_test_;
+    std::vector<std::uint8_t> link_test_active_;
+    int link_tests_running_ = 0;
+    std::unique_ptr<Mapper> mapper_;
+    std::unique_ptr<TestScheduler> scheduler_;
+    IdlePredictor idle_predictor_;
+    Rng map_rng_;
+
+    std::vector<AppRun> apps_;
+    /// One FIFO admission queue per QoS class; higher classes are served
+    /// first each mapping round (work-conserving: a blocked high-class head
+    /// does not stall lower classes).
+    std::array<std::deque<std::size_t>, kQosClassCount> pending_;
+    std::size_t pending_total_ = 0;
+    std::vector<CoreExec> core_exec_;
+    std::vector<TestExec> test_exec_;
+    int tests_running_ = 0;
+    bool ran_ = false;
+    bool mapping_in_progress_ = false;
+    bool priority_blind_ = false;
+
+    // scratch buffers (reused across periodic epochs)
+    std::vector<double> power_buf_;
+    std::vector<double> accel_buf_;
+    std::vector<std::uint8_t> alloc_buf_;
+    std::vector<std::uint8_t> testing_buf_;
+    std::vector<double> util_buf_;
+    std::vector<double> crit_buf_;
+
+    // metrics accumulators
+    RunMetrics metrics_;
+    std::vector<SimTime> last_test_done_;
+    std::vector<SimTime> last_test_abort_;
+    std::uint64_t state_samples_ = 0;
+    std::uint64_t dark_samples_ = 0;
+    std::uint64_t testing_samples_ = 0;
+    std::uint64_t reserved_samples_ = 0;
+    SimTime energy_clock_ = 0;
+    double link_test_energy_j_ = 0.0;
+    double peak_temp_c_ = 0.0;
+    TraceSink trace_sink_;
+};
+
+/// Convenience: translate a target *occupancy* (fraction of core-time
+/// reserved by mapped applications) into an arrival rate, accounting for
+/// the reservation inflation of dependency stalls inside task graphs.
+double rate_for_occupancy(double target_occupancy,
+                          const TaskGraphGenParams& graphs,
+                          double chip_cycles_per_s,
+                          std::uint64_t seed = 1);
+
+}  // namespace mcs

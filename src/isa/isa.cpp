@@ -1,0 +1,259 @@
+#include "isa/isa.hpp"
+
+#include <array>
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+const char* to_string(Opcode op) {
+    switch (op) {
+        case Opcode::Add: return "add";
+        case Opcode::Sub: return "sub";
+        case Opcode::And: return "and";
+        case Opcode::Or: return "or";
+        case Opcode::Xor: return "xor";
+        case Opcode::Shl: return "shl";
+        case Opcode::Shr: return "shr";
+        case Opcode::AddI: return "addi";
+        case Opcode::Mul: return "mul";
+        case Opcode::MulH: return "mulh";
+        case Opcode::Div: return "div";
+        case Opcode::Rem: return "rem";
+        case Opcode::Lw: return "lw";
+        case Opcode::Sw: return "sw";
+        case Opcode::Beq: return "beq";
+        case Opcode::Bne: return "bne";
+        case Opcode::Blt: return "blt";
+        case Opcode::Jmp: return "jmp";
+        case Opcode::Lui: return "lui";
+        case Opcode::Halt: return "halt";
+    }
+    return "?";
+}
+
+FunctionalUnit unit_of(Opcode op) {
+    switch (op) {
+        case Opcode::Add:
+        case Opcode::Sub:
+        case Opcode::And:
+        case Opcode::Or:
+        case Opcode::Xor:
+        case Opcode::Shl:
+        case Opcode::Shr:
+        case Opcode::AddI:
+            return FunctionalUnit::Alu;
+        case Opcode::Mul:
+        case Opcode::MulH:
+        case Opcode::Div:
+        case Opcode::Rem:
+            return FunctionalUnit::Fpu;
+        case Opcode::Lw:
+        case Opcode::Sw:
+            return FunctionalUnit::Lsu;
+        case Opcode::Beq:
+        case Opcode::Bne:
+        case Opcode::Blt:
+        case Opcode::Jmp:
+            return FunctionalUnit::BranchUnit;
+        case Opcode::Lui:
+            return FunctionalUnit::RegisterFile;
+        case Opcode::Halt:
+            return FunctionalUnit::FetchDecode;
+    }
+    return FunctionalUnit::FetchDecode;
+}
+
+namespace {
+
+std::uint32_t force_bit(std::uint32_t value, std::uint8_t bit,
+                        bool stuck_one) {
+    const std::uint32_t mask = 1u << (bit & 31u);
+    return stuck_one ? (value | mask) : (value & ~mask);
+}
+
+// Idealized MISR: a nonlinear chained mixer (splitmix64 finalizer) instead
+// of a linear LFSR. Hardware MISRs are linear but engineered for negligible
+// aliasing; a linear software fold over highly regular march loops aliases
+// *structurally* (identical fault deltas cancel pairwise), so we use the
+// nonlinear chain to model the negligible-aliasing property itself.
+std::uint64_t misr(std::uint64_t sig, std::uint64_t value) {
+    std::uint64_t x = sig ^ (value + 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+}  // namespace
+
+ExecResult CoreModel::run(const Program& program, std::uint64_t max_steps) {
+    return execute(program, nullptr, max_steps);
+}
+
+ExecResult CoreModel::run_with_fault(const Program& program,
+                                     const FaultSite& fault,
+                                     std::uint64_t max_steps) {
+    return execute(program, &fault, max_steps);
+}
+
+ExecResult CoreModel::execute(const Program& program, const FaultSite* fault,
+                              std::uint64_t max_steps) {
+    MCS_REQUIRE(!program.code.empty(), "empty program");
+    std::array<std::uint32_t, kRegCount> regs{};
+    std::array<std::uint32_t, kScratchpadWords> mem{};
+    ExecResult result;
+    std::uint64_t pc = 0;
+
+    auto read_reg = [&](std::uint8_t r) -> std::uint32_t {
+        const std::uint8_t idx = r & 15u;
+        std::uint32_t v = idx == 0 ? 0u : regs[idx];
+        if (fault && fault->unit == FunctionalUnit::RegisterFile &&
+            fault->index == idx) {
+            v = force_bit(v, fault->bit, fault->stuck_one);
+        }
+        return v;
+    };
+    auto write_reg = [&](std::uint8_t r, std::uint32_t v) {
+        const std::uint8_t idx = r & 15u;
+        if (idx != 0) {
+            regs[idx] = v;
+        }
+        result.signature = misr(result.signature, v);
+    };
+    auto alu_out = [&](FunctionalUnit unit, std::uint32_t v) {
+        if (fault && fault->unit == unit &&
+            (unit == FunctionalUnit::Alu || unit == FunctionalUnit::Fpu)) {
+            v = force_bit(v, fault->bit, fault->stuck_one);
+        }
+        return v;
+    };
+    auto branch_decision = [&](bool taken) {
+        if (fault && fault->unit == FunctionalUnit::BranchUnit) {
+            taken = fault->stuck_one;
+        }
+        result.signature = misr(result.signature, taken ? 0x1b : 0x2c);
+        return taken;
+    };
+
+    while (pc < program.code.size() && result.retired < max_steps) {
+        Instr ins = program.code[pc];
+        // Fetch/decode fault: the faulty opcode decodes as its neighbour in
+        // the opcode table (deterministic mis-decode).
+        if (fault && fault->unit == FunctionalUnit::FetchDecode &&
+            static_cast<std::uint8_t>(ins.op) == fault->index) {
+            ins.op = static_cast<Opcode>(
+                (fault->index + 1 + fault->bit) % kOpcodeCount);
+        }
+        ++result.retired;
+        std::uint64_t next_pc = pc + 1;
+        const std::uint32_t a = read_reg(ins.rs1);
+        const std::uint32_t b = read_reg(ins.rs2);
+        const auto imm = static_cast<std::uint32_t>(ins.imm);
+        switch (ins.op) {
+            case Opcode::Add:
+                write_reg(ins.rd, alu_out(FunctionalUnit::Alu, a + b));
+                break;
+            case Opcode::Sub:
+                write_reg(ins.rd, alu_out(FunctionalUnit::Alu, a - b));
+                break;
+            case Opcode::And:
+                write_reg(ins.rd, alu_out(FunctionalUnit::Alu, a & b));
+                break;
+            case Opcode::Or:
+                write_reg(ins.rd, alu_out(FunctionalUnit::Alu, a | b));
+                break;
+            case Opcode::Xor:
+                write_reg(ins.rd, alu_out(FunctionalUnit::Alu, a ^ b));
+                break;
+            case Opcode::Shl:
+                write_reg(ins.rd,
+                          alu_out(FunctionalUnit::Alu, a << (b & 31u)));
+                break;
+            case Opcode::Shr:
+                write_reg(ins.rd,
+                          alu_out(FunctionalUnit::Alu, a >> (b & 31u)));
+                break;
+            case Opcode::AddI:
+                write_reg(ins.rd, alu_out(FunctionalUnit::Alu, a + imm));
+                break;
+            case Opcode::Mul:
+                write_reg(ins.rd, alu_out(FunctionalUnit::Fpu, a * b));
+                break;
+            case Opcode::MulH:
+                write_reg(
+                    ins.rd,
+                    alu_out(FunctionalUnit::Fpu,
+                            static_cast<std::uint32_t>(
+                                (static_cast<std::uint64_t>(a) * b) >> 32)));
+                break;
+            case Opcode::Div:
+                write_reg(ins.rd,
+                          alu_out(FunctionalUnit::Fpu,
+                                  b == 0 ? 0xffffffffu : a / b));
+                break;
+            case Opcode::Rem:
+                write_reg(ins.rd,
+                          alu_out(FunctionalUnit::Fpu, b == 0 ? a : a % b));
+                break;
+            case Opcode::Lw: {
+                const std::size_t addr =
+                    (a + imm) % kScratchpadWords;
+                std::uint32_t v = mem[addr];
+                if (fault && fault->unit == FunctionalUnit::Lsu) {
+                    v = force_bit(v, fault->bit, fault->stuck_one);
+                }
+                write_reg(ins.rd, v);
+                break;
+            }
+            case Opcode::Sw: {
+                const std::size_t addr =
+                    (a + imm) % kScratchpadWords;
+                mem[addr] = b;
+                result.signature = misr(result.signature, b + addr);
+                break;
+            }
+            case Opcode::Beq:
+                if (branch_decision(a == b)) {
+                    next_pc = pc + static_cast<std::int64_t>(ins.imm);
+                }
+                break;
+            case Opcode::Bne:
+                if (branch_decision(a != b)) {
+                    next_pc = pc + static_cast<std::int64_t>(ins.imm);
+                }
+                break;
+            case Opcode::Blt:
+                if (branch_decision(static_cast<std::int32_t>(a) <
+                                    static_cast<std::int32_t>(b))) {
+                    next_pc = pc + static_cast<std::int64_t>(ins.imm);
+                }
+                break;
+            case Opcode::Jmp:
+                next_pc = pc + static_cast<std::int64_t>(ins.imm);
+                break;
+            case Opcode::Lui:
+                write_reg(ins.rd, imm << 12);
+                break;
+            case Opcode::Halt:
+                pc = program.code.size();
+                continue;
+        }
+        if (next_pc > program.code.size()) {
+            // A fault-free program must never wander out of bounds; a
+            // mis-decoded one may -- model that as a (detectable) hang.
+            MCS_REQUIRE(fault != nullptr, "program jumped out of bounds");
+            break;
+        }
+        pc = next_pc;
+    }
+    result.hit_step_limit = result.retired >= max_steps;
+    // Fold the retirement count in so truncated or looping (faulty)
+    // executions produce a different signature even without data writes.
+    result.signature = misr(result.signature, result.retired ^ 0xdeadbeefULL);
+    return result;
+}
+
+}  // namespace mcs

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sbst/test_suite.hpp"
+
+namespace mcs {
+
+/// Miniature RISC instruction set used to *execute* SBST routines instead
+/// of assuming their coverage. Each opcode is served by one functional unit
+/// (the same units the fault model knows), so a structural fault in a unit
+/// corrupts exactly the instructions that exercise it.
+enum class Opcode : std::uint8_t {
+    // ALU
+    Add, Sub, And, Or, Xor, Shl, Shr, AddI,
+    // Multiply/divide unit (the chip's "FPU" slot)
+    Mul, MulH, Div, Rem,
+    // Load/store unit (indexed scratchpad)
+    Lw, Sw,
+    // Branch unit (relative offsets)
+    Beq, Bne, Blt, Jmp,
+    // Register file / immediate material
+    Lui,
+    // End of program
+    Halt,
+};
+inline constexpr std::size_t kOpcodeCount = 20;
+
+const char* to_string(Opcode op);
+
+/// The functional unit that executes an opcode.
+FunctionalUnit unit_of(Opcode op);
+
+/// One instruction. Register file: 16 x 32-bit (r0 hardwired to zero).
+struct Instr {
+    Opcode op = Opcode::Halt;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::int32_t imm = 0;
+};
+
+/// A program plus metadata; programs are position-indexed (pc = index).
+struct Program {
+    std::string name;
+    FunctionalUnit target = FunctionalUnit::Alu;
+    std::vector<Instr> code;
+};
+
+inline constexpr int kRegCount = 16;
+inline constexpr std::size_t kScratchpadWords = 256;
+
+/// A structural fault site inside one functional unit of the core model.
+/// `index`/`bit` are interpreted per unit:
+///   Alu/Fpu:        result bit `bit` stuck at `stuck_one`
+///   Lsu:            loaded-data bit `bit` stuck
+///   RegisterFile:   reads of register `index` have bit `bit` stuck
+///   BranchUnit:     branch decision stuck at `stuck_one` (taken/not-taken)
+///   FetchDecode:    opcode `index` decodes as a different opcode
+struct FaultSite {
+    FunctionalUnit unit = FunctionalUnit::Alu;
+    std::uint8_t index = 0;
+    std::uint8_t bit = 0;
+    bool stuck_one = false;
+};
+
+/// Outcome of executing a program.
+struct ExecResult {
+    std::uint64_t signature = 0;   ///< MISR over retired results
+    std::uint64_t retired = 0;     ///< instructions executed
+    bool hit_step_limit = false;
+};
+
+/// Functional core model: interprets Programs, optionally with one injected
+/// structural fault, and compacts all observable behaviour into a MISR
+/// signature (exactly what software-based self-test does on real cores).
+class CoreModel {
+public:
+    CoreModel() = default;
+
+    /// Runs `program` from a cold state (zeroed registers/memory).
+    ExecResult run(const Program& program,
+                   std::uint64_t max_steps = 1'000'000);
+
+    /// Runs with a fault injected.
+    ExecResult run_with_fault(const Program& program, const FaultSite& fault,
+                              std::uint64_t max_steps = 1'000'000);
+
+private:
+    ExecResult execute(const Program& program, const FaultSite* fault,
+                       std::uint64_t max_steps);
+};
+
+}  // namespace mcs

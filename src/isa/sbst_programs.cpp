@@ -1,0 +1,336 @@
+#include "isa/sbst_programs.hpp"
+
+#include <array>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+class Assembler {
+public:
+    explicit Assembler(std::string name, FunctionalUnit target) {
+        program_.name = std::move(name);
+        program_.target = target;
+    }
+
+    void emit(Opcode op, int rd = 0, int rs1 = 0, int rs2 = 0,
+              std::int32_t imm = 0) {
+        program_.code.push_back(Instr{op, static_cast<std::uint8_t>(rd),
+                                      static_cast<std::uint8_t>(rs1),
+                                      static_cast<std::uint8_t>(rs2), imm});
+    }
+
+    /// Materializes a full 32-bit constant into a register (Lui + AddI).
+    void load_const(int rd, std::uint32_t value) {
+        const auto hi = static_cast<std::int32_t>(value >> 12);
+        const auto lo = static_cast<std::int32_t>(value & 0xfffu);
+        emit(Opcode::Lui, rd, 0, 0, hi);
+        emit(Opcode::AddI, rd, rd, 0, lo);
+    }
+
+    Program take() {
+        program_.code.push_back(Instr{Opcode::Halt, 0, 0, 0, 0});
+        return std::move(program_);
+    }
+
+private:
+    Program program_;
+};
+
+constexpr std::array<std::uint32_t, 8> kPatterns{
+    0x00000000u, 0xffffffffu, 0xaaaaaaaau, 0x55555555u,
+    0x0f0f0f0fu, 0xf0f0f0f0u, 0x00ff00ffu, 0xdeadbeefu,
+};
+
+// March-style register file test: write a pattern and its complement to
+// every register, reading each back through an accumulating XOR.
+Program build_regfile_march() {
+    Assembler a("regfile_march", FunctionalUnit::RegisterFile);
+    for (std::uint32_t pattern : {0xaaaaaaaau, 0x55555555u, 0xffffffffu,
+                                  0x00000001u}) {
+        // Ascending write phase (r2..r15; r1 is the accumulator).
+        for (int r = 2; r < kRegCount; ++r) {
+            a.load_const(r, pattern + static_cast<std::uint32_t>(r));
+        }
+        // Descending read phase.
+        for (int r = kRegCount - 1; r >= 2; --r) {
+            a.emit(Opcode::Xor, 1, 1, r);
+        }
+        // Read-after-copy phase: move values between registers.
+        for (int r = 2; r + 1 < kRegCount; ++r) {
+            a.emit(Opcode::Add, r + 1, r, 0);
+            a.emit(Opcode::Xor, 1, 1, r + 1);
+        }
+    }
+    return a.take();
+}
+
+// Walking-ones / pattern sweep through every ALU operation.
+Program build_alu_march() {
+    Assembler a("alu_march", FunctionalUnit::Alu);
+    for (std::uint32_t pattern : kPatterns) {
+        a.load_const(2, pattern);
+        a.load_const(3, ~pattern);
+        for (Opcode op : {Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Or,
+                          Opcode::Xor}) {
+            a.emit(op, 4, 2, 3);
+            a.emit(Opcode::Xor, 1, 1, 4);
+            a.emit(op, 4, 3, 2);
+            a.emit(Opcode::Xor, 1, 1, 4);
+        }
+    }
+    // Walking-one shifts: exercise every bit lane of the shifter.
+    a.load_const(2, 1);
+    for (int s = 0; s < 32; ++s) {
+        a.emit(Opcode::AddI, 3, 0, 0, s);
+        a.emit(Opcode::Shl, 4, 2, 3);
+        a.emit(Opcode::Xor, 1, 1, 4);
+        a.load_const(5, 0x80000000u);
+        a.emit(Opcode::Shr, 4, 5, 3);
+        a.emit(Opcode::Xor, 1, 1, 4);
+    }
+    return a.take();
+}
+
+// Multiplier/divider corner cases (the chip's arithmetic "FPU" slot).
+Program build_fpu_patterns() {
+    Assembler a("fpu_patterns", FunctionalUnit::Fpu);
+    constexpr std::array<std::uint32_t, 6> operands{
+        0u, 1u, 3u, 0x7fffffffu, 0x80000001u, 0xfffffffbu};
+    for (std::uint32_t x : operands) {
+        for (std::uint32_t y : operands) {
+            a.load_const(2, x);
+            a.load_const(3, y);
+            for (Opcode op : {Opcode::Mul, Opcode::MulH, Opcode::Div,
+                              Opcode::Rem}) {
+                a.emit(op, 4, 2, 3);
+                a.emit(Opcode::Xor, 1, 1, 4);
+            }
+        }
+    }
+    // Walking-one multiplications hit every partial-product lane.
+    for (int s = 0; s < 32; ++s) {
+        a.load_const(2, 1u << s);
+        a.load_const(3, 0x10001u);
+        a.emit(Opcode::Mul, 4, 2, 3);
+        a.emit(Opcode::MulH, 5, 2, 3);
+        a.emit(Opcode::Xor, 1, 1, 4);
+        a.emit(Opcode::Xor, 1, 1, 5);
+    }
+    return a.take();
+}
+
+// Scratchpad march: write/read with multiple strides and complements.
+Program build_lsu_stride() {
+    Assembler a("lsu_stride", FunctionalUnit::Lsu);
+    for (std::uint32_t pattern : {0xaaaaaaaau, 0x55555555u, 0x00ff00ffu}) {
+        a.load_const(2, pattern);
+        a.emit(Opcode::Xor, 3, 2, 2);  // r3 = 0 (address base)
+        for (int stride : {1, 3, 7}) {
+            for (int i = 0; i < 16; ++i) {
+                const std::int32_t addr = i * stride;
+                a.emit(Opcode::Sw, 0, 0, 2, addr);
+                a.emit(Opcode::Lw, 4, 0, 0, addr);
+                a.emit(Opcode::Xor, 1, 1, 4);
+                // Complement in place, re-read (march element).
+                a.load_const(5, ~pattern);
+                a.emit(Opcode::Sw, 0, 0, 5, addr);
+                a.emit(Opcode::Lw, 4, 0, 0, addr);
+                a.emit(Opcode::Xor, 1, 1, 4);
+            }
+        }
+    }
+    return a.take();
+}
+
+// Branch ladder: alternating taken and not-taken branches of every kind;
+// each side of every branch perturbs the accumulator differently.
+Program build_branch_storm() {
+    Assembler a("branch_storm", FunctionalUnit::BranchUnit);
+    a.emit(Opcode::AddI, 2, 0, 0, 5);
+    a.emit(Opcode::AddI, 3, 0, 0, 9);
+    for (int round = 0; round < 24; ++round) {
+        const bool expect_taken = round % 2 == 0;
+        const Opcode op = round % 3 == 0   ? Opcode::Beq
+                          : round % 3 == 1 ? Opcode::Bne
+                                           : Opcode::Blt;
+        // Choose operands so the branch resolves as `expect_taken`.
+        //   Beq taken: r2==r2; not-taken: r2!=r3
+        //   Bne taken: r2!=r3; not-taken: r2==r2
+        //   Blt taken: r2<r3;  not-taken: r3<r2
+        int rs1 = 2, rs2 = 3;
+        if (op == Opcode::Beq) {
+            rs2 = expect_taken ? 2 : 3;
+        } else if (op == Opcode::Bne) {
+            rs2 = expect_taken ? 3 : 2;
+        } else {
+            rs1 = expect_taken ? 2 : 3;
+            rs2 = expect_taken ? 3 : 2;
+        }
+        a.emit(op, 0, rs1, rs2, 3);              // skip 2 instrs when taken
+        a.emit(Opcode::AddI, 1, 1, 0, 17 + round);   // fall-through path
+        a.emit(Opcode::Jmp, 0, 0, 0, 2);
+        a.emit(Opcode::Xor, 1, 1, 2);            // taken path
+    }
+    return a.take();
+}
+
+// Every opcode at least once with observable operands: a decode fault on
+// any instruction class perturbs the signature.
+Program build_ifd_sweep() {
+    Assembler a("ifd_sweep", FunctionalUnit::FetchDecode);
+    for (int round = 0; round < 4; ++round) {
+        const std::uint32_t pattern = kPatterns[static_cast<std::size_t>(
+            round * 2 + 1)];
+        a.load_const(2, pattern);
+        a.load_const(3, 0x1234567u + static_cast<std::uint32_t>(round));
+        a.emit(Opcode::Add, 4, 2, 3);
+        a.emit(Opcode::Sub, 5, 2, 3);
+        a.emit(Opcode::And, 6, 2, 3);
+        a.emit(Opcode::Or, 7, 2, 3);
+        a.emit(Opcode::Xor, 8, 2, 3);
+        a.emit(Opcode::AddI, 9, 2, 0, 77);
+        a.emit(Opcode::Shl, 10, 2, 9);
+        a.emit(Opcode::Shr, 11, 2, 9);
+        a.emit(Opcode::Mul, 12, 2, 3);
+        a.emit(Opcode::MulH, 13, 2, 3);
+        a.emit(Opcode::Div, 14, 2, 3);
+        a.emit(Opcode::Rem, 15, 2, 3);
+        a.emit(Opcode::Sw, 0, 0, 12, 8 + round);
+        a.emit(Opcode::Lw, 4, 0, 0, 8 + round);
+        a.emit(Opcode::Xor, 1, 1, 4);
+        a.emit(Opcode::Beq, 0, 2, 2, 2);   // taken
+        a.emit(Opcode::AddI, 1, 1, 0, 3);  // skipped
+        a.emit(Opcode::Bne, 0, 2, 2, 2);   // not taken
+        a.emit(Opcode::Xor, 1, 1, 12);     // executed
+        a.emit(Opcode::Blt, 0, 3, 2, 2);   // depends on patterns
+        a.emit(Opcode::Xor, 1, 1, 13);
+        a.emit(Opcode::Jmp, 0, 0, 0, 2);
+        a.emit(Opcode::AddI, 1, 1, 0, 1);  // skipped by Jmp
+        a.emit(Opcode::Xor, 1, 1, 5);
+        a.emit(Opcode::Xor, 1, 1, 6);
+        a.emit(Opcode::Xor, 1, 1, 7);
+        a.emit(Opcode::Xor, 1, 1, 8);
+        a.emit(Opcode::Xor, 1, 1, 10);
+        a.emit(Opcode::Xor, 1, 1, 11);
+        a.emit(Opcode::Xor, 1, 1, 14);
+        a.emit(Opcode::Xor, 1, 1, 15);
+    }
+    return a.take();
+}
+
+}  // namespace
+
+SbstLibrary::SbstLibrary() {
+    programs_.push_back(build_alu_march());
+    programs_.push_back(build_fpu_patterns());
+    programs_.push_back(build_lsu_stride());
+    programs_.push_back(build_ifd_sweep());
+    programs_.push_back(build_regfile_march());
+    programs_.push_back(build_branch_storm());
+}
+
+const Program& SbstLibrary::program_for(FunctionalUnit unit) const {
+    for (const Program& p : programs_) {
+        if (p.target == unit) {
+            return p;
+        }
+    }
+    MCS_REQUIRE(false, "no program targets this unit");
+    return programs_.front();  // unreachable
+}
+
+std::uint64_t SbstLibrary::golden_signature(const Program& program) const {
+    CoreModel core;
+    const ExecResult r = core.run(program);
+    MCS_REQUIRE(!r.hit_step_limit, "golden run hit the step limit");
+    return r.signature;
+}
+
+std::vector<FaultSite> SbstLibrary::fault_sites(FunctionalUnit unit) {
+    std::vector<FaultSite> sites;
+    auto add = [&](std::uint8_t index, std::uint8_t bit) {
+        sites.push_back(FaultSite{unit, index, bit, false});
+        sites.push_back(FaultSite{unit, index, bit, true});
+    };
+    switch (unit) {
+        case FunctionalUnit::Alu:
+        case FunctionalUnit::Fpu:
+        case FunctionalUnit::Lsu:
+            for (std::uint8_t bit = 0; bit < 32; ++bit) {
+                add(0, bit);
+            }
+            break;
+        case FunctionalUnit::RegisterFile:
+            for (std::uint8_t reg = 0; reg < kRegCount; ++reg) {
+                for (std::uint8_t bit = 0; bit < 32; bit += 5) {
+                    add(reg, bit);
+                }
+            }
+            break;
+        case FunctionalUnit::BranchUnit:
+            add(0, 0);
+            break;
+        case FunctionalUnit::FetchDecode:
+            for (std::uint8_t op = 0; op < kOpcodeCount; ++op) {
+                for (std::uint8_t bit = 0; bit < 3; ++bit) {
+                    add(op, bit);
+                }
+            }
+            break;
+    }
+    return sites;
+}
+
+double SbstLibrary::measure_coverage(const Program& program,
+                                     FunctionalUnit unit) const {
+    const std::uint64_t golden = golden_signature(program);
+    const auto sites = fault_sites(unit);
+    MCS_REQUIRE(!sites.empty(), "unit has no fault sites");
+    CoreModel core;
+    std::size_t detected = 0;
+    for (const FaultSite& site : sites) {
+        const ExecResult r = core.run_with_fault(program, site);
+        if (r.signature != golden) {
+            ++detected;
+        }
+    }
+    return static_cast<double>(detected) / static_cast<double>(sites.size());
+}
+
+std::vector<std::vector<double>> SbstLibrary::coverage_matrix() const {
+    std::vector<std::vector<double>> matrix;
+    matrix.reserve(programs_.size());
+    for (const Program& p : programs_) {
+        std::vector<double> row;
+        row.reserve(kFunctionalUnitCount);
+        for (std::size_t u = 0; u < kFunctionalUnitCount; ++u) {
+            row.push_back(
+                measure_coverage(p, static_cast<FunctionalUnit>(u)));
+        }
+        matrix.push_back(std::move(row));
+    }
+    return matrix;
+}
+
+TestSuite SbstLibrary::measured_suite(double cycles_per_instr,
+                                      std::uint64_t repeats) const {
+    MCS_REQUIRE(cycles_per_instr > 0.0, "CPI must be positive");
+    MCS_REQUIRE(repeats > 0, "repeats must be positive");
+    std::vector<TestRoutine> routines;
+    for (const Program& p : programs_) {
+        TestRoutine r;
+        r.unit = p.target;
+        r.name = p.name;
+        r.cycles = static_cast<std::uint64_t>(
+            cycles_per_instr * static_cast<double>(p.code.size())) * repeats;
+        r.coverage = measure_coverage(p, p.target);
+        // SBST kernels toggle their target unit far above workload level.
+        r.activity = 1.3;
+        routines.push_back(std::move(r));
+    }
+    return TestSuite(std::move(routines));
+}
+
+}  // namespace mcs

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+
+#include "isa/isa.hpp"
+#include "util/rng.hpp"
+
+namespace mcs {
+
+/// The executable SBST library: one hand-constructed program per functional
+/// unit, mirroring classic SBST structure (march patterns through the
+/// register file and scratchpad, walking-ones through the ALU, arithmetic
+/// corner cases through the multiplier/divider, a branch ladder, and an
+/// every-opcode sweep for fetch/decode).
+class SbstLibrary {
+public:
+    SbstLibrary();
+
+    std::span<const Program> programs() const noexcept { return programs_; }
+    const Program& program_for(FunctionalUnit unit) const;
+
+    /// Fault-free reference signature of a program.
+    std::uint64_t golden_signature(const Program& program) const;
+
+    /// All structural fault sites of a unit that coverage is measured over.
+    static std::vector<FaultSite> fault_sites(FunctionalUnit unit);
+
+    /// Fraction of `unit`'s fault sites whose injection changes the
+    /// signature of `program` (i.e. measured stuck-at coverage).
+    double measure_coverage(const Program& program,
+                            FunctionalUnit unit) const;
+
+    /// Full routine x unit coverage matrix (cross-coverage included: e.g.
+    /// the LSU march also exercises the ALU through address arithmetic).
+    /// matrix[p][u] = coverage of programs()[p] over unit u.
+    std::vector<std::vector<double>> coverage_matrix() const;
+
+    /// Builds a TestSuite whose per-routine coverage figures are *measured*
+    /// on the core model instead of assumed. Cycle counts scale the
+    /// architectural instruction counts by `cycles_per_instr` (SBST code is
+    /// loop-unrolled and cache-resident, so a small CPI) times `repeats`
+    /// (real suites run each kernel many times).
+    TestSuite measured_suite(double cycles_per_instr = 1.2,
+                             std::uint64_t repeats = 64) const;
+
+private:
+    std::vector<Program> programs_;
+};
+
+}  // namespace mcs

@@ -1,0 +1,232 @@
+#include "mapping/contiguous_mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <queue>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+std::size_t count_allocatable(const PlatformView& view) {
+    std::size_t n = 0;
+    for (bool a : view.allocatable) {
+        if (a) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+int manhattan(const PlatformView& view, CoreId a, CoreId b) {
+    return std::abs(view.x_of(a) - view.x_of(b)) +
+           std::abs(view.y_of(a) - view.y_of(b));
+}
+
+void validate(const MapRequest& request, const PlatformView& view) {
+    MCS_REQUIRE(view.width > 0 && view.height > 0,
+                "platform view has empty dimensions");
+    MCS_REQUIRE(view.allocatable.size() == view.core_count(),
+                "allocatable mask size mismatch");
+    MCS_REQUIRE(view.utilization.empty() ||
+                    view.utilization.size() == view.core_count(),
+                "utilization size mismatch");
+    MCS_REQUIRE(view.criticality.empty() ||
+                    view.criticality.size() == view.core_count(),
+                "criticality size mismatch");
+    MCS_REQUIRE(view.temperature_c.empty() ||
+                    view.temperature_c.size() == view.core_count(),
+                "temperature size mismatch");
+    MCS_REQUIRE(view.testing.empty() ||
+                    view.testing.size() == view.core_count(),
+                "testing mask size mismatch");
+    MCS_REQUIRE(request.core_count > 0, "mapping request for zero cores");
+}
+
+}  // namespace
+
+double mapping_dispersion(const PlatformView& view,
+                          std::span<const CoreId> cores) {
+    if (cores.size() < 2) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        for (std::size_t j = i + 1; j < cores.size(); ++j) {
+            sum += manhattan(view, cores[i], cores[j]);
+            ++pairs;
+        }
+    }
+    return sum / static_cast<double>(pairs);
+}
+
+ContiguousMapper::ContiguousMapper(std::string name, MappingWeights weights)
+    : name_(std::move(name)), weights_(weights) {}
+
+double ContiguousMapper::first_node_score(const PlatformView& view,
+                                          CoreId candidate,
+                                          int radius) const {
+    const int cx = view.x_of(candidate);
+    const int cy = view.y_of(candidate);
+    int free_count = 0;
+    int cells = 0;
+    double util_sum = 0.0;
+    double crit_sum = 0.0;
+    double temp_sum = 0.0;
+    for (int y = cy - radius; y <= cy + radius; ++y) {
+        for (int x = cx - radius; x <= cx + radius; ++x) {
+            if (x < 0 || x >= view.width || y < 0 || y >= view.height) {
+                continue;
+            }
+            const auto id =
+                static_cast<std::size_t>(y * view.width + x);
+            ++cells;
+            if (view.allocatable[id]) {
+                ++free_count;
+            }
+            if (!view.utilization.empty()) {
+                util_sum += view.utilization[id];
+            }
+            if (!view.criticality.empty()) {
+                crit_sum += view.criticality[id];
+            }
+            if (!view.temperature_c.empty()) {
+                temp_sum += std::max(
+                    0.0, (view.temperature_c[id] - weights_.temp_ref_c) /
+                             weights_.temp_scale_c);
+            }
+        }
+    }
+    if (cells == 0) {
+        return 0.0;
+    }
+    const double contiguity =
+        static_cast<double>(free_count) / static_cast<double>(cells);
+    const double avg_util = util_sum / static_cast<double>(cells);
+    const double avg_crit = crit_sum / static_cast<double>(cells);
+    const double avg_temp = temp_sum / static_cast<double>(cells);
+    return weights_.w_contiguity * contiguity -
+           weights_.w_utilization * avg_util -
+           weights_.w_criticality * avg_crit -
+           weights_.w_temperature * avg_temp;
+}
+
+std::optional<MappingResult> ContiguousMapper::map(const MapRequest& request,
+                                                   const PlatformView& view,
+                                                   Rng&) {
+    validate(request, view);
+    if (count_allocatable(view) < request.core_count) {
+        return std::nullopt;
+    }
+
+    // First-node selection: the square that must host the region has side
+    // ceil(sqrt(n)); score candidates by weighted contiguity within radius
+    // ceil(side/2).
+    const int side = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(request.core_count))));
+    const int radius = (side + 1) / 2;
+    CoreId best = kInvalidCore;
+    double best_score = -1e300;
+    for (std::size_t id = 0; id < view.core_count(); ++id) {
+        if (!view.allocatable[id]) {
+            continue;
+        }
+        const double score =
+            first_node_score(view, static_cast<CoreId>(id), radius);
+        if (score > best_score) {
+            best_score = score;
+            best = static_cast<CoreId>(id);
+        }
+    }
+    MCS_REQUIRE(best != kInvalidCore, "no allocatable first node");
+
+    // Region growth: repeatedly take the allocatable core nearest to the
+    // first node (ties: lower criticality, then lower id). This is CoNA-
+    // style nearest-neighbour growth; the criticality tie-break and the
+    // distance penalty on cores whose test a claim would abort are the
+    // test-aware refinements.
+    const bool test_aware = weights_.w_criticality > 0.0;
+    // Penalty in hops for claiming a core that is mid-test: effectively
+    // "anywhere else first" on a mesh whose diameter is width+height.
+    const int kTestingPenaltyHops = view.width + view.height;
+    MappingResult result;
+    result.first_node = best;
+    std::vector<bool> taken(view.core_count(), false);
+    result.cores.push_back(best);
+    taken[best] = true;
+    while (result.cores.size() < request.core_count) {
+        CoreId pick = kInvalidCore;
+        int pick_dist = 0;
+        double pick_crit = 0.0;
+        for (std::size_t id = 0; id < view.core_count(); ++id) {
+            if (!view.allocatable[id] || taken[id]) {
+                continue;
+            }
+            int dist = manhattan(view, best, static_cast<CoreId>(id));
+            if (test_aware && !view.testing.empty() && view.testing[id]) {
+                dist += kTestingPenaltyHops;
+            }
+            const double crit =
+                view.criticality.empty() ? 0.0 : view.criticality[id];
+            const bool better =
+                pick == kInvalidCore || dist < pick_dist ||
+                (dist == pick_dist && test_aware && crit < pick_crit);
+            if (better) {
+                pick = static_cast<CoreId>(id);
+                pick_dist = dist;
+                pick_crit = crit;
+            }
+        }
+        MCS_REQUIRE(pick != kInvalidCore,
+                    "allocatable count changed during mapping");
+        result.cores.push_back(pick);
+        taken[pick] = true;
+    }
+    return result;
+}
+
+std::optional<MappingResult> RandomMapper::map(const MapRequest& request,
+                                               const PlatformView& view,
+                                               Rng& rng) {
+    validate(request, view);
+    std::vector<CoreId> pool;
+    for (std::size_t id = 0; id < view.core_count(); ++id) {
+        if (view.allocatable[id]) {
+            pool.push_back(static_cast<CoreId>(id));
+        }
+    }
+    if (pool.size() < request.core_count) {
+        return std::nullopt;
+    }
+    rng.shuffle(std::span<CoreId>(pool));
+    MappingResult result;
+    result.cores.assign(pool.begin(),
+                        pool.begin() + static_cast<std::ptrdiff_t>(
+                                           request.core_count));
+    result.first_node = result.cores.front();
+    return result;
+}
+
+std::optional<MappingResult> FirstFitMapper::map(const MapRequest& request,
+                                                 const PlatformView& view,
+                                                 Rng&) {
+    validate(request, view);
+    MappingResult result;
+    for (std::size_t id = 0;
+         id < view.core_count() && result.cores.size() < request.core_count;
+         ++id) {
+        if (view.allocatable[id]) {
+            result.cores.push_back(static_cast<CoreId>(id));
+        }
+    }
+    if (result.cores.size() < request.core_count) {
+        return std::nullopt;
+    }
+    result.first_node = result.cores.front();
+    return result;
+}
+
+}  // namespace mcs

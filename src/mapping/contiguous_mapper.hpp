@@ -1,0 +1,82 @@
+#pragma once
+
+#include "mapping/mapper.hpp"
+
+namespace mcs {
+
+/// Scoring weights for first-node selection. The base contiguity term is
+/// SHiC-style: how many allocatable cores sit inside the square of the
+/// application's size centred on the candidate. The utilization and
+/// criticality terms implement the paper's "utilization-oriented" and
+/// "test-aware" extensions; zero weights recover the plain contiguous
+/// (CoNA-style) baseline.
+struct MappingWeights {
+    double w_contiguity = 1.0;
+    double w_utilization = 0.0;  ///< penalize worn regions (wear leveling)
+    double w_criticality = 0.0;  ///< keep test-critical cores out of regions
+    /// Penalize thermally hot regions (normalized by `temp_scale_c` above
+    /// `temp_ref_c`); spreads heat and lowers leakage.
+    double w_temperature = 0.0;
+    double temp_ref_c = 45.0;
+    double temp_scale_c = 40.0;
+};
+
+/// Contiguous runtime mapper: SHiC-style square-factor first-node selection
+/// followed by nearest-first BFS region growth. With non-zero utilization /
+/// criticality weights it becomes the paper's test-aware utilization-
+/// oriented mapper (TAUM).
+class ContiguousMapper : public Mapper {
+public:
+    ContiguousMapper(std::string name, MappingWeights weights = {});
+
+    std::optional<MappingResult> map(const MapRequest& request,
+                                     const PlatformView& view,
+                                     Rng& rng) override;
+    std::string_view name() const override { return name_; }
+
+    const MappingWeights& weights() const noexcept { return weights_; }
+
+    /// Factory helpers for the configurations the evaluation compares.
+    static ContiguousMapper plain() {
+        return ContiguousMapper("contiguous", MappingWeights{1.0, 0.0, 0.0});
+    }
+    static ContiguousMapper utilization_oriented() {
+        return ContiguousMapper("util-oriented", MappingWeights{1.0, 0.5, 0.0});
+    }
+    static ContiguousMapper test_aware() {
+        return ContiguousMapper("test-aware (TAUM)",
+                                MappingWeights{1.0, 0.4, 0.6});
+    }
+    static ContiguousMapper thermal_aware() {
+        MappingWeights w{1.0, 0.4, 0.6};
+        w.w_temperature = 0.6;
+        return ContiguousMapper("thermal-aware", w);
+    }
+
+private:
+    double first_node_score(const PlatformView& view, CoreId candidate,
+                            int radius) const;
+
+    std::string name_;
+    MappingWeights weights_;
+};
+
+/// Baseline: picks random allocatable cores with no contiguity constraint.
+class RandomMapper : public Mapper {
+public:
+    std::optional<MappingResult> map(const MapRequest& request,
+                                     const PlatformView& view,
+                                     Rng& rng) override;
+    std::string_view name() const override { return "random"; }
+};
+
+/// Baseline: row-major first-fit scan.
+class FirstFitMapper : public Mapper {
+public:
+    std::optional<MappingResult> map(const MapRequest& request,
+                                     const PlatformView& view,
+                                     Rng& rng) override;
+    std::string_view name() const override { return "first-fit"; }
+};
+
+}  // namespace mcs

@@ -1,0 +1,84 @@
+#include "noc/link_test.hpp"
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+LinkTester::LinkTester(std::size_t link_count, NocTestParams params,
+                       std::uint64_t seed)
+    : params_(params), rng_(seed), latent_(link_count) {
+    MCS_REQUIRE(link_count > 0, "link tester needs links");
+    MCS_REQUIRE(params_.fault_rate_per_link_s >= 0.0,
+                "link fault rate must be non-negative");
+    MCS_REQUIRE(params_.test_coverage >= 0.0 && params_.test_coverage <= 1.0,
+                "coverage must be a probability");
+    MCS_REQUIRE(params_.message_corruption_prob >= 0.0 &&
+                    params_.message_corruption_prob <= 1.0,
+                "corruption probability must be in [0,1]");
+    MCS_REQUIRE(params_.test_bytes > 0, "test pattern must be non-empty");
+    MCS_REQUIRE(params_.max_concurrent_tests > 0,
+                "max concurrent link tests must be positive");
+    MCS_REQUIRE(params_.test_period_target > 0,
+                "test period target must be positive");
+}
+
+std::vector<LinkId> LinkTester::step(SimTime now, double dt_s) {
+    MCS_REQUIRE(dt_s >= 0.0, "negative link fault step");
+    std::vector<LinkId> fresh;
+    if (params_.fault_rate_per_link_s <= 0.0 || dt_s <= 0.0) {
+        return fresh;
+    }
+    const double p = params_.fault_rate_per_link_s * dt_s;
+    for (std::size_t l = 0; l < latent_.size(); ++l) {
+        if (latent_[l].has_value()) {
+            continue;
+        }
+        if (rng_.bernoulli(p)) {
+            LinkFault f;
+            f.link = static_cast<LinkId>(l);
+            f.injected = now;
+            latent_[l] = history_.size();
+            history_.push_back(f);
+            fresh.push_back(f.link);
+        }
+    }
+    return fresh;
+}
+
+bool LinkTester::has_latent_fault(LinkId link) const {
+    MCS_REQUIRE(link < latent_.size(), "link id out of range");
+    return latent_[link].has_value();
+}
+
+std::optional<LinkFault> LinkTester::attempt_detection(LinkId link,
+                                                       SimTime now) {
+    MCS_REQUIRE(link < latent_.size(), "link id out of range");
+    auto& slot = latent_[link];
+    if (!slot.has_value()) {
+        return std::nullopt;
+    }
+    LinkFault& fault = history_[*slot];
+    if (rng_.bernoulli(params_.test_coverage)) {
+        fault.detected = true;
+        fault.detected_at = now;
+        ++detected_;
+        slot.reset();  // repaired (spare-wire swap)
+        return fault;
+    }
+    ++escaped_;
+    return std::nullopt;
+}
+
+bool LinkTester::roll_message_corruption(LinkId link) {
+    MCS_REQUIRE(link < latent_.size(), "link id out of range");
+    if (!latent_[link].has_value()) {
+        return false;
+    }
+    if (rng_.bernoulli(params_.message_corruption_prob)) {
+        ++corrupted_;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace mcs

@@ -1,0 +1,116 @@
+#include "noc/topology.hpp"
+
+#include <cstdlib>
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+// Link id layout for a W x H mesh (all blocks contiguous):
+//   east  block: (W-1)*H links, (x,y)->(x+1,y), id = y*(W-1) + x
+//   west  block: (W-1)*H links, (x,y)->(x-1,y), id = base + y*(W-1) + (x-1)
+//   south block: W*(H-1) links, (x,y)->(x,y+1), id = base + y*W + x
+//   north block: W*(H-1) links, (x,y)->(x,y-1), id = base + (y-1)*W + x
+
+MeshTopology::MeshTopology(int width, int height)
+    : width_(width), height_(height) {
+    MCS_REQUIRE(width_ > 0 && height_ > 0, "mesh dimensions must be positive");
+    east_count_ = static_cast<std::size_t>(width_ - 1) *
+                  static_cast<std::size_t>(height_);
+    vert_count_ = static_cast<std::size_t>(width_) *
+                  static_cast<std::size_t>(height_ - 1);
+    link_count_ = 2 * east_count_ + 2 * vert_count_;
+}
+
+void MeshTopology::check_node(CoreId n) const {
+    MCS_REQUIRE(n < node_count(), "node id out of range");
+}
+
+CoreId MeshTopology::node_at(int x, int y) const {
+    MCS_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_,
+                "coordinates outside mesh");
+    return static_cast<CoreId>(y * width_ + x);
+}
+
+int MeshTopology::manhattan(CoreId a, CoreId b) const {
+    check_node(a);
+    check_node(b);
+    return std::abs(x_of(a) - x_of(b)) + std::abs(y_of(a) - y_of(b));
+}
+
+LinkId MeshTopology::link_between(CoreId from, CoreId to) const {
+    check_node(from);
+    check_node(to);
+    const int fx = x_of(from), fy = y_of(from);
+    const int tx = x_of(to), ty = y_of(to);
+    const std::size_t west_base = east_count_;
+    const std::size_t south_base = 2 * east_count_;
+    const std::size_t north_base = 2 * east_count_ + vert_count_;
+    if (ty == fy && tx == fx + 1) {  // east
+        return static_cast<LinkId>(fy * (width_ - 1) + fx);
+    }
+    if (ty == fy && tx == fx - 1) {  // west
+        return static_cast<LinkId>(west_base + fy * (width_ - 1) + (fx - 1));
+    }
+    if (tx == fx && ty == fy + 1) {  // south
+        return static_cast<LinkId>(south_base + fy * width_ + fx);
+    }
+    if (tx == fx && ty == fy - 1) {  // north
+        return static_cast<LinkId>(north_base + (fy - 1) * width_ + fx);
+    }
+    MCS_REQUIRE(false, "link_between requires adjacent nodes");
+    return 0;  // unreachable
+}
+
+std::pair<CoreId, CoreId> MeshTopology::link_ends(LinkId link) const {
+    MCS_REQUIRE(link < link_count_, "link id out of range");
+    const std::size_t west_base = east_count_;
+    const std::size_t south_base = 2 * east_count_;
+    const std::size_t north_base = 2 * east_count_ + vert_count_;
+    std::size_t l = link;
+    if (l < west_base) {  // east
+        const int y = static_cast<int>(l / (width_ - 1));
+        const int x = static_cast<int>(l % (width_ - 1));
+        return {node_at(x, y), node_at(x + 1, y)};
+    }
+    if (l < south_base) {  // west
+        l -= west_base;
+        const int y = static_cast<int>(l / (width_ - 1));
+        const int x = static_cast<int>(l % (width_ - 1)) + 1;
+        return {node_at(x, y), node_at(x - 1, y)};
+    }
+    if (l < north_base) {  // south
+        l -= south_base;
+        const int y = static_cast<int>(l / width_);
+        const int x = static_cast<int>(l % width_);
+        return {node_at(x, y), node_at(x, y + 1)};
+    }
+    l -= north_base;
+    const int y = static_cast<int>(l / width_) + 1;
+    const int x = static_cast<int>(l % width_);
+    return {node_at(x, y), node_at(x, y - 1)};
+}
+
+std::vector<LinkId> MeshTopology::xy_route(CoreId src, CoreId dst) const {
+    check_node(src);
+    check_node(dst);
+    std::vector<LinkId> route;
+    route.reserve(static_cast<std::size_t>(manhattan(src, dst)));
+    int x = x_of(src);
+    int y = y_of(src);
+    const int dx = x_of(dst);
+    const int dy = y_of(dst);
+    while (x != dx) {
+        const int nx = x + (dx > x ? 1 : -1);
+        route.push_back(link_between(node_at(x, y), node_at(nx, y)));
+        x = nx;
+    }
+    while (y != dy) {
+        const int ny = y + (dy > y ? 1 : -1);
+        route.push_back(link_between(node_at(x, y), node_at(x, ny)));
+        y = ny;
+    }
+    return route;
+}
+
+}  // namespace mcs

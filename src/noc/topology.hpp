@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/core.hpp"
+
+namespace mcs {
+
+using LinkId = std::uint32_t;
+
+/// 2-D mesh topology with deterministic dimension-ordered (XY) routing.
+/// Links are directed; each adjacent router pair is joined by two links.
+/// Node ids are the chip's row-major core ids.
+class MeshTopology {
+public:
+    MeshTopology(int width, int height);
+
+    int width() const noexcept { return width_; }
+    int height() const noexcept { return height_; }
+    std::size_t node_count() const noexcept {
+        return static_cast<std::size_t>(width_) *
+               static_cast<std::size_t>(height_);
+    }
+    std::size_t link_count() const noexcept { return link_count_; }
+
+    int x_of(CoreId n) const noexcept { return static_cast<int>(n) % width_; }
+    int y_of(CoreId n) const noexcept { return static_cast<int>(n) / width_; }
+    CoreId node_at(int x, int y) const;
+
+    int manhattan(CoreId a, CoreId b) const;
+
+    /// Directed link from `from` to adjacent node `to`. Requires adjacency.
+    LinkId link_between(CoreId from, CoreId to) const;
+
+    /// Endpoints of a link: (from, to).
+    std::pair<CoreId, CoreId> link_ends(LinkId link) const;
+
+    /// XY route: travel along X first, then along Y. Returns the list of
+    /// directed links traversed; empty when src == dst.
+    std::vector<LinkId> xy_route(CoreId src, CoreId dst) const;
+
+    /// Number of hops (= links) on the XY route.
+    int hop_count(CoreId src, CoreId dst) const { return manhattan(src, dst); }
+
+private:
+    void check_node(CoreId n) const;
+
+    int width_;
+    int height_;
+    std::size_t link_count_;
+    // Link id layout: [east | west | south | north] blocks; see .cpp.
+    std::size_t east_count_;
+    std::size_t vert_count_;
+};
+
+}  // namespace mcs

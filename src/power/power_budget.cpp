@@ -1,0 +1,36 @@
+#include "power/power_budget.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+PowerBudget::PowerBudget(double tdp_w, double violation_margin_w)
+    : tdp_w_(tdp_w), margin_w_(violation_margin_w) {
+    MCS_REQUIRE(tdp_w_ > 0.0, "TDP must be positive");
+    MCS_REQUIRE(margin_w_ >= 0.0, "violation margin must be non-negative");
+}
+
+void PowerBudget::record(SimTime, double power_w) {
+    last_power_w_ = power_w;
+    ++samples_;
+    stats_.add(power_w);
+    if (power_w > tdp_w_ + margin_w_) {
+        ++violations_;
+        worst_overshoot_w_ = std::max(worst_overshoot_w_, power_w - tdp_w_);
+    }
+}
+
+double PowerBudget::slack_w() const noexcept {
+    return std::max(0.0, tdp_w_ - last_power_w_);
+}
+
+double PowerBudget::violation_rate() const noexcept {
+    if (samples_ == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(violations_) / static_cast<double>(samples_);
+}
+
+}  // namespace mcs

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace mcs {
+
+/// Tracks the chip power budget (TDP), the instantaneous slack available to
+/// the test scheduler, and any budget violations observed over a run.
+class PowerBudget {
+public:
+    explicit PowerBudget(double tdp_w, double violation_margin_w = 0.0);
+
+    double tdp_w() const noexcept { return tdp_w_; }
+
+    /// Records a power sample at `now`; updates violation accounting.
+    void record(SimTime now, double power_w);
+
+    /// Budget headroom for the last recorded sample (>= 0).
+    double slack_w() const noexcept;
+    double last_power_w() const noexcept { return last_power_w_; }
+
+    std::uint64_t samples() const noexcept { return samples_; }
+    std::uint64_t violations() const noexcept { return violations_; }
+    double violation_rate() const noexcept;
+    /// Worst overshoot above TDP seen so far, in watts (0 if never violated).
+    double worst_overshoot_w() const noexcept { return worst_overshoot_w_; }
+    /// Time-weighted statistics of recorded power.
+    const RunningStats& power_stats() const noexcept { return stats_; }
+
+private:
+    double tdp_w_;
+    double margin_w_;
+    double last_power_w_ = 0.0;
+    std::uint64_t samples_ = 0;
+    std::uint64_t violations_ = 0;
+    double worst_overshoot_w_ = 0.0;
+    RunningStats stats_;
+};
+
+}  // namespace mcs

@@ -1,0 +1,74 @@
+#include "power/power_model.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+PowerModel::PowerModel(const TechnologyParams& tech,
+                       const std::vector<VfLevel>& table,
+                       ActivityFactors activity)
+    : tech_(tech), table_(&table), activity_(activity) {
+    MCS_REQUIRE(!table.empty(), "power model needs a non-empty VF table");
+}
+
+const VfLevel& PowerModel::level(int vf_level) const {
+    MCS_REQUIRE(vf_level >= 0 &&
+                    vf_level < static_cast<int>(table_->size()),
+                "VF level out of range");
+    return (*table_)[static_cast<std::size_t>(vf_level)];
+}
+
+double PowerModel::dynamic_w(int vf_level, double activity) const {
+    const VfLevel& l = level(vf_level);
+    return activity * tech_.switched_cap_f * l.voltage_v * l.voltage_v *
+           l.freq_hz;
+}
+
+double PowerModel::leakage_w(int vf_level, double temp_c) const {
+    const VfLevel& l = level(vf_level);
+    const double volt_scale = l.voltage_v / tech_.nominal_vdd_v;
+    const double temp_scale =
+        std::exp((temp_c - tech_.leak_ref_temp_c) / tech_.leak_temp_slope_c);
+    return tech_.leak_current_a * volt_scale * l.voltage_v * temp_scale;
+}
+
+double PowerModel::activity_of(CoreState state) const {
+    switch (state) {
+        case CoreState::Idle: return activity_.idle;
+        case CoreState::Busy: return activity_.busy;
+        case CoreState::Testing: return activity_.test;
+        case CoreState::Dark:
+        case CoreState::Faulty: return 0.0;
+    }
+    return 0.0;
+}
+
+double PowerModel::core_power_w(CoreState state, int vf_level,
+                                double temp_c) const {
+    if (state == CoreState::Dark || state == CoreState::Faulty) {
+        // Power-gated: no dynamic power, tiny residual leakage.
+        return activity_.gated_leak_fraction * leakage_w(0, temp_c);
+    }
+    return dynamic_w(vf_level, activity_of(state)) +
+           leakage_w(vf_level, temp_c);
+}
+
+double PowerModel::test_power_w(int vf_level, double temp_c) const {
+    return core_power_w(CoreState::Testing, vf_level, temp_c);
+}
+
+double PowerModel::chip_power_w(const Chip& chip,
+                                std::span<const double> temps_c) const {
+    double total = 0.0;
+    for (const Core& c : chip.cores()) {
+        const double temp = temps_c.empty()
+                                ? tech_.leak_ref_temp_c
+                                : temps_c[c.id()];
+        total += core_power_w(c.state(), c.vf_level(), temp);
+    }
+    return total;
+}
+
+}  // namespace mcs

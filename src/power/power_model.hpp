@@ -1,0 +1,57 @@
+#pragma once
+
+#include <span>
+
+#include "arch/chip.hpp"
+#include "arch/core.hpp"
+#include "arch/technology.hpp"
+
+namespace mcs {
+
+/// Switching-activity factors per core state, relative to typical workload
+/// activity (= 1.0). SBST routines deliberately toggle every functional
+/// unit, so their activity exceeds typical workload -- that is exactly why
+/// the paper needs power-aware test admission.
+struct ActivityFactors {
+    double idle = 0.06;    ///< clock-gated
+    double busy = 1.00;    ///< typical workload
+    double test = 1.30;    ///< SBST stress routines
+    /// Residual leakage fraction that power gating cannot remove.
+    double gated_leak_fraction = 0.03;
+};
+
+/// Per-core power model: dynamic alpha*C*V^2*f plus temperature-dependent
+/// leakage I0 * (V/Vnom) * V * exp((T - Tref)/Tslope).
+class PowerModel {
+public:
+    PowerModel(const TechnologyParams& tech, const std::vector<VfLevel>& table,
+               ActivityFactors activity = {});
+
+    double dynamic_w(int vf_level, double activity) const;
+    double leakage_w(int vf_level, double temp_c) const;
+
+    /// Power of a core in `state` at `vf_level` and temperature `temp_c`.
+    /// Dark/Faulty cores burn only residual gated leakage.
+    double core_power_w(CoreState state, int vf_level, double temp_c) const;
+
+    /// Power drawn by an SBST test session at the given level/temperature.
+    double test_power_w(int vf_level, double temp_c) const;
+
+    /// Total power of a chip given per-core temperatures (span indexed by
+    /// CoreId; may be empty, in which case the leakage reference temperature
+    /// is used for every core).
+    double chip_power_w(const Chip& chip,
+                        std::span<const double> temps_c) const;
+
+    const ActivityFactors& activity() const noexcept { return activity_; }
+    double activity_of(CoreState state) const;
+
+private:
+    const VfLevel& level(int vf_level) const;
+
+    TechnologyParams tech_;
+    const std::vector<VfLevel>* table_;
+    ActivityFactors activity_;
+};
+
+}  // namespace mcs

@@ -1,0 +1,149 @@
+#include "sbst/fault_model.hpp"
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+const char* to_string(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::StuckAt: return "stuck-at";
+        case FaultKind::Delay: return "delay";
+        case FaultKind::LowVoltage: return "low-voltage";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(std::size_t core_count, FaultModelParams params,
+                             std::uint64_t seed)
+    : params_(params), rng_(seed), latent_(core_count) {
+    MCS_REQUIRE(core_count > 0, "fault injector needs cores");
+    MCS_REQUIRE(params_.base_rate_per_core_s >= 0.0,
+                "fault rate must be non-negative");
+    MCS_REQUIRE(params_.task_corruption_prob >= 0.0 &&
+                    params_.task_corruption_prob <= 1.0,
+                "corruption probability must be in [0,1]");
+    MCS_REQUIRE(params_.stuck_at_weight >= 0.0 &&
+                    params_.delay_weight >= 0.0 &&
+                    params_.low_voltage_weight >= 0.0,
+                "fault-class weights must be non-negative");
+    MCS_REQUIRE(params_.stuck_at_weight + params_.delay_weight +
+                        params_.low_voltage_weight > 0.0,
+                "at least one fault-class weight must be positive");
+    MCS_REQUIRE(params_.delay_visible_levels >= 1 &&
+                    params_.lowv_visible_levels >= 1,
+                "visible-level windows must be at least 1");
+}
+
+std::vector<CoreId> FaultInjector::step(SimTime now, double dt_s,
+                                        const Chip& chip,
+                                        std::span<const double> accel) {
+    MCS_REQUIRE(chip.core_count() == latent_.size(),
+                "chip size does not match fault injector");
+    MCS_REQUIRE(dt_s >= 0.0, "negative fault step");
+    std::vector<CoreId> fresh;
+    if (params_.base_rate_per_core_s <= 0.0 || dt_s <= 0.0) {
+        return fresh;
+    }
+    for (const Core& c : chip.cores()) {
+        if (latent_[c.id()].has_value()) {
+            continue;  // one latent fault per core
+        }
+        if (c.state() == CoreState::Dark || c.state() == CoreState::Faulty) {
+            continue;  // no wear while gated / decommissioned
+        }
+        const double a = accel.empty() ? 1.0 : accel[c.id()];
+        const double p = params_.base_rate_per_core_s * a * dt_s;
+        if (rng_.bernoulli(p)) {
+            Fault f;
+            f.core = c.id();
+            f.unit = static_cast<FunctionalUnit>(
+                rng_.index(kFunctionalUnitCount));
+            f.kind = draw_kind();
+            f.injected = now;
+            latent_[c.id()] = history_.size();
+            history_.push_back(f);
+            fresh.push_back(c.id());
+        }
+    }
+    return fresh;
+}
+
+bool FaultInjector::has_latent_fault(CoreId core) const {
+    MCS_REQUIRE(core < latent_.size(), "core id out of range");
+    return latent_[core].has_value();
+}
+
+std::optional<Fault> FaultInjector::latent_fault(CoreId core) const {
+    MCS_REQUIRE(core < latent_.size(), "core id out of range");
+    if (!latent_[core].has_value()) {
+        return std::nullopt;
+    }
+    return history_[*latent_[core]];
+}
+
+FaultKind FaultInjector::draw_kind() {
+    const double weights[] = {params_.stuck_at_weight, params_.delay_weight,
+                              params_.low_voltage_weight};
+    return static_cast<FaultKind>(rng_.categorical(weights));
+}
+
+bool FaultInjector::manifests_at(FaultKind kind, int vf_level,
+                                 int vf_level_count) const {
+    MCS_REQUIRE(vf_level >= 0 && vf_level < vf_level_count,
+                "VF level out of range");
+    switch (kind) {
+        case FaultKind::StuckAt:
+            return true;
+        case FaultKind::Delay:
+            return vf_level >= vf_level_count - params_.delay_visible_levels;
+        case FaultKind::LowVoltage:
+            return vf_level < params_.lowv_visible_levels;
+    }
+    return true;
+}
+
+std::optional<Fault> FaultInjector::attempt_detection(CoreId core, SimTime now,
+                                                      const TestSuite& suite,
+                                                      int vf_level,
+                                                      int vf_level_count) {
+    MCS_REQUIRE(core < latent_.size(), "core id out of range");
+    auto& slot = latent_[core];
+    if (!slot.has_value()) {
+        return std::nullopt;
+    }
+    Fault& fault = history_[*slot];
+    if (!manifests_at(fault.kind, vf_level, vf_level_count)) {
+        // Not an escape of the routines: the operating point simply cannot
+        // expose this fault class. Rotation across levels will.
+        return std::nullopt;
+    }
+    const double coverage = suite.coverage_of(fault.unit);
+    if (rng_.bernoulli(coverage)) {
+        fault.detected = true;
+        fault.detected_at = now;
+        ++detected_;
+        slot.reset();
+        return fault;
+    }
+    ++escaped_tests_;
+    return std::nullopt;
+}
+
+std::optional<Fault> FaultInjector::attempt_detection(CoreId core, SimTime now,
+                                                      const TestSuite& suite) {
+    return attempt_detection(core, now, suite, 0, 1);
+}
+
+bool FaultInjector::roll_task_corruption(CoreId core) {
+    MCS_REQUIRE(core < latent_.size(), "core id out of range");
+    if (!latent_[core].has_value()) {
+        return false;
+    }
+    if (rng_.bernoulli(params_.task_corruption_prob)) {
+        ++corrupted_;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace mcs

@@ -1,0 +1,58 @@
+#include "sbst/test_suite.hpp"
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+const char* to_string(FunctionalUnit unit) {
+    switch (unit) {
+        case FunctionalUnit::Alu: return "ALU";
+        case FunctionalUnit::Fpu: return "FPU";
+        case FunctionalUnit::Lsu: return "LSU";
+        case FunctionalUnit::FetchDecode: return "Fetch/Decode";
+        case FunctionalUnit::RegisterFile: return "RegFile";
+        case FunctionalUnit::BranchUnit: return "Branch";
+    }
+    return "?";
+}
+
+TestSuite::TestSuite(std::vector<TestRoutine> routines)
+    : routines_(std::move(routines)) {
+    MCS_REQUIRE(!routines_.empty(), "test suite must contain routines");
+    double activity_cycles = 0.0;
+    for (const TestRoutine& r : routines_) {
+        MCS_REQUIRE(r.cycles > 0, "test routine must have positive length");
+        MCS_REQUIRE(r.coverage >= 0.0 && r.coverage <= 1.0,
+                    "coverage must be a probability");
+        MCS_REQUIRE(r.activity > 0.0, "activity must be positive");
+        total_cycles_ += r.cycles;
+        activity_cycles += r.activity * static_cast<double>(r.cycles);
+    }
+    mean_activity_ = activity_cycles / static_cast<double>(total_cycles_);
+}
+
+TestSuite TestSuite::standard() {
+    // Synthetic SBST library. Lengths/coverages follow the ballpark of
+    // published SBST suites for embedded RISC cores; activity factors are
+    // deliberately above workload level (tests toggle everything).
+    return TestSuite({
+        {FunctionalUnit::Alu, "alu_march", 1'200'000, 0.97, 1.40},
+        {FunctionalUnit::Fpu, "fpu_patterns", 1'800'000, 0.93, 1.45},
+        {FunctionalUnit::Lsu, "lsu_stride", 1'400'000, 0.92, 1.20},
+        {FunctionalUnit::FetchDecode, "ifd_sweep", 900'000, 0.90, 1.25},
+        {FunctionalUnit::RegisterFile, "regfile_march", 700'000, 0.98, 1.30},
+        {FunctionalUnit::BranchUnit, "branch_storm", 800'000, 0.91, 1.35},
+    });
+}
+
+double TestSuite::coverage_of(FunctionalUnit unit) const {
+    double miss = 1.0;
+    for (const TestRoutine& r : routines_) {
+        if (r.unit == unit) {
+            miss *= 1.0 - r.coverage;
+        }
+    }
+    return 1.0 - miss;
+}
+
+}  // namespace mcs

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mcs {
+
+/// Functional units a core's SBST library exercises. Real SBST suites carry
+/// one routine (or several) per unit; a permanent fault lives in one unit
+/// and is caught only by routines covering that unit.
+enum class FunctionalUnit {
+    Alu,
+    Fpu,
+    Lsu,
+    FetchDecode,
+    RegisterFile,
+    BranchUnit,
+};
+inline constexpr std::size_t kFunctionalUnitCount = 6;
+
+const char* to_string(FunctionalUnit unit);
+
+/// One software-based self-test routine: a stretch of high-activity code
+/// targeting a functional unit.
+struct TestRoutine {
+    FunctionalUnit unit = FunctionalUnit::Alu;
+    std::string name;
+    std::uint64_t cycles = 0;   ///< execution length at any frequency
+    double coverage = 0.0;      ///< P(detect | fault in `unit`)
+    double activity = 1.3;      ///< switching activity vs typical workload
+};
+
+/// An SBST library: the set of routines one full test session executes.
+/// The default suite's sizes follow published SBST characterizations
+/// (a few megacycles total, ~90-97% per-unit stuck-at coverage); this is
+/// the synthetic substitute for ISA-specific routines (DESIGN.md
+/// "Substitutions").
+class TestSuite {
+public:
+    explicit TestSuite(std::vector<TestRoutine> routines);
+
+    /// The default library used across the evaluation.
+    static TestSuite standard();
+
+    std::span<const TestRoutine> routines() const noexcept {
+        return routines_;
+    }
+    std::size_t routine_count() const noexcept { return routines_.size(); }
+
+    /// Total cycles of one full test session.
+    std::uint64_t total_cycles() const noexcept { return total_cycles_; }
+
+    /// Mean activity factor over the session, cycle-weighted.
+    double mean_activity() const noexcept { return mean_activity_; }
+
+    /// Detection probability for a fault in `unit` when the whole suite
+    /// runs (1 - miss probability over all routines covering the unit).
+    double coverage_of(FunctionalUnit unit) const;
+
+private:
+    std::vector<TestRoutine> routines_;
+    std::uint64_t total_cycles_ = 0;
+    double mean_activity_ = 0.0;
+};
+
+}  // namespace mcs

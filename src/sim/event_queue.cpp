@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+EventId EventQueue::schedule(SimTime when, Callback cb) {
+    MCS_REQUIRE(static_cast<bool>(cb), "event callback must be callable");
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Entry{when, seq, std::move(cb)});
+    pending_.insert(seq);
+    return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+    if (!id.valid()) {
+        return false;
+    }
+    // Cancelled entries stay in the heap and are discarded lazily by skim();
+    // `pending_` is the ground truth for what is still live.
+    return pending_.erase(id.seq) != 0;
+}
+
+bool EventQueue::is_pending(EventId id) const {
+    return id.valid() && pending_.count(id.seq) != 0;
+}
+
+void EventQueue::skim() const {
+    while (!heap_.empty() && pending_.count(heap_.top().seq) == 0) {
+        heap_.pop();
+    }
+}
+
+SimTime EventQueue::next_time() const {
+    MCS_REQUIRE(!empty(), "next_time on empty event queue");
+    skim();
+    return heap_.top().when;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+    MCS_REQUIRE(!empty(), "pop on empty event queue");
+    skim();
+    // const_cast is confined here: priority_queue::top() is const, but the
+    // entry is about to be popped so moving its callback out is safe.
+    auto& top = const_cast<Entry&>(heap_.top());
+    std::pair<SimTime, Callback> out{top.when, std::move(top.cb)};
+    pending_.erase(top.seq);
+    heap_.pop();
+    return out;
+}
+
+}  // namespace mcs

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mcs {
+
+/// Handle to a scheduled event; can be used to cancel it.
+struct EventId {
+    std::uint64_t seq = 0;
+    bool valid() const noexcept { return seq != 0; }
+};
+
+/// Time-ordered event queue with O(log n) schedule/pop and O(1) (amortized)
+/// cancellation. Ties break in scheduling order (FIFO at equal timestamps),
+/// which keeps simulations deterministic.
+class EventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    /// Schedules `cb` at absolute time `when`. Returns a cancellation handle.
+    EventId schedule(SimTime when, Callback cb);
+
+    /// Cancels a pending event. Cancelling an already-fired or already-
+    /// cancelled event is a no-op. Returns true if the event was pending.
+    bool cancel(EventId id);
+
+    /// True if the given event is still pending (scheduled, not fired, not
+    /// cancelled).
+    bool is_pending(EventId id) const;
+
+    bool empty() const noexcept { return pending_.empty(); }
+    std::size_t pending() const noexcept { return pending_.size(); }
+
+    /// Time of the earliest pending event. Requires !empty().
+    SimTime next_time() const;
+
+    /// Pops the earliest pending event and returns (time, callback).
+    /// Requires !empty().
+    std::pair<SimTime, Callback> pop();
+
+private:
+    struct Entry {
+        SimTime when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const noexcept {
+            if (a.when != b.when) {
+                return a.when > b.when;
+            }
+            return a.seq > b.seq;
+        }
+    };
+
+    /// Drops cancelled entries from the front of the heap.
+    void skim() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<std::uint64_t> pending_;
+    std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace mcs

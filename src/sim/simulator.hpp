@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace mcs {
+
+/// Discrete-event simulator: a clock plus an event queue plus periodic
+/// processes. Single-threaded by design; all model state is advanced from
+/// event callbacks.
+class Simulator {
+public:
+    Simulator() = default;
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    SimTime now() const noexcept { return now_; }
+
+    /// Schedules `cb` at absolute simulated time `when >= now()`.
+    EventId schedule_at(SimTime when, EventQueue::Callback cb);
+
+    /// Schedules `cb` after `delay` from now.
+    EventId schedule_in(SimDuration delay, EventQueue::Callback cb);
+
+    bool cancel(EventId id) { return queue_.cancel(id); }
+    bool is_pending(EventId id) const { return queue_.is_pending(id); }
+
+    /// Registers a periodic process firing every `period` starting at
+    /// `first_at` (defaults to `period` from now). The callback receives the
+    /// current time. Returns a handle usable with stop_periodic().
+    struct PeriodicHandle {
+        std::uint64_t id = 0;
+        bool valid() const noexcept { return id != 0; }
+    };
+    PeriodicHandle every(SimDuration period,
+                         std::function<void(SimTime)> cb);
+    PeriodicHandle every(SimDuration period, SimTime first_at,
+                         std::function<void(SimTime)> cb);
+    void stop_periodic(PeriodicHandle handle);
+
+    /// Runs events until the queue is empty or the clock would pass `until`.
+    /// The clock is left at min(until, last event time). Returns the number
+    /// of events executed.
+    std::uint64_t run_until(SimTime until);
+
+    /// Executes the single next event if there is one and it is at or before
+    /// `until`. Returns whether an event ran.
+    bool step(SimTime until);
+
+    bool idle() const noexcept { return queue_.empty(); }
+    std::size_t pending_events() const noexcept { return queue_.pending(); }
+    std::uint64_t events_executed() const noexcept { return executed_; }
+
+private:
+    struct Periodic;
+    void fire_periodic(std::uint64_t periodic_id);
+
+    EventQueue queue_;
+    SimTime now_ = 0;
+    std::uint64_t executed_ = 0;
+    std::uint64_t next_periodic_id_ = 1;
+    // Periodic bookkeeping: id -> (period, callback, next EventId).
+    struct PeriodicState {
+        SimDuration period;
+        std::function<void(SimTime)> cb;
+        EventId pending_event;
+    };
+    std::unordered_map<std::uint64_t, PeriodicState> periodics_;
+};
+
+}  // namespace mcs

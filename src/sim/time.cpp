@@ -1,0 +1,16 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+SimDuration duration_for_cycles(std::uint64_t cycles, double hz) {
+    MCS_REQUIRE(hz > 0.0, "frequency must be positive");
+    const double ns =
+        static_cast<double>(cycles) / hz * static_cast<double>(kSecond);
+    return static_cast<SimDuration>(std::ceil(ns));
+}
+
+}  // namespace mcs

@@ -1,0 +1,87 @@
+#include "thermal/thermal_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+ThermalModel::ThermalModel(int width, int height, ThermalParams params)
+    : width_(width), height_(height), params_(params) {
+    MCS_REQUIRE(width_ > 0 && height_ > 0,
+                "thermal grid dimensions must be positive");
+    MCS_REQUIRE(params_.heat_capacity_j_per_k > 0.0,
+                "heat capacity must be positive");
+    MCS_REQUIRE(params_.g_vertical_w_per_k > 0.0,
+                "vertical conductance must be positive");
+    MCS_REQUIRE(params_.g_lateral_w_per_k >= 0.0,
+                "lateral conductance must be non-negative");
+    MCS_REQUIRE(params_.max_dt_s > 0.0, "max step must be positive");
+    // Explicit Euler stability: dt < C / (Gv + 4*Gl). Enforce a margin.
+    const double g_total =
+        params_.g_vertical_w_per_k + 4.0 * params_.g_lateral_w_per_k;
+    MCS_REQUIRE(params_.max_dt_s < params_.heat_capacity_j_per_k / g_total,
+                "max_dt_s violates explicit-Euler stability bound");
+    const std::size_t n = static_cast<std::size_t>(width_) *
+                          static_cast<std::size_t>(height_);
+    temps_.assign(n, params_.ambient_c);
+    scratch_.assign(n, 0.0);
+}
+
+void ThermalModel::step(std::span<const double> power_w, double dt_s) {
+    MCS_REQUIRE(power_w.size() == temps_.size(),
+                "power vector size mismatch");
+    MCS_REQUIRE(dt_s >= 0.0, "negative thermal step");
+    while (dt_s > 0.0) {
+        const double sub = std::min(dt_s, params_.max_dt_s);
+        euler_substep(power_w, sub);
+        dt_s -= sub;
+    }
+}
+
+void ThermalModel::euler_substep(std::span<const double> power_w,
+                                 double dt_s) {
+    const double gv = params_.g_vertical_w_per_k;
+    const double gl = params_.g_lateral_w_per_k;
+    const double inv_c = 1.0 / params_.heat_capacity_j_per_k;
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            const std::size_t i = static_cast<std::size_t>(y * width_ + x);
+            double flow = power_w[i] - gv * (temps_[i] - params_.ambient_c);
+            if (x > 0) flow -= gl * (temps_[i] - temps_[i - 1]);
+            if (x + 1 < width_) flow -= gl * (temps_[i] - temps_[i + 1]);
+            if (y > 0)
+                flow -= gl * (temps_[i] -
+                              temps_[i - static_cast<std::size_t>(width_)]);
+            if (y + 1 < height_)
+                flow -= gl * (temps_[i] -
+                              temps_[i + static_cast<std::size_t>(width_)]);
+            scratch_[i] = temps_[i] + dt_s * flow * inv_c;
+        }
+    }
+    temps_.swap(scratch_);
+}
+
+double ThermalModel::temp_c(std::size_t core) const {
+    MCS_REQUIRE(core < temps_.size(), "core index out of range");
+    return temps_[core];
+}
+
+double ThermalModel::max_temp_c() const {
+    return *std::max_element(temps_.begin(), temps_.end());
+}
+
+double ThermalModel::mean_temp_c() const {
+    double sum = 0.0;
+    for (double t : temps_) {
+        sum += t;
+    }
+    return sum / static_cast<double>(temps_.size());
+}
+
+double ThermalModel::isolated_steady_state_c(double power_w) const {
+    return params_.ambient_c + power_w / params_.g_vertical_w_per_k;
+}
+
+}  // namespace mcs

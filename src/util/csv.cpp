@@ -1,0 +1,62 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+std::string csv_escape(const std::string& cell) {
+    const bool needs_quoting =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting) {
+        return cell;
+    }
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"') {
+            out += '"';
+        }
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+    MCS_REQUIRE(out_.is_open(), "cannot open CSV file: " + path);
+    MCS_REQUIRE(columns_ > 0, "CSV needs at least one column");
+    emit(header);
+    rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+    MCS_REQUIRE(cells.size() == columns_, "CSV row width mismatch");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) {
+            out_ << ',';
+        }
+        out_ << csv_escape(cells[i]);
+    }
+    out_ << '\n';
+    ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    emit(cells);
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells) {
+        std::ostringstream os;
+        os.precision(6);
+        os << v;
+        text.push_back(os.str());
+    }
+    emit(text);
+}
+
+}  // namespace mcs

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mcs {
+
+/// Minimal CSV writer for experiment traces. Cells containing commas,
+/// quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+public:
+    /// Opens `path` for writing and emits the header row.
+    CsvWriter(const std::string& path, std::vector<std::string> header);
+
+    void write_row(const std::vector<std::string>& cells);
+    /// Convenience overload: formats doubles with 6 significant digits.
+    void write_row(const std::vector<double>& cells);
+
+    std::size_t rows_written() const noexcept { return rows_; }
+
+private:
+    std::ofstream out_;
+    std::size_t columns_;
+    std::size_t rows_ = 0;
+
+    void emit(const std::vector<std::string>& cells);
+};
+
+/// Escapes a single CSV cell (exposed for testing).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace mcs

@@ -1,0 +1,15 @@
+#include "util/require.hpp"
+
+#include <sstream>
+
+namespace mcs {
+
+void require_failed(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+    std::ostringstream os;
+    os << "requirement failed: " << msg << " [" << expr << "] at " << file
+       << ":" << line;
+    throw RequireError(os.str());
+}
+
+}  // namespace mcs

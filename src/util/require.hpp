@@ -1,0 +1,27 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mcs {
+
+/// Thrown when an MCS_REQUIRE precondition is violated.
+class RequireError : public std::logic_error {
+public:
+    explicit RequireError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void require_failed(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+
+}  // namespace mcs
+
+/// Precondition check that stays enabled in release builds. Library entry
+/// points use this to establish invariants; internal consistency checks use
+/// plain assert.
+#define MCS_REQUIRE(expr, msg)                                        \
+    do {                                                              \
+        if (!(expr)) {                                                \
+            ::mcs::require_failed(#expr, __FILE__, __LINE__, (msg));  \
+        }                                                             \
+    } while (0)

@@ -1,0 +1,127 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mcs {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+        word = splitmix64(x);
+    }
+    // xoshiro must not start from the all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+        s_[0] = 0x9e3779b97f4a7c15ULL;
+    }
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Rng::uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    MCS_REQUIRE(lo <= hi, "uniform range must be ordered");
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    MCS_REQUIRE(lo <= hi, "uniform_int range must be ordered");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) {  // full 64-bit range
+        return static_cast<std::int64_t>(next_u64());
+    }
+    // Rejection sampling for an unbiased draw.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+    std::uint64_t v = next_u64();
+    while (v >= limit) {
+        v = next_u64();
+    }
+    return lo + static_cast<std::int64_t>(v % span);
+}
+
+std::size_t Rng::index(std::size_t n) {
+    MCS_REQUIRE(n > 0, "index range must be non-empty");
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(n - 1)));
+}
+
+bool Rng::bernoulli(double p) noexcept {
+    return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+    MCS_REQUIRE(mean > 0.0, "exponential mean must be positive");
+    double u = uniform();
+    // uniform() can return exactly 0, which would yield +inf.
+    while (u <= 0.0) {
+        u = uniform();
+    }
+    return -mean * std::log(u);
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+    MCS_REQUIRE(!weights.empty(), "categorical needs weights");
+    double total = 0.0;
+    for (double w : weights) {
+        MCS_REQUIRE(w >= 0.0, "categorical weights must be non-negative");
+        total += w;
+    }
+    MCS_REQUIRE(total > 0.0, "categorical weights must sum to > 0");
+    const double roll = uniform(0.0, total);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+        cumulative += weights[i];
+        if (roll < cumulative) {
+            return i;
+        }
+    }
+    return weights.size() - 1;
+}
+
+double Rng::normal() noexcept {
+    double u1 = uniform();
+    while (u1 <= 0.0) {
+        u1 = uniform();
+    }
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+}
+
+Rng Rng::split() noexcept {
+    return Rng(next_u64());
+}
+
+}  // namespace mcs

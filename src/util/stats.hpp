@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    std::size_t count() const noexcept { return n_; }
+    bool empty() const noexcept { return n_ == 0; }
+    double mean() const noexcept { return n_ ? mean_ : 0.0; }
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    double variance() const noexcept;
+    double stddev() const noexcept;
+    double min() const noexcept { return n_ ? min_ : 0.0; }
+    double max() const noexcept { return n_ ? max_ : 0.0; }
+    double sum() const noexcept { return sum_; }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    void merge(const RunningStats& other) noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin and counted separately as underflow/overflow.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x) noexcept;
+
+    std::size_t bins() const noexcept { return counts_.size(); }
+    std::uint64_t bin_count(std::size_t i) const;
+    double bin_lo(std::size_t i) const;
+    double bin_hi(std::size_t i) const;
+    std::uint64_t underflow() const noexcept { return underflow_; }
+    std::uint64_t overflow() const noexcept { return overflow_; }
+    std::uint64_t total() const noexcept { return total_; }
+
+private:
+    double lo_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/// Stores all samples; supports exact quantiles. Intended for experiment
+/// post-processing (detection-latency CDFs etc.), not hot loops.
+class SampleSet {
+public:
+    void add(double x) { samples_.push_back(x); }
+    std::size_t count() const noexcept { return samples_.size(); }
+    bool empty() const noexcept { return samples_.empty(); }
+
+    /// Exact empirical quantile, q in [0,1]. Requires at least one sample.
+    double quantile(double q) const;
+    double median() const { return quantile(0.5); }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    const std::vector<double>& samples() const noexcept { return samples_; }
+
+private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+    void ensure_sorted() const;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. the fraction
+/// of time a core spends busy. Feed (timestamp, value) transitions in
+/// non-decreasing time order.
+class TimeWeightedStat {
+public:
+    /// Records that the signal held `value` from the previous update time
+    /// until `now` (times in arbitrary but consistent units).
+    void update(std::uint64_t now, double value);
+
+    /// Average over [first update, last update]; 0 if no interval elapsed.
+    double average() const noexcept;
+    std::uint64_t elapsed() const noexcept;
+
+private:
+    bool started_ = false;
+    std::uint64_t start_ = 0;
+    std::uint64_t last_time_ = 0;
+    double last_value_ = 0.0;
+    double weighted_sum_ = 0.0;
+};
+
+}  // namespace mcs

@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    MCS_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+    MCS_REQUIRE(cells.size() == headers_.size(),
+                "row width must match header width");
+    rows_.push_back({std::move(cells), false});
+}
+
+void TablePrinter::add_separator() {
+    rows_.push_back({{}, true});
+}
+
+void TablePrinter::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        if (row.separator) {
+            continue;
+        }
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            widths[c] = std::max(widths[c], row.cells[c].size());
+        }
+    }
+
+    auto rule = [&] {
+        os << '+';
+        for (std::size_t w : widths) {
+            os << std::string(w + 2, '-') << '+';
+        }
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left
+               << cells[c] << " |";
+        }
+        os << '\n';
+    };
+
+    rule();
+    line(headers_);
+    rule();
+    for (const auto& row : rows_) {
+        if (row.separator) {
+            rule();
+        } else {
+            line(row.cells);
+        }
+    }
+    rule();
+}
+
+std::string TablePrinter::to_string() const {
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+std::string fmt(double value, int decimals) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string fmt(std::int64_t value) {
+    return std::to_string(value);
+}
+
+std::string fmt(std::uint64_t value) {
+    return std::to_string(value);
+}
+
+std::string fmt_pct(double ratio, int decimals) {
+    return fmt(ratio * 100.0, decimals) + "%";
+}
+
+}  // namespace mcs

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcs {
+
+/// Aligned ASCII table printer used by the benchmark harness to emit
+/// paper-style tables. Numeric cells are produced by the caller via the
+/// fmt() helpers so the table itself stays type-agnostic.
+class TablePrinter {
+public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+    /// Inserts a horizontal separator line before the next row.
+    void add_separator();
+
+    void print(std::ostream& os) const;
+    std::string to_string() const;
+
+    std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+    std::vector<std::string> headers_;
+    std::vector<Row> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string fmt(double value, int decimals = 2);
+/// Formats an integer with no grouping.
+std::string fmt(std::int64_t value);
+std::string fmt(std::uint64_t value);
+/// Formats a ratio as a percentage string, e.g. 0.0123 -> "1.23%".
+std::string fmt_pct(double ratio, int decimals = 2);
+
+}  // namespace mcs

@@ -1,0 +1,123 @@
+#include "aging/aging_model.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+class AgingTest : public ::testing::Test {
+protected:
+    AgingTest() : chip_(2, 2, TechNode::nm16), tracker_(4) {}
+
+    Chip chip_;
+    AgingTracker tracker_;
+    std::vector<double> ref_temps_{60.0, 60.0, 60.0, 60.0};
+};
+
+TEST_F(AgingTest, StartsPristine) {
+    EXPECT_DOUBLE_EQ(tracker_.max_damage(), 0.0);
+    EXPECT_DOUBLE_EQ(tracker_.mean_damage(), 0.0);
+    EXPECT_DOUBLE_EQ(tracker_.fault_acceleration(0), 1.0);
+}
+
+TEST_F(AgingTest, BusyAgesFasterThanIdle) {
+    chip_.core(0).start_task(0);
+    tracker_.update(0, chip_, ref_temps_);
+    tracker_.update(seconds(10), chip_, ref_temps_);
+    EXPECT_GT(tracker_.damage(0), tracker_.damage(1));
+    EXPECT_GT(tracker_.damage(1), 0.0);  // idle still ages slowly
+}
+
+TEST_F(AgingTest, DarkCoresDoNotAge) {
+    chip_.core(2).power_gate(0);
+    tracker_.update(0, chip_, ref_temps_);
+    tracker_.update(seconds(10), chip_, ref_temps_);
+    EXPECT_DOUBLE_EQ(tracker_.damage(2), 0.0);
+    EXPECT_GT(tracker_.damage(0), 0.0);
+}
+
+TEST_F(AgingTest, TemperatureAccelerates) {
+    AgingParams p;
+    AgingTracker a(1, p), b(1, p);
+    Chip small(1, 1, TechNode::nm16);
+    small.core(0).start_task(0);
+    std::vector<double> cool{p.ref_temp_c};
+    std::vector<double> hot{p.ref_temp_c + p.temp_accel_slope_c};
+    a.update(0, small, cool);
+    a.update(seconds(1), small, cool);
+    b.update(0, small, hot);
+    b.update(seconds(1), small, hot);
+    EXPECT_NEAR(b.damage(0) / a.damage(0), std::exp(1.0), 1e-9);
+}
+
+TEST_F(AgingTest, BusyDamageRateMatchesLifetime) {
+    AgingParams p;
+    const double rate = tracker_.damage_rate_per_s(CoreState::Busy,
+                                                   p.ref_temp_c);
+    EXPECT_NEAR(rate * p.nominal_lifetime_s, 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(
+        tracker_.damage_rate_per_s(CoreState::Dark, p.ref_temp_c), 0.0);
+    EXPECT_DOUBLE_EQ(
+        tracker_.damage_rate_per_s(CoreState::Faulty, p.ref_temp_c), 0.0);
+    EXPECT_LT(tracker_.damage_rate_per_s(CoreState::Testing, p.ref_temp_c),
+              rate);
+}
+
+TEST_F(AgingTest, FirstUpdateOnlyAnchorsClock) {
+    tracker_.update(seconds(5), chip_, ref_temps_);
+    EXPECT_DOUBLE_EQ(tracker_.max_damage(), 0.0);
+}
+
+TEST_F(AgingTest, UpdateRejectsBackwardsTime) {
+    tracker_.update(seconds(5), chip_, ref_temps_);
+    EXPECT_THROW(tracker_.update(seconds(4), chip_, ref_temps_),
+                 RequireError);
+}
+
+TEST_F(AgingTest, EmptyTempsUseReference) {
+    chip_.core(0).start_task(0);
+    tracker_.update(0, chip_, {});
+    tracker_.update(seconds(1), chip_, {});
+    AgingParams p;
+    EXPECT_NEAR(tracker_.damage(0), 1.0 / p.nominal_lifetime_s, 1e-15);
+}
+
+TEST_F(AgingTest, FaultAccelerationGrowsWithDamage) {
+    chip_.core(0).start_task(0);
+    tracker_.update(0, chip_, ref_temps_);
+    tracker_.update(seconds(100), chip_, ref_temps_);
+    EXPECT_GT(tracker_.fault_acceleration(0), tracker_.fault_acceleration(1));
+    EXPECT_GE(tracker_.fault_acceleration(1), 1.0);
+}
+
+TEST_F(AgingTest, MeanAndMax) {
+    chip_.core(0).start_task(0);
+    tracker_.update(0, chip_, ref_temps_);
+    tracker_.update(seconds(10), chip_, ref_temps_);
+    EXPECT_DOUBLE_EQ(tracker_.max_damage(), tracker_.damage(0));
+    EXPECT_LT(tracker_.mean_damage(), tracker_.max_damage());
+    EXPECT_GT(tracker_.mean_damage(), 0.0);
+}
+
+TEST_F(AgingTest, SizeMismatchThrows) {
+    AgingTracker wrong(3);
+    // chip_ has 4 cores but tracker has 3: rejected immediately.
+    EXPECT_THROW(wrong.update(0, chip_, ref_temps_), RequireError);
+}
+
+TEST(AgingParamsValidation, Rejected) {
+    AgingParams p;
+    p.nominal_lifetime_s = 0.0;
+    EXPECT_THROW(AgingTracker(4, p), RequireError);
+    p = AgingParams{};
+    p.temp_accel_slope_c = 0.0;
+    EXPECT_THROW(AgingTracker(4, p), RequireError);
+    EXPECT_THROW(AgingTracker(0), RequireError);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,106 @@
+#include "arch/chip.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Chip, DimensionsAndCount) {
+    Chip chip(8, 6, TechNode::nm16);
+    EXPECT_EQ(chip.width(), 8);
+    EXPECT_EQ(chip.height(), 6);
+    EXPECT_EQ(chip.core_count(), 48u);
+    EXPECT_EQ(chip.vf_level_count(),
+              static_cast<std::size_t>(chip.tech().vf_levels));
+    EXPECT_EQ(chip.max_vf_level(), chip.tech().vf_levels - 1);
+}
+
+TEST(Chip, IdCoordinateRoundTrip) {
+    Chip chip(5, 4, TechNode::nm22);
+    for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 5; ++x) {
+            const CoreId id = chip.id_of(x, y);
+            EXPECT_EQ(chip.x_of(id), x);
+            EXPECT_EQ(chip.y_of(id), y);
+            EXPECT_EQ(chip.core(id).x(), x);
+            EXPECT_EQ(chip.core(id).y(), y);
+            EXPECT_EQ(chip.core_at(x, y).id(), id);
+        }
+    }
+}
+
+TEST(Chip, RowMajorIds) {
+    Chip chip(4, 4, TechNode::nm16);
+    EXPECT_EQ(chip.id_of(0, 0), 0u);
+    EXPECT_EQ(chip.id_of(3, 0), 3u);
+    EXPECT_EQ(chip.id_of(0, 1), 4u);
+    EXPECT_EQ(chip.id_of(3, 3), 15u);
+}
+
+TEST(Chip, Distance) {
+    Chip chip(8, 8, TechNode::nm16);
+    EXPECT_EQ(chip.distance(chip.id_of(0, 0), chip.id_of(0, 0)), 0);
+    EXPECT_EQ(chip.distance(chip.id_of(0, 0), chip.id_of(7, 7)), 14);
+    EXPECT_EQ(chip.distance(chip.id_of(2, 3), chip.id_of(5, 1)), 5);
+}
+
+TEST(Chip, NeighborCounts) {
+    Chip chip(4, 4, TechNode::nm16);
+    EXPECT_EQ(chip.neighbors(chip.id_of(0, 0)).size(), 2u);  // corner
+    EXPECT_EQ(chip.neighbors(chip.id_of(1, 0)).size(), 3u);  // edge
+    EXPECT_EQ(chip.neighbors(chip.id_of(1, 1)).size(), 4u);  // middle
+}
+
+TEST(Chip, NeighborsAreAdjacent) {
+    Chip chip(6, 5, TechNode::nm16);
+    for (CoreId id = 0; id < chip.core_count(); ++id) {
+        for (CoreId n : chip.neighbors(id)) {
+            EXPECT_EQ(chip.distance(id, n), 1);
+        }
+    }
+}
+
+TEST(Chip, OutOfRangeAccessesThrow) {
+    Chip chip(3, 3, TechNode::nm16);
+    EXPECT_THROW(chip.core(9), RequireError);
+    EXPECT_THROW(chip.id_of(3, 0), RequireError);
+    EXPECT_THROW(chip.id_of(0, -1), RequireError);
+    EXPECT_THROW(chip.neighbors(100), RequireError);
+    EXPECT_THROW(chip.distance(0, 100), RequireError);
+}
+
+TEST(Chip, BadDimensionsThrow) {
+    EXPECT_THROW(Chip(0, 4, TechNode::nm16), RequireError);
+    EXPECT_THROW(Chip(4, -1, TechNode::nm16), RequireError);
+}
+
+TEST(Chip, TdpMatchesTechnology) {
+    Chip chip(8, 8, TechNode::nm16);
+    EXPECT_DOUBLE_EQ(chip.tdp_w(), chip.tech().chip_tdp_w(64));
+    // Dark-silicon: TDP is well below all-cores-peak.
+    EXPECT_LT(chip.tdp_w(), 64.0 * chip.tech().core_peak_power_w());
+}
+
+TEST(Chip, CheckpointAllAdvancesEveryCore) {
+    Chip chip(2, 2, TechNode::nm16);
+    chip.core(0).start_task(0);
+    chip.checkpoint_all(kMillisecond);
+    EXPECT_GT(chip.core(0).total_busy_cycles(), 0u);
+    // Checkpointed cores reject earlier timestamps afterwards.
+    EXPECT_THROW(chip.core(1).checkpoint(0), RequireError);
+}
+
+TEST(Chip, CoresShareVfTable) {
+    Chip chip(2, 2, TechNode::nm45);
+    for (const Core& c : chip.cores()) {
+        EXPECT_EQ(c.vf_level_count(), chip.vf_level_count());
+        EXPECT_DOUBLE_EQ(c.freq_hz(), chip.vf_table().back().freq_hz);
+    }
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,174 @@
+#include "aging/criticality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+class CriticalityTest : public ::testing::Test {
+protected:
+    CriticalityTest()
+        : chip_(2, 2, TechNode::nm16) {}
+
+    Chip chip_;
+};
+
+TEST_F(CriticalityTest, FreshCoreHasZeroCriticality) {
+    CriticalityEvaluator eval;
+    EXPECT_DOUBLE_EQ(eval.evaluate(chip_.core(0), 0, 0.0), 0.0);
+}
+
+TEST_F(CriticalityTest, UtilizationTermGrowsWithWork) {
+    CriticalityParams p;
+    p.w_util = 1.0;
+    p.w_time = 0.0;
+    p.util_ref_cycles = 1.0e9;
+    CriticalityEvaluator eval(p);
+    Core& c = chip_.core(0);
+    c.start_task(0);
+    c.finish_task(100 * kMillisecond);  // 0.25e9 cycles at 2.5 GHz
+    EXPECT_NEAR(eval.evaluate(c, 100 * kMillisecond, 0.0), 0.25, 1e-9);
+}
+
+TEST_F(CriticalityTest, UtilizationTermSaturates) {
+    CriticalityParams p;
+    p.w_util = 1.0;
+    p.w_time = 0.0;
+    p.util_ref_cycles = 1.0e6;
+    p.saturation = 2.0;
+    CriticalityEvaluator eval(p);
+    Core& c = chip_.core(0);
+    c.start_task(0);
+    c.finish_task(seconds(1));  // 2.5e9 cycles >> ref
+    EXPECT_DOUBLE_EQ(eval.evaluate(c, seconds(1), 0.0), 2.0);
+}
+
+TEST_F(CriticalityTest, TimeTermGrowsSinceLastTest) {
+    CriticalityParams p;
+    p.w_util = 0.0;
+    p.w_time = 1.0;
+    p.time_ref = seconds(2);
+    CriticalityEvaluator eval(p);
+    const Core& c = chip_.core(0);
+    EXPECT_NEAR(eval.evaluate(c, seconds(1), 0.0), 0.5, 1e-9);
+    EXPECT_NEAR(eval.evaluate(c, seconds(2), 0.0), 1.0, 1e-9);
+}
+
+TEST_F(CriticalityTest, CompletedTestResetsBothTerms) {
+    CriticalityParams p;
+    p.w_util = 0.5;
+    p.w_time = 0.5;
+    CriticalityEvaluator eval(p);
+    Core& c = chip_.core(0);
+    c.start_task(0);
+    c.finish_task(seconds(1));
+    c.start_test(seconds(1));
+    c.finish_test(seconds(1) + milliseconds(3), true);
+    EXPECT_NEAR(eval.evaluate(c, seconds(1) + milliseconds(3), 0.0), 0.0,
+                1e-9);
+}
+
+TEST_F(CriticalityTest, AgingTermUsesNormalizedDamage) {
+    CriticalityParams p;
+    p.w_util = 0.0;
+    p.w_time = 0.0;
+    p.w_aging = 1.0;
+    CriticalityEvaluator eval(p);
+    EXPECT_DOUBLE_EQ(eval.evaluate(chip_.core(0), 0, 0.7), 0.7);
+    // Clamped to [0, 1].
+    EXPECT_DOUBLE_EQ(eval.evaluate(chip_.core(0), 0, 1.5), 1.0);
+}
+
+TEST_F(CriticalityTest, EvaluateChipNormalizesDamage) {
+    CriticalityParams p;
+    p.w_util = 0.0;
+    p.w_time = 0.0;
+    p.w_aging = 1.0;
+    CriticalityEvaluator eval(p);
+    const std::vector<double> damage{0.0, 1e-6, 2e-6, 4e-6};
+    const auto crit = eval.evaluate_chip(chip_, 0, damage);
+    ASSERT_EQ(crit.size(), 4u);
+    EXPECT_DOUBLE_EQ(crit[0], 0.0);
+    EXPECT_DOUBLE_EQ(crit[1], 0.25);
+    EXPECT_DOUBLE_EQ(crit[3], 1.0);
+}
+
+TEST_F(CriticalityTest, EvaluateChipWithoutDamage) {
+    CriticalityEvaluator eval;
+    const auto crit = eval.evaluate_chip(chip_, seconds(1), {});
+    ASSERT_EQ(crit.size(), 4u);
+    for (double v : crit) {
+        EXPECT_GT(v, 0.0);  // time term alone
+    }
+}
+
+TEST_F(CriticalityTest, EligibilityThreshold) {
+    CriticalityParams p;
+    p.threshold = 0.5;
+    CriticalityEvaluator eval(p);
+    EXPECT_FALSE(eval.eligible(0.49));
+    EXPECT_TRUE(eval.eligible(0.5));
+}
+
+TEST(CriticalityModes, PresetsMatchPaper) {
+    const auto util = CriticalityParams::for_mode(
+        CriticalityMode::UtilizationDriven);
+    EXPECT_GT(util.w_util, 0.0);
+    EXPECT_DOUBLE_EQ(util.w_aging, 0.0);
+
+    const auto time = CriticalityParams::for_mode(CriticalityMode::TimeDriven);
+    EXPECT_DOUBLE_EQ(time.w_util, 0.0);
+    EXPECT_DOUBLE_EQ(time.w_time, 1.0);
+
+    const auto hybrid = CriticalityParams::for_mode(CriticalityMode::Hybrid);
+    EXPECT_GT(hybrid.w_aging, 0.0);
+    EXPECT_GT(hybrid.w_util, 0.0);
+}
+
+TEST(CriticalityModes, Names) {
+    EXPECT_STREQ(to_string(CriticalityMode::UtilizationDriven), "utilization");
+    EXPECT_STREQ(to_string(CriticalityMode::TimeDriven), "time");
+    EXPECT_STREQ(to_string(CriticalityMode::Hybrid), "hybrid");
+}
+
+TEST(CriticalityValidation, RejectsDegenerateParams) {
+    CriticalityParams p;
+    p.util_ref_cycles = 0.0;
+    EXPECT_THROW(CriticalityEvaluator{p}, RequireError);
+    p = CriticalityParams{};
+    p.time_ref = 0;
+    EXPECT_THROW(CriticalityEvaluator{p}, RequireError);
+    p = CriticalityParams{};
+    p.w_util = p.w_time = p.w_aging = 0.0;
+    EXPECT_THROW(CriticalityEvaluator{p}, RequireError);
+    p = CriticalityParams{};
+    p.w_util = -1.0;
+    EXPECT_THROW(CriticalityEvaluator{p}, RequireError);
+}
+
+// Property sweep: criticality is monotone in elapsed time for every mode.
+class CriticalityMonotone : public ::testing::TestWithParam<CriticalityMode> {
+};
+
+TEST_P(CriticalityMonotone, TimeMonotonicity) {
+    CriticalityEvaluator eval(CriticalityParams::for_mode(GetParam()));
+    Chip chip(1, 1, TechNode::nm16);
+    double prev = -1.0;
+    for (int s = 0; s <= 10; ++s) {
+        const double c =
+            eval.evaluate(chip.core(0), seconds(static_cast<unsigned>(s)),
+                          0.0);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CriticalityMonotone,
+                         ::testing::Values(CriticalityMode::UtilizationDriven,
+                                           CriticalityMode::TimeDriven,
+                                           CriticalityMode::Hybrid));
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,183 @@
+#include "sim/event_queue.hpp"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty()) {
+        auto [t, cb] = q.pop();
+        cb();
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        q.schedule(5, [&, i] { order.push_back(i); });
+    }
+    while (!q.empty()) {
+        q.pop().second();
+    }
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+    EventQueue q;
+    bool fired = false;
+    const EventId id = q.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceIsNoop) {
+    EventQueue q;
+    const EventId id = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+    EventQueue q;
+    const EventId id = q.schedule(10, [] {});
+    q.pop().second();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelFiredWhileOthersPendingKeepsCount) {
+    EventQueue q;
+    const EventId a = q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    q.pop();  // fires a
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_FALSE(q.cancel(a));  // a already fired
+    EXPECT_EQ(q.pending(), 1u);  // count must not be corrupted
+}
+
+TEST(EventQueue, CancelInvalidIdIsNoop) {
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(EventId{}));
+    EXPECT_FALSE(q.cancel(EventId{999}));
+}
+
+TEST(EventQueue, IsPendingTracksLifecycle) {
+    EventQueue q;
+    const EventId id = q.schedule(5, [] {});
+    EXPECT_TRUE(q.is_pending(id));
+    q.pop();
+    EXPECT_FALSE(q.is_pending(id));
+    const EventId id2 = q.schedule(5, [] {});
+    q.cancel(id2);
+    EXPECT_FALSE(q.is_pending(id2));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+    EventQueue q;
+    const EventId early = q.schedule(1, [] {});
+    q.schedule(10, [] {});
+    q.cancel(early);
+    EXPECT_EQ(q.next_time(), 10u);
+}
+
+TEST(EventQueue, EmptyAccessorsThrow) {
+    EventQueue q;
+    EXPECT_THROW(q.pop(), RequireError);
+    EXPECT_THROW(q.next_time(), RequireError);
+}
+
+TEST(EventQueue, NullCallbackRejected) {
+    EventQueue q;
+    EXPECT_THROW(q.schedule(1, EventQueue::Callback{}), RequireError);
+}
+
+TEST(EventQueue, PendingCountTracksScheduleAndCancel) {
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 100; ++i) {
+        ids.push_back(q.schedule(static_cast<SimTime>(i), [] {}));
+    }
+    EXPECT_EQ(q.pending(), 100u);
+    for (int i = 0; i < 50; ++i) {
+        q.cancel(ids[static_cast<std::size_t>(2 * i)]);
+    }
+    EXPECT_EQ(q.pending(), 50u);
+    int fired = 0;
+    while (!q.empty()) {
+        q.pop();
+        ++fired;
+    }
+    EXPECT_EQ(fired, 50);
+}
+
+// Property test: random schedule/cancel/pop sequences match a reference
+// model (multimap ordered by (time, seq)).
+class EventQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzz, MatchesReferenceModel) {
+    Rng rng(GetParam());
+    EventQueue q;
+    // Reference: (time, seq) -> alive.
+    std::map<std::pair<SimTime, std::uint64_t>, bool> model;
+    std::vector<std::pair<EventId, std::pair<SimTime, std::uint64_t>>> handles;
+    std::uint64_t seq = 0;
+    SimTime clock = 0;
+    for (int step = 0; step < 3000; ++step) {
+        const double action = rng.uniform();
+        if (action < 0.5) {
+            const SimTime t = clock + rng.uniform_int(0, 1000);
+            const EventId id = q.schedule(t, [] {});
+            model[{t, ++seq}] = true;
+            handles.push_back({id, {t, seq}});
+        } else if (action < 0.7 && !handles.empty()) {
+            const auto& h = handles[rng.index(handles.size())];
+            const bool q_did = q.cancel(h.first);
+            auto it = model.find(h.second);
+            const bool model_did = it != model.end() && it->second;
+            EXPECT_EQ(q_did, model_did);
+            if (model_did) {
+                it->second = false;
+            }
+        } else if (!q.empty()) {
+            // Pop the earliest; reference must agree on the timestamp.
+            auto alive = model.begin();
+            while (alive != model.end() && !alive->second) {
+                ++alive;
+            }
+            ASSERT_NE(alive, model.end());
+            const auto [t, cb] = q.pop();
+            EXPECT_EQ(t, alive->first.first);
+            EXPECT_GE(t, clock);
+            clock = t;
+            alive->second = false;
+        }
+        // Erase dead prefix from the model to mirror q's ground truth size.
+        std::size_t model_alive = 0;
+        for (const auto& [k, alive_flag] : model) {
+            model_alive += alive_flag ? 1 : 0;
+        }
+        ASSERT_EQ(q.pending(), model_alive);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+}  // namespace
+}  // namespace mcs

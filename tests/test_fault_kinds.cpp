@@ -1,0 +1,145 @@
+#include "sbst/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+FaultModelParams only(FaultKind kind) {
+    FaultModelParams p;
+    p.base_rate_per_core_s = 100.0;  // certain injection
+    p.stuck_at_weight = kind == FaultKind::StuckAt ? 1.0 : 0.0;
+    p.delay_weight = kind == FaultKind::Delay ? 1.0 : 0.0;
+    p.low_voltage_weight = kind == FaultKind::LowVoltage ? 1.0 : 0.0;
+    return p;
+}
+
+TestSuite perfect_suite() {
+    std::vector<TestRoutine> routines;
+    for (std::size_t u = 0; u < kFunctionalUnitCount; ++u) {
+        routines.push_back({static_cast<FunctionalUnit>(u), "r", 100, 1.0,
+                            1.0});
+    }
+    return TestSuite(std::move(routines));
+}
+
+TEST(FaultKinds, Names) {
+    EXPECT_STREQ(to_string(FaultKind::StuckAt), "stuck-at");
+    EXPECT_STREQ(to_string(FaultKind::Delay), "delay");
+    EXPECT_STREQ(to_string(FaultKind::LowVoltage), "low-voltage");
+}
+
+TEST(FaultKinds, WeightsSelectKind) {
+    Chip chip(2, 2, TechNode::nm16);
+    for (FaultKind kind : {FaultKind::StuckAt, FaultKind::Delay,
+                           FaultKind::LowVoltage}) {
+        FaultInjector inj(4, only(kind), 1);
+        inj.step(0, 1.0, chip, {});
+        for (CoreId id = 0; id < 4; ++id) {
+            ASSERT_TRUE(inj.has_latent_fault(id));
+            EXPECT_EQ(inj.latent_fault(id)->kind, kind);
+        }
+    }
+}
+
+TEST(FaultKinds, MixProducesAllKinds) {
+    Chip chip(8, 8, TechNode::nm16);
+    FaultModelParams p;
+    p.base_rate_per_core_s = 100.0;
+    FaultInjector inj(64, p, 3);
+    inj.step(0, 1.0, chip, {});
+    int counts[3] = {0, 0, 0};
+    for (CoreId id = 0; id < 64; ++id) {
+        counts[static_cast<int>(inj.latent_fault(id)->kind)]++;
+    }
+    EXPECT_GT(counts[0], 0);  // stuck-at
+    EXPECT_GT(counts[1], 0);  // delay
+    EXPECT_GT(counts[2], 0);  // low-voltage
+}
+
+TEST(FaultKinds, StuckAtManifestsEverywhere) {
+    FaultInjector inj(1, only(FaultKind::StuckAt), 1);
+    for (int level = 0; level < 5; ++level) {
+        EXPECT_TRUE(inj.manifests_at(FaultKind::StuckAt, level, 5));
+    }
+}
+
+TEST(FaultKinds, DelayManifestsOnlyNearTop) {
+    FaultModelParams p = only(FaultKind::Delay);
+    p.delay_visible_levels = 2;
+    FaultInjector inj(1, p, 1);
+    EXPECT_FALSE(inj.manifests_at(FaultKind::Delay, 0, 5));
+    EXPECT_FALSE(inj.manifests_at(FaultKind::Delay, 2, 5));
+    EXPECT_TRUE(inj.manifests_at(FaultKind::Delay, 3, 5));
+    EXPECT_TRUE(inj.manifests_at(FaultKind::Delay, 4, 5));
+}
+
+TEST(FaultKinds, LowVoltageManifestsOnlyNearBottom) {
+    FaultModelParams p = only(FaultKind::LowVoltage);
+    p.lowv_visible_levels = 2;
+    FaultInjector inj(1, p, 1);
+    EXPECT_TRUE(inj.manifests_at(FaultKind::LowVoltage, 0, 5));
+    EXPECT_TRUE(inj.manifests_at(FaultKind::LowVoltage, 1, 5));
+    EXPECT_FALSE(inj.manifests_at(FaultKind::LowVoltage, 2, 5));
+    EXPECT_FALSE(inj.manifests_at(FaultKind::LowVoltage, 4, 5));
+}
+
+TEST(FaultKinds, DetectionRequiresManifestingLevel) {
+    Chip chip(1, 1, TechNode::nm16);
+    FaultInjector inj(1, only(FaultKind::Delay), 5);
+    inj.step(0, 1.0, chip, {});
+    ASSERT_TRUE(inj.has_latent_fault(0));
+    const TestSuite suite = perfect_suite();
+    // Sessions at low levels cannot see a delay fault -- and they do not
+    // count as routine escapes either.
+    for (int level = 0; level < 3; ++level) {
+        EXPECT_FALSE(inj.attempt_detection(0, 10, suite, level, 5));
+    }
+    EXPECT_EQ(inj.escaped_tests(), 0u);
+    // A top-level session sees it with certainty (perfect coverage).
+    auto det = inj.attempt_detection(0, 20, suite, 4, 5);
+    ASSERT_TRUE(det.has_value());
+    EXPECT_EQ(det->kind, FaultKind::Delay);
+}
+
+TEST(FaultKinds, LowVoltageCaughtOnlyByLowSessions) {
+    Chip chip(1, 1, TechNode::nm16);
+    FaultInjector inj(1, only(FaultKind::LowVoltage), 5);
+    inj.step(0, 1.0, chip, {});
+    const TestSuite suite = perfect_suite();
+    EXPECT_FALSE(inj.attempt_detection(0, 10, suite, 4, 5));
+    EXPECT_TRUE(inj.attempt_detection(0, 20, suite, 0, 5).has_value());
+}
+
+TEST(FaultKinds, SingleLevelOverloadSeesEverything) {
+    // The 1-level convenience overload treats the session as both top and
+    // bottom, so every class manifests.
+    Chip chip(1, 1, TechNode::nm16);
+    for (FaultKind kind : {FaultKind::StuckAt, FaultKind::Delay,
+                           FaultKind::LowVoltage}) {
+        FaultInjector inj(1, only(kind), 7);
+        inj.step(0, 1.0, chip, {});
+        EXPECT_TRUE(
+            inj.attempt_detection(0, 10, perfect_suite()).has_value())
+            << to_string(kind);
+    }
+}
+
+TEST(FaultKinds, Validation) {
+    FaultModelParams p;
+    p.stuck_at_weight = p.delay_weight = p.low_voltage_weight = 0.0;
+    EXPECT_THROW(FaultInjector(1, p, 1), RequireError);
+    p = FaultModelParams{};
+    p.delay_visible_levels = 0;
+    EXPECT_THROW(FaultInjector(1, p, 1), RequireError);
+    p = FaultModelParams{};
+    p.stuck_at_weight = -1.0;
+    EXPECT_THROW(FaultInjector(1, p, 1), RequireError);
+    FaultInjector ok(1, FaultModelParams{}, 1);
+    EXPECT_THROW(ok.manifests_at(FaultKind::StuckAt, 5, 5), RequireError);
+}
+
+}  // namespace
+}  // namespace mcs

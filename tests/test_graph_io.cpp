@@ -1,0 +1,126 @@
+#include "app/graph_io.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "app/workload.hpp"
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(GraphIo, ParsesWellFormedGraph) {
+    std::istringstream in(R"(# a diamond
+tasks 4
+task 0 100
+task 1 200
+task 2 50
+task 3 300
+edge 0 1 10
+edge 0 2 20
+edge 1 3 30
+edge 2 3 40
+)");
+    const TaskGraph g = read_task_graph(in);
+    EXPECT_EQ(g.size(), 4u);
+    EXPECT_EQ(g.total_cycles(), 650u);
+    EXPECT_EQ(g.edge_count(), 4u);
+    EXPECT_EQ(g.critical_path_cycles(), 600u);
+}
+
+TEST(GraphIo, IgnoresCommentsAndBlankLines) {
+    std::istringstream in(
+        "\n# header\ntasks 1  # trailing comment\n\ntask 0 42\n\n");
+    const TaskGraph g = read_task_graph(in);
+    EXPECT_EQ(g.size(), 1u);
+    EXPECT_EQ(g.task(0).cycles, 42u);
+}
+
+TEST(GraphIo, RoundTripsRandomGraphs) {
+    TaskGraphGenerator gen;
+    Rng rng(99);
+    for (int i = 0; i < 20; ++i) {
+        const TaskGraph original = gen.generate(rng);
+        std::stringstream buffer;
+        write_task_graph(original, buffer);
+        const TaskGraph loaded = read_task_graph(buffer);
+        ASSERT_EQ(loaded.size(), original.size());
+        ASSERT_EQ(loaded.total_cycles(), original.total_cycles());
+        ASSERT_EQ(loaded.total_comm_bytes(), original.total_comm_bytes());
+        ASSERT_EQ(loaded.edge_count(), original.edge_count());
+        ASSERT_EQ(loaded.critical_path_cycles(),
+                  original.critical_path_cycles());
+    }
+}
+
+TEST(GraphIo, FileRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/mcs_graph_test.tg";
+    TaskGraphGenerator gen;
+    Rng rng(7);
+    const TaskGraph g = gen.generate(rng);
+    save_task_graph(g, path);
+    const TaskGraph loaded = load_task_graph(path);
+    EXPECT_EQ(loaded.total_cycles(), g.total_cycles());
+    std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+    EXPECT_THROW(load_task_graph("/nonexistent-dir/nope.tg"), RequireError);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+    auto reject = [](const char* text) {
+        std::istringstream in(text);
+        EXPECT_THROW(read_task_graph(in), RequireError) << text;
+    };
+    reject("");                                    // no tasks directive
+    reject("task 0 10\n");                         // task before tasks
+    reject("tasks 0\n");                           // empty graph
+    reject("tasks 2\ntask 0 10\n");                // task 1 undeclared
+    reject("tasks 1\ntask 0 10\ntask 0 20\n");     // duplicate task
+    reject("tasks 1\ntask 5 10\n");                // index out of range
+    reject("tasks 1\ntask 0 0\n");                 // zero cycles
+    reject("tasks 1\ntask 0 10\nedge 0 5 1\n");    // edge out of range
+    reject("tasks 1\ntask 0 10\nbogus 1 2\n");     // unknown directive
+    reject("tasks 1\ntasks 1\ntask 0 10\n");       // duplicate tasks
+    reject("tasks x\n");                           // malformed count
+    // Cycle: caught by TaskGraph validation.
+    reject("tasks 2\ntask 0 1\ntask 1 1\nedge 0 1 1\nedge 1 0 1\n");
+}
+
+TEST(GraphIo, LibraryDrivesWorkload) {
+    std::istringstream in("tasks 2\ntask 0 1000\ntask 1 2000\nedge 0 1 64\n");
+    TaskGraph g = read_task_graph(in);
+    WorkloadParams params;
+    params.arrival_rate_hz = 100.0;
+    params.graph_library.push_back(std::move(g));
+    WorkloadGenerator gen(params, 5);
+    const auto apps = gen.generate(seconds(2));
+    ASSERT_FALSE(apps.empty());
+    for (const auto& app : apps) {
+        EXPECT_EQ(app.graph.size(), 2u);
+        EXPECT_EQ(app.graph.total_cycles(), 3000u);
+    }
+}
+
+TEST(GraphIo, LibraryDrawsUniformly) {
+    std::istringstream in1("tasks 1\ntask 0 1000\n");
+    std::istringstream in2("tasks 1\ntask 0 9000\n");
+    WorkloadParams params;
+    params.arrival_rate_hz = 500.0;
+    params.graph_library.push_back(read_task_graph(in1));
+    params.graph_library.push_back(read_task_graph(in2));
+    WorkloadGenerator gen(params, 11);
+    const auto apps = gen.generate(seconds(2));
+    int small = 0, big = 0;
+    for (const auto& app : apps) {
+        (app.graph.total_cycles() == 1000u ? small : big)++;
+    }
+    EXPECT_GT(small, 300);
+    EXPECT_GT(big, 300);
+}
+
+}  // namespace
+}  // namespace mcs

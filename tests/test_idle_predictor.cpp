@@ -1,0 +1,111 @@
+#include "core/idle_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(IdlePredictor, ColdPredictionUsesInitialGuess) {
+    IdlePredictor p(4, 0.25, 10 * kMillisecond);
+    p.notify_available(0, 0);
+    EXPECT_EQ(p.predict_remaining(0, 0), 10 * kMillisecond);
+    EXPECT_EQ(p.expected_period(0), 10 * kMillisecond);
+}
+
+TEST(IdlePredictor, RemainingShrinksAsPeriodElapses) {
+    IdlePredictor p(4, 0.25, 10 * kMillisecond);
+    p.notify_available(0, 0);
+    EXPECT_EQ(p.predict_remaining(0, 4 * kMillisecond), 6 * kMillisecond);
+    EXPECT_EQ(p.predict_remaining(0, 20 * kMillisecond), 0u);  // overdue
+}
+
+TEST(IdlePredictor, NotInPeriodPredictsZero) {
+    IdlePredictor p(4);
+    EXPECT_EQ(p.predict_remaining(2, kSecond), 0u);
+    p.notify_available(2, 0);
+    p.notify_unavailable(2, kMillisecond);
+    EXPECT_EQ(p.predict_remaining(2, 2 * kMillisecond), 0u);
+}
+
+TEST(IdlePredictor, EwmaTracksObservedPeriods) {
+    IdlePredictor p(1, 0.5, 0);
+    // Alternate 8 ms periods; EWMA converges toward 8 ms.
+    SimTime t = 0;
+    for (int i = 0; i < 10; ++i) {
+        p.notify_available(0, t);
+        t += 8 * kMillisecond;
+        p.notify_unavailable(0, t);
+        t += kMillisecond;
+    }
+    EXPECT_NEAR(static_cast<double>(p.expected_period(0)),
+                static_cast<double>(8 * kMillisecond),
+                static_cast<double>(kMillisecond) * 0.1);
+    EXPECT_EQ(p.completed_periods(), 10u);
+}
+
+TEST(IdlePredictor, AdaptsToRegimeChange) {
+    IdlePredictor p(1, 0.5, 0);
+    SimTime t = 0;
+    auto observe = [&](SimDuration len) {
+        p.notify_available(0, t);
+        t += len;
+        p.notify_unavailable(0, t);
+    };
+    for (int i = 0; i < 8; ++i) {
+        observe(2 * kMillisecond);
+    }
+    const auto before = p.expected_period(0);
+    for (int i = 0; i < 8; ++i) {
+        observe(40 * kMillisecond);
+    }
+    EXPECT_GT(p.expected_period(0), before * 10);
+}
+
+TEST(IdlePredictor, DoubleNotifyIsIdempotent) {
+    IdlePredictor p(1, 0.5, 5 * kMillisecond);
+    p.notify_available(0, 0);
+    p.notify_available(0, 3 * kMillisecond);  // must not restart the period
+    p.notify_unavailable(0, 10 * kMillisecond);
+    EXPECT_EQ(p.completed_periods(), 1u);
+    // Period measured from the first notify (10 ms, alpha 0.5 over 5 ms
+    // initial -> 7.5 ms).
+    EXPECT_NEAR(static_cast<double>(p.expected_period(0)), 7.5e6, 1e3);
+    p.notify_unavailable(0, 11 * kMillisecond);  // no-op
+    EXPECT_EQ(p.completed_periods(), 1u);
+}
+
+TEST(IdlePredictor, Validation) {
+    EXPECT_THROW(IdlePredictor(0), RequireError);
+    EXPECT_THROW(IdlePredictor(4, 0.0), RequireError);
+    EXPECT_THROW(IdlePredictor(4, 1.5), RequireError);
+    IdlePredictor p(2);
+    EXPECT_THROW(p.notify_available(2, 0), RequireError);
+    EXPECT_THROW(p.predict_remaining(2, 0), RequireError);
+    p.notify_available(0, kSecond);
+    EXPECT_THROW(p.notify_unavailable(0, 0), RequireError);
+}
+
+TEST(IdlePredictorSystem, PredictionReducesAbortedTests) {
+    // Under heavy load, requiring a predicted idle window should cut the
+    // abort count substantially without killing test throughput.
+    auto run = [](bool predict) {
+        SystemConfig cfg;
+        cfg.seed = 77;
+        cfg.power_aware.require_predicted_idle = predict;
+        const double capacity = 64.0 * technology(cfg.node).max_freq_hz;
+        cfg.workload.arrival_rate_hz =
+            rate_for_occupancy(0.9, cfg.workload.graphs, capacity);
+        ManycoreSystem sys(cfg);
+        return sys.run(6 * kSecond);
+    };
+    const RunMetrics off = run(false);
+    const RunMetrics on = run(true);
+    EXPECT_LT(on.tests_aborted, off.tests_aborted / 2);
+    EXPECT_GT(on.tests_completed, off.tests_completed / 3);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,255 @@
+#include "isa/isa.hpp"
+#include "isa/sbst_programs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+Program tiny(std::vector<Instr> code, FunctionalUnit target =
+                                          FunctionalUnit::Alu) {
+    Program p;
+    p.name = "tiny";
+    p.target = target;
+    p.code = std::move(code);
+    return p;
+}
+
+TEST(CoreModel, DeterministicSignatures) {
+    SbstLibrary lib;
+    CoreModel core;
+    for (const Program& p : lib.programs()) {
+        const auto a = core.run(p);
+        const auto b = core.run(p);
+        EXPECT_EQ(a.signature, b.signature) << p.name;
+        EXPECT_EQ(a.retired, b.retired) << p.name;
+        EXPECT_FALSE(a.hit_step_limit) << p.name;
+    }
+}
+
+TEST(CoreModel, DifferentProgramsDifferentSignatures) {
+    SbstLibrary lib;
+    CoreModel core;
+    std::set<std::uint64_t> sigs;
+    for (const Program& p : lib.programs()) {
+        sigs.insert(core.run(p).signature);
+    }
+    EXPECT_EQ(sigs.size(), lib.programs().size());
+}
+
+TEST(CoreModel, ArithmeticSemantics) {
+    // Compute (7 + 5) * 3 - 2 = 34 and store/reload it; verify through a
+    // program variant that loads the expected constant: both must produce
+    // identical write sequences, hence identical signatures.
+    CoreModel core;
+    const auto computed = core.run(tiny({
+        {Opcode::AddI, 1, 0, 0, 7},
+        {Opcode::AddI, 2, 0, 0, 5},
+        {Opcode::Add, 3, 1, 2, 0},    // 12
+        {Opcode::AddI, 4, 0, 0, 3},
+        {Opcode::Mul, 3, 3, 4, 0},    // 36
+        {Opcode::AddI, 3, 3, 0, -2},  // 34
+        {Opcode::Halt, 0, 0, 0, 0},
+    }));
+    const auto expected = core.run(tiny({
+        {Opcode::AddI, 1, 0, 0, 7},
+        {Opcode::AddI, 2, 0, 0, 5},
+        {Opcode::AddI, 3, 0, 0, 12},
+        {Opcode::AddI, 4, 0, 0, 3},
+        {Opcode::AddI, 3, 0, 0, 36},
+        {Opcode::AddI, 3, 0, 0, 34},
+        {Opcode::Halt, 0, 0, 0, 0},
+    }));
+    EXPECT_EQ(computed.signature, expected.signature);
+}
+
+TEST(CoreModel, R0IsHardwiredZero) {
+    CoreModel core;
+    const auto a = core.run(tiny({
+        {Opcode::AddI, 0, 0, 0, 99},  // write to r0 is dropped
+        {Opcode::Add, 1, 0, 0, 0},    // r1 = 0
+        {Opcode::Halt, 0, 0, 0, 0},
+    }));
+    const auto b = core.run(tiny({
+        {Opcode::AddI, 0, 0, 0, 99},
+        {Opcode::AddI, 1, 0, 0, 0},   // r1 = 0 via immediate
+        {Opcode::Halt, 0, 0, 0, 0},
+    }));
+    EXPECT_EQ(a.signature, b.signature);
+}
+
+TEST(CoreModel, DivisionByZeroIsDefined) {
+    CoreModel core;
+    const auto r = core.run(tiny({
+        {Opcode::AddI, 1, 0, 0, 10},
+        {Opcode::Div, 2, 1, 0, 0},  // 10 / 0 -> all-ones
+        {Opcode::Rem, 3, 1, 0, 0},  // 10 % 0 -> 10
+        {Opcode::Halt, 0, 0, 0, 0},
+    }));
+    EXPECT_GT(r.retired, 0u);  // must not trap
+}
+
+TEST(CoreModel, BranchesFollowComparisons) {
+    CoreModel core;
+    // Taken Beq skips the accumulator bump; signature must differ from the
+    // not-taken variant.
+    const auto taken = core.run(tiny({
+        {Opcode::Beq, 0, 0, 0, 2},      // r0 == r0: taken, skip next
+        {Opcode::AddI, 1, 0, 0, 1},
+        {Opcode::AddI, 2, 0, 0, 2},
+        {Opcode::Halt, 0, 0, 0, 0},
+    }));
+    const auto not_taken = core.run(tiny({
+        {Opcode::Bne, 0, 0, 0, 2},      // r0 != r0: not taken
+        {Opcode::AddI, 1, 0, 0, 1},
+        {Opcode::AddI, 2, 0, 0, 2},
+        {Opcode::Halt, 0, 0, 0, 0},
+    }));
+    EXPECT_NE(taken.signature, not_taken.signature);
+    EXPECT_EQ(taken.retired, 3u);      // branch, addi r2, halt
+    EXPECT_EQ(not_taken.retired, 4u);
+}
+
+TEST(CoreModel, MemoryRoundTrips) {
+    CoreModel core;
+    const auto r = core.run(tiny({
+        {Opcode::AddI, 1, 0, 0, 1234},
+        {Opcode::Sw, 0, 0, 1, 17},
+        {Opcode::Lw, 2, 0, 0, 17},
+        {Opcode::Sub, 3, 2, 1, 0},  // must be zero
+        {Opcode::Halt, 0, 0, 0, 0},
+    }));
+    const auto ref = core.run(tiny({
+        {Opcode::AddI, 1, 0, 0, 1234},
+        {Opcode::Sw, 0, 0, 1, 17},
+        {Opcode::AddI, 2, 0, 0, 1234},
+        {Opcode::AddI, 3, 0, 0, 0},
+        {Opcode::Halt, 0, 0, 0, 0},
+    }));
+    EXPECT_EQ(r.signature, ref.signature);
+}
+
+TEST(CoreModel, StepLimitIsReported) {
+    CoreModel core;
+    // Infinite loop (jump to self).
+    const auto r = core.run(tiny({{Opcode::Jmp, 0, 0, 0, 0}}), 1000);
+    EXPECT_TRUE(r.hit_step_limit);
+    EXPECT_EQ(r.retired, 1000u);
+}
+
+TEST(CoreModel, OutOfBoundsJumpThrowsWithoutFault) {
+    CoreModel core;
+    EXPECT_THROW(core.run(tiny({{Opcode::Jmp, 0, 0, 0, 100}})),
+                 RequireError);
+}
+
+TEST(CoreModel, EmptyProgramRejected) {
+    CoreModel core;
+    Program p;
+    p.code.clear();
+    EXPECT_THROW(core.run(p), RequireError);
+}
+
+TEST(CoreModel, InjectedAluFaultChangesSignature) {
+    SbstLibrary lib;
+    CoreModel core;
+    const Program& p = lib.program_for(FunctionalUnit::Alu);
+    const auto golden = core.run(p).signature;
+    const auto faulty = core.run_with_fault(
+        p, FaultSite{FunctionalUnit::Alu, 0, 7, true});
+    EXPECT_NE(faulty.signature, golden);
+}
+
+TEST(CoreModel, FaultyMisdecodeNeverThrows) {
+    SbstLibrary lib;
+    CoreModel core;
+    // Every fetch/decode fault over every program must terminate cleanly
+    // (wandering programs become detectable hangs, not crashes).
+    for (const Program& p : lib.programs()) {
+        for (const FaultSite& site :
+             SbstLibrary::fault_sites(FunctionalUnit::FetchDecode)) {
+            EXPECT_NO_THROW(core.run_with_fault(p, site, 100'000));
+        }
+    }
+}
+
+TEST(SbstLibrary, OneProgramPerUnit) {
+    SbstLibrary lib;
+    EXPECT_EQ(lib.programs().size(), kFunctionalUnitCount);
+    for (std::size_t u = 0; u < kFunctionalUnitCount; ++u) {
+        const auto unit = static_cast<FunctionalUnit>(u);
+        EXPECT_EQ(lib.program_for(unit).target, unit);
+    }
+}
+
+TEST(SbstLibrary, TargetCoverageIsHigh) {
+    SbstLibrary lib;
+    for (const Program& p : lib.programs()) {
+        const double c = lib.measure_coverage(p, p.target);
+        EXPECT_GE(c, 0.9) << p.name << " covers only " << c
+                          << " of its target unit";
+    }
+}
+
+TEST(SbstLibrary, RegfileMarchCatchesEverySampledSite) {
+    SbstLibrary lib;
+    const double c = lib.measure_coverage(
+        lib.program_for(FunctionalUnit::RegisterFile),
+        FunctionalUnit::RegisterFile);
+    EXPECT_GE(c, 0.95);
+}
+
+TEST(SbstLibrary, BranchStormCatchesBothStuckDirections) {
+    SbstLibrary lib;
+    EXPECT_DOUBLE_EQ(
+        lib.measure_coverage(lib.program_for(FunctionalUnit::BranchUnit),
+                             FunctionalUnit::BranchUnit),
+        1.0);
+}
+
+TEST(SbstLibrary, FaultSiteEnumerations) {
+    EXPECT_EQ(SbstLibrary::fault_sites(FunctionalUnit::Alu).size(), 64u);
+    EXPECT_EQ(SbstLibrary::fault_sites(FunctionalUnit::BranchUnit).size(),
+              2u);
+    EXPECT_EQ(SbstLibrary::fault_sites(FunctionalUnit::FetchDecode).size(),
+              kOpcodeCount * 3 * 2);
+    // Register file: 16 regs x 7 sampled bits x 2 polarities.
+    EXPECT_EQ(
+        SbstLibrary::fault_sites(FunctionalUnit::RegisterFile).size(),
+        16u * 7u * 2u);
+}
+
+TEST(SbstLibrary, MeasuredSuiteIsValid) {
+    SbstLibrary lib;
+    const TestSuite suite = lib.measured_suite();
+    EXPECT_EQ(suite.routine_count(), kFunctionalUnitCount);
+    for (std::size_t u = 0; u < kFunctionalUnitCount; ++u) {
+        EXPECT_GE(suite.coverage_of(static_cast<FunctionalUnit>(u)), 0.9);
+    }
+    EXPECT_GT(suite.total_cycles(), 100'000u);
+    EXPECT_GT(suite.mean_activity(), 1.0);
+}
+
+TEST(SbstLibrary, GoldenSignaturesStable) {
+    // Determinism lock: if the ISA or the programs change, these values
+    // change -- update deliberately.
+    SbstLibrary a, b;
+    for (std::size_t i = 0; i < a.programs().size(); ++i) {
+        EXPECT_EQ(a.golden_signature(a.programs()[i]),
+                  b.golden_signature(b.programs()[i]));
+    }
+}
+
+TEST(SbstLibrary, OpcodeNamesAndUnits) {
+    EXPECT_STREQ(to_string(Opcode::Add), "add");
+    EXPECT_STREQ(to_string(Opcode::Halt), "halt");
+    EXPECT_EQ(unit_of(Opcode::Mul), FunctionalUnit::Fpu);
+    EXPECT_EQ(unit_of(Opcode::Lw), FunctionalUnit::Lsu);
+    EXPECT_EQ(unit_of(Opcode::Lui), FunctionalUnit::RegisterFile);
+    EXPECT_EQ(unit_of(Opcode::Beq), FunctionalUnit::BranchUnit);
+}
+
+}  // namespace
+}  // namespace mcs

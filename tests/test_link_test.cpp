@@ -1,0 +1,171 @@
+#include "noc/link_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+NocTestParams enabled_params() {
+    NocTestParams p;
+    p.fault_rate_per_link_s = 1.0;
+    return p;
+}
+
+TEST(LinkTester, NoFaultsWhenRateZero) {
+    LinkTester t(10, NocTestParams{}, 1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(t.step(static_cast<SimTime>(i), 1.0).empty());
+    }
+    EXPECT_EQ(t.injected_count(), 0u);
+}
+
+TEST(LinkTester, FaultsArriveAndAreCapped) {
+    NocTestParams p;
+    p.fault_rate_per_link_s = 100.0;  // certain per step
+    LinkTester t(10, p, 2);
+    t.step(0, 1.0);
+    EXPECT_EQ(t.injected_count(), 10u);
+    t.step(1, 1.0);
+    EXPECT_EQ(t.injected_count(), 10u);  // one latent fault per link
+    for (LinkId l = 0; l < 10; ++l) {
+        EXPECT_TRUE(t.has_latent_fault(l));
+    }
+}
+
+TEST(LinkTester, DetectionRepairsLink) {
+    NocTestParams p = enabled_params();
+    p.fault_rate_per_link_s = 100.0;
+    p.test_coverage = 1.0;
+    LinkTester t(4, p, 3);
+    t.step(50, 1.0);
+    ASSERT_TRUE(t.has_latent_fault(2));
+    const auto det = t.attempt_detection(2, 200);
+    ASSERT_TRUE(det.has_value());
+    EXPECT_EQ(det->injected, 50u);
+    EXPECT_EQ(det->detected_at, 200u);
+    EXPECT_FALSE(t.has_latent_fault(2));  // repaired
+    EXPECT_EQ(t.detected_count(), 1u);
+    // The repaired link can fail again (the other three still hold their
+    // original latent faults, so only link 2 gets a fresh one).
+    t.step(300, 1.0);
+    EXPECT_TRUE(t.has_latent_fault(2));
+    EXPECT_EQ(t.injected_count(), 5u);
+}
+
+TEST(LinkTester, ZeroCoverageAlwaysEscapes) {
+    NocTestParams p = enabled_params();
+    p.fault_rate_per_link_s = 100.0;
+    p.test_coverage = 0.0;
+    LinkTester t(2, p, 4);
+    t.step(0, 1.0);
+    EXPECT_FALSE(t.attempt_detection(0, 10).has_value());
+    EXPECT_EQ(t.escaped_tests(), 1u);
+    EXPECT_TRUE(t.has_latent_fault(0));
+}
+
+TEST(LinkTester, HealthyLinkDetectionIsNoop) {
+    LinkTester t(2, NocTestParams{}, 5);
+    EXPECT_FALSE(t.attempt_detection(0, 10).has_value());
+    EXPECT_EQ(t.escaped_tests(), 0u);
+}
+
+TEST(LinkTester, CorruptionOnlyOnFaultyLinks) {
+    NocTestParams p = enabled_params();
+    p.fault_rate_per_link_s = 100.0;
+    p.message_corruption_prob = 1.0;
+    LinkTester t(2, p, 6);
+    EXPECT_FALSE(t.roll_message_corruption(0));
+    t.step(0, 1.0);
+    EXPECT_TRUE(t.roll_message_corruption(0));
+    EXPECT_EQ(t.corrupted_messages(), 1u);
+}
+
+TEST(LinkTester, Validation) {
+    EXPECT_THROW(LinkTester(0, NocTestParams{}, 1), RequireError);
+    NocTestParams p;
+    p.test_coverage = 1.5;
+    EXPECT_THROW(LinkTester(4, p, 1), RequireError);
+    p = NocTestParams{};
+    p.test_bytes = 0;
+    EXPECT_THROW(LinkTester(4, p, 1), RequireError);
+    p = NocTestParams{};
+    p.max_concurrent_tests = 0;
+    EXPECT_THROW(LinkTester(4, p, 1), RequireError);
+    LinkTester ok(4, NocTestParams{}, 1);
+    EXPECT_THROW(ok.has_latent_fault(4), RequireError);
+}
+
+TEST(LinkTestSystem, LinksGetTestedUnderBudget) {
+    SystemConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.seed = 21;
+    cfg.enable_noc_testing = true;
+    cfg.noc_test.test_period_target = 500 * kMillisecond;
+    cfg.workload.arrival_rate_hz = 100.0;
+    ManycoreSystem sys(cfg);
+    const RunMetrics m = sys.run(3 * kSecond);
+    EXPECT_GT(m.link_tests_completed,
+              sys.network().topology().link_count());  // several rounds
+    EXPECT_LT(m.max_open_link_test_gap_s, 1.5);
+    EXPECT_EQ(m.tdp_violations, 0u);
+}
+
+TEST(LinkTestSystem, LinkFaultsDetectedEndToEnd) {
+    SystemConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.seed = 23;
+    cfg.enable_noc_testing = true;
+    cfg.noc_test.fault_rate_per_link_s = 0.05;
+    cfg.noc_test.test_period_target = 300 * kMillisecond;
+    cfg.workload.arrival_rate_hz = 200.0;
+    ManycoreSystem sys(cfg);
+    const RunMetrics m = sys.run(4 * kSecond);
+    EXPECT_GT(m.link_faults_injected, 0u);
+    EXPECT_GT(m.link_faults_detected, 0u);
+    EXPECT_GT(m.link_detection_latency_s.count(), 0u);
+}
+
+TEST(LinkTestSystem, DisabledByDefault) {
+    SystemConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.workload.arrival_rate_hz = 100.0;
+    ManycoreSystem sys(cfg);
+    const RunMetrics m = sys.run(kSecond);
+    EXPECT_EQ(m.link_tests_completed, 0u);
+    EXPECT_EQ(m.link_faults_injected, 0u);
+    EXPECT_EQ(sys.link_tester(), nullptr);
+}
+
+TEST(NetworkRouteExposure, LastRouteMatchesTransfer) {
+    Network net(4, 4);
+    const Transfer t = net.send(0, 5, 100);
+    EXPECT_EQ(net.last_route().size(), static_cast<std::size_t>(t.hops));
+    net.send(3, 3, 100);
+    EXPECT_TRUE(net.last_route().empty());
+}
+
+TEST(NetworkInjectLoad, RaisesUtilization) {
+    NocParams p;
+    p.util_window = 100 * kMicrosecond;
+    Network net(4, 1, p);
+    net.inject_link_load(0, 1'000'000);
+    net.roll_window();
+    EXPECT_GT(net.link_utilization(0), 0.0);
+    EXPECT_THROW(net.inject_link_load(
+                     static_cast<LinkId>(net.topology().link_count()), 1),
+                 RequireError);
+}
+
+TEST(NetworkLinkTransferTime, ScalesWithBytes) {
+    Network net(4, 4);
+    EXPECT_GT(net.link_transfer_time(100000), net.link_transfer_time(100));
+}
+
+}  // namespace
+}  // namespace mcs

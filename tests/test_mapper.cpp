@@ -1,0 +1,322 @@
+#include "mapping/contiguous_mapper.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+/// Owns the buffers behind a PlatformView for test scenarios.
+struct ViewFixture {
+    int width;
+    int height;
+    std::vector<std::uint8_t> alloc;
+    std::vector<double> util;
+    std::vector<double> crit;
+    std::vector<std::uint8_t> testing;
+
+    ViewFixture(int w, int h)
+        : width(w),
+          height(h),
+          alloc(static_cast<std::size_t>(w * h), 1),
+          util(static_cast<std::size_t>(w * h), 0.0),
+          crit(static_cast<std::size_t>(w * h), 0.0),
+          testing(static_cast<std::size_t>(w * h), 0) {}
+
+    PlatformView view() const {
+        PlatformView v;
+        v.width = width;
+        v.height = height;
+        v.allocatable = alloc;
+        v.utilization = util;
+        v.criticality = crit;
+        v.testing = testing;
+        return v;
+    }
+};
+
+void expect_valid_mapping(const MappingResult& r, const PlatformView& v,
+                          std::size_t n) {
+    ASSERT_EQ(r.cores.size(), n);
+    std::set<CoreId> unique(r.cores.begin(), r.cores.end());
+    EXPECT_EQ(unique.size(), n) << "duplicate cores in mapping";
+    for (CoreId id : r.cores) {
+        ASSERT_LT(id, v.core_count());
+        EXPECT_TRUE(v.allocatable[id]);
+    }
+}
+
+TEST(ContiguousMapper, MapsRequestedCount) {
+    ViewFixture f(8, 8);
+    auto mapper = ContiguousMapper::plain();
+    Rng rng(1);
+    const auto r = mapper.map({1, 9}, f.view(), rng);
+    ASSERT_TRUE(r.has_value());
+    expect_valid_mapping(*r, f.view(), 9);
+}
+
+TEST(ContiguousMapper, RegionIsCompact) {
+    ViewFixture f(8, 8);
+    auto mapper = ContiguousMapper::plain();
+    Rng rng(1);
+    const auto r = mapper.map({1, 9}, f.view(), rng);
+    ASSERT_TRUE(r.has_value());
+    // 9 cores on an empty mesh should form (close to) a 3x3 block:
+    // average pairwise distance of a perfect 3x3 block is 2.
+    EXPECT_LE(mapping_dispersion(f.view(), r->cores), 2.5);
+}
+
+TEST(ContiguousMapper, ReturnsNulloptWhenInsufficient) {
+    ViewFixture f(4, 4);
+    for (std::size_t i = 0; i < 10; ++i) {
+        f.alloc[i] = 0;
+    }
+    auto mapper = ContiguousMapper::plain();
+    Rng rng(1);
+    EXPECT_FALSE(mapper.map({1, 7}, f.view(), rng).has_value());
+    EXPECT_TRUE(mapper.map({1, 6}, f.view(), rng).has_value());
+}
+
+TEST(ContiguousMapper, NeverPicksUnallocatable) {
+    ViewFixture f(6, 6);
+    // Checkerboard free pattern.
+    for (std::size_t i = 0; i < f.alloc.size(); ++i) {
+        f.alloc[i] = (i % 2 == 0) ? 1 : 0;
+    }
+    auto mapper = ContiguousMapper::plain();
+    Rng rng(1);
+    const auto r = mapper.map({1, 10}, f.view(), rng);
+    ASSERT_TRUE(r.has_value());
+    expect_valid_mapping(*r, f.view(), 10);
+}
+
+TEST(ContiguousMapper, PrefersFreeRegion) {
+    ViewFixture f(8, 4);
+    // Left half occupied.
+    for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+            f.alloc[static_cast<std::size_t>(y * 8 + x)] = 0;
+        }
+    }
+    auto mapper = ContiguousMapper::plain();
+    Rng rng(1);
+    const auto r = mapper.map({1, 4}, f.view(), rng);
+    ASSERT_TRUE(r.has_value());
+    for (CoreId id : r->cores) {
+        EXPECT_GE(static_cast<int>(id) % 8, 4) << "mapped into occupied half";
+    }
+}
+
+TEST(ContiguousMapper, UtilizationOrientedAvoidsWornRegion) {
+    ViewFixture f(8, 4);
+    // Left half heavily utilized (but free).
+    for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+            f.util[static_cast<std::size_t>(y * 8 + x)] = 0.9;
+        }
+    }
+    auto mapper = ContiguousMapper::utilization_oriented();
+    Rng rng(1);
+    const auto r = mapper.map({1, 4}, f.view(), rng);
+    ASSERT_TRUE(r.has_value());
+    int right = 0;
+    for (CoreId id : r->cores) {
+        right += (static_cast<int>(id) % 8 >= 4) ? 1 : 0;
+    }
+    EXPECT_GE(right, 3);
+}
+
+TEST(ContiguousMapper, TestAwareAvoidsCriticalCores) {
+    ViewFixture f(8, 4);
+    // Left half highly test-critical.
+    for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+            f.crit[static_cast<std::size_t>(y * 8 + x)] = 1.5;
+        }
+    }
+    auto mapper = ContiguousMapper::test_aware();
+    Rng rng(1);
+    const auto r = mapper.map({1, 4}, f.view(), rng);
+    ASSERT_TRUE(r.has_value());
+    for (CoreId id : r->cores) {
+        EXPECT_GE(static_cast<int>(id) % 8, 4)
+            << "test-aware mapper picked a critical core unnecessarily";
+    }
+}
+
+TEST(ContiguousMapper, ThermalAwareAvoidsHotRegion) {
+    ViewFixture f(8, 4);
+    std::vector<double> temps(32, 45.0);
+    for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+            temps[static_cast<std::size_t>(y * 8 + x)] = 85.0;  // hot half
+        }
+    }
+    auto mapper = ContiguousMapper::thermal_aware();
+    Rng rng(1);
+    PlatformView v = f.view();
+    v.temperature_c = temps;
+    const auto r = mapper.map({1, 4}, v, rng);
+    ASSERT_TRUE(r.has_value());
+    for (CoreId id : r->cores) {
+        EXPECT_GE(static_cast<int>(id) % 8, 4)
+            << "thermal-aware mapper picked a hot core unnecessarily";
+    }
+    // Without temperature data it behaves like the test-aware mapper.
+    const auto r2 = mapper.map({1, 4}, f.view(), rng);
+    EXPECT_TRUE(r2.has_value());
+}
+
+TEST(ContiguousMapper, TestAwareAvoidsTestingCores) {
+    ViewFixture f(4, 4);
+    // Core 5 is mid-test; 8 cores requested out of 16 -- plenty of room to
+    // avoid it.
+    f.testing[5] = 1;
+    auto mapper = ContiguousMapper::test_aware();
+    Rng rng(1);
+    const auto r = mapper.map({1, 8}, f.view(), rng);
+    ASSERT_TRUE(r.has_value());
+    for (CoreId id : r->cores) {
+        EXPECT_NE(id, 5u);
+    }
+}
+
+TEST(ContiguousMapper, ClaimsTestingCoreOnlyWhenNecessary) {
+    ViewFixture f(4, 4);
+    f.testing[5] = 1;
+    auto mapper = ContiguousMapper::test_aware();
+    Rng rng(1);
+    const auto r = mapper.map({1, 16}, f.view(), rng);  // needs every core
+    ASSERT_TRUE(r.has_value());
+    std::set<CoreId> cores(r->cores.begin(), r->cores.end());
+    EXPECT_TRUE(cores.count(5));
+}
+
+TEST(ContiguousMapper, PlainIgnoresTestingCores) {
+    ViewFixture f(4, 4);
+    f.testing[0] = 1;
+    auto mapper = ContiguousMapper::plain();
+    Rng rng(1);
+    const auto r = mapper.map({1, 16}, f.view(), rng);
+    ASSERT_TRUE(r.has_value());
+    expect_valid_mapping(*r, f.view(), 16);
+}
+
+TEST(RandomMapper, ValidAndSeedDeterministic) {
+    ViewFixture f(6, 6);
+    RandomMapper mapper;
+    Rng a(5), b(5);
+    const auto ra = mapper.map({1, 8}, f.view(), a);
+    const auto rb = mapper.map({1, 8}, f.view(), b);
+    ASSERT_TRUE(ra.has_value());
+    expect_valid_mapping(*ra, f.view(), 8);
+    EXPECT_EQ(ra->cores, rb->cores);
+}
+
+TEST(RandomMapper, MoreDispersedThanContiguous) {
+    ViewFixture f(8, 8);
+    RandomMapper rnd;
+    auto cont = ContiguousMapper::plain();
+    Rng r1(9), r2(9);
+    double rnd_disp = 0.0, cont_disp = 0.0;
+    for (int i = 0; i < 20; ++i) {
+        rnd_disp += mapping_dispersion(
+            f.view(), rnd.map({1, 9}, f.view(), r1)->cores);
+        cont_disp += mapping_dispersion(
+            f.view(), cont.map({1, 9}, f.view(), r2)->cores);
+    }
+    EXPECT_GT(rnd_disp, cont_disp * 1.5);
+}
+
+TEST(FirstFitMapper, TakesRowMajorPrefix) {
+    ViewFixture f(4, 4);
+    f.alloc[0] = 0;
+    FirstFitMapper mapper;
+    Rng rng(1);
+    const auto r = mapper.map({1, 3}, f.view(), rng);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->cores, (std::vector<CoreId>{1, 2, 3}));
+}
+
+TEST(FirstFitMapper, NulloptWhenFull) {
+    ViewFixture f(2, 2);
+    for (auto& a : f.alloc) {
+        a = 0;
+    }
+    FirstFitMapper mapper;
+    Rng rng(1);
+    EXPECT_FALSE(mapper.map({1, 1}, f.view(), rng).has_value());
+}
+
+TEST(MappingDispersion, KnownValues) {
+    ViewFixture f(4, 4);
+    // Cores 0 and 3 in the same row: distance 3.
+    EXPECT_DOUBLE_EQ(
+        mapping_dispersion(f.view(), std::vector<CoreId>{0, 3}), 3.0);
+    // Single core: zero.
+    EXPECT_DOUBLE_EQ(mapping_dispersion(f.view(), std::vector<CoreId>{0}),
+                     0.0);
+    // 2x2 block: mean of {1,1,1,1,2,2} = 8/6.
+    EXPECT_NEAR(
+        mapping_dispersion(f.view(), std::vector<CoreId>{0, 1, 4, 5}),
+        8.0 / 6.0, 1e-12);
+}
+
+TEST(MapperValidation, RejectsBadInputs) {
+    ViewFixture f(4, 4);
+    auto mapper = ContiguousMapper::plain();
+    Rng rng(1);
+    EXPECT_THROW(mapper.map({1, 0}, f.view(), rng), RequireError);
+    PlatformView bad = f.view();
+    bad.width = 0;
+    EXPECT_THROW(mapper.map({1, 2}, bad, rng), RequireError);
+    PlatformView mismatched = f.view();
+    mismatched.width = 5;  // alloc mask no longer matches
+    EXPECT_THROW(mapper.map({1, 2}, mismatched, rng), RequireError);
+}
+
+// Property sweep: every mapper returns valid mappings over random masks.
+class MapperProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MapperProperty, ValidOverRandomOccupancy) {
+    Rng rng(GetParam());
+    ViewFixture f(8, 8);
+    for (auto& a : f.alloc) {
+        a = rng.bernoulli(0.6) ? 1 : 0;
+    }
+    for (auto& u : f.util) {
+        u = rng.uniform();
+    }
+    for (auto& c : f.crit) {
+        c = rng.uniform(0.0, 2.0);
+    }
+    std::size_t free_count = 0;
+    for (auto a : f.alloc) {
+        free_count += a;
+    }
+    auto plain = ContiguousMapper::plain();
+    auto taum = ContiguousMapper::test_aware();
+    RandomMapper random;
+    FirstFitMapper first_fit;
+    for (Mapper* m : std::initializer_list<Mapper*>{&plain, &taum, &random,
+                                                    &first_fit}) {
+        for (std::size_t n : {1u, 4u, 9u, 16u}) {
+            const auto r = m->map({1, n}, f.view(), rng);
+            if (n <= free_count) {
+                ASSERT_TRUE(r.has_value()) << m->name();
+                expect_valid_mapping(*r, f.view(), n);
+            } else {
+                EXPECT_FALSE(r.has_value()) << m->name();
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperProperty,
+                         ::testing::Values(1u, 7u, 13u, 99u, 1234u));
+
+}  // namespace
+}  // namespace mcs

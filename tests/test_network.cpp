@@ -1,0 +1,156 @@
+#include "noc/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+NocParams fast_params() {
+    NocParams p;
+    p.link_bandwidth_bytes_per_s = 1.0e9;
+    p.router_latency = 4;
+    p.util_window = 100 * kMicrosecond;
+    return p;
+}
+
+TEST(Network, LocalTransferIsFree) {
+    Network net(4, 4, fast_params());
+    const Transfer t = net.send(5, 5, 1000);
+    EXPECT_EQ(t.latency, 0u);
+    EXPECT_EQ(t.hops, 0);
+    EXPECT_DOUBLE_EQ(t.energy_j, 0.0);
+    EXPECT_EQ(net.messages_sent(), 1u);
+}
+
+TEST(Network, ZeroBytesIsFree) {
+    Network net(4, 4, fast_params());
+    const Transfer t = net.send(0, 15, 0);
+    EXPECT_EQ(t.latency, 0u);
+}
+
+TEST(Network, LatencyGrowsWithHops) {
+    Network net(8, 1, fast_params());
+    const Transfer near = net.send(0, 1, 1000);
+    const Transfer far = net.send(0, 7, 1000);
+    EXPECT_EQ(near.hops, 1);
+    EXPECT_EQ(far.hops, 7);
+    EXPECT_GT(far.latency, near.latency);
+    // Difference is exactly the extra router hops (same serialization).
+    EXPECT_EQ(far.latency - near.latency, 6 * fast_params().router_latency);
+}
+
+TEST(Network, LatencyGrowsWithBytes) {
+    Network net(4, 4, fast_params());
+    const Transfer small = net.send(0, 1, 1000);
+    const Transfer big = net.send(0, 1, 100000);
+    EXPECT_GT(big.latency, small.latency);
+    // 100000 B at 1 GB/s = 100 us serialization.
+    EXPECT_NEAR(to_microseconds(big.latency), 100.0, 1.0);
+}
+
+TEST(Network, EnergyProportionalToByteHops) {
+    NocParams p = fast_params();
+    p.energy_per_byte_hop_j = 1e-12;
+    Network net(8, 1, p);
+    const Transfer t = net.send(0, 4, 1000);  // 4 hops
+    EXPECT_DOUBLE_EQ(t.energy_j, 1000.0 * 4.0 * 1e-12);
+    EXPECT_DOUBLE_EQ(net.total_energy_j(), t.energy_j);
+    EXPECT_EQ(net.total_hop_bytes(), 4000u);
+}
+
+TEST(Network, UtilizationBuildsWithTraffic) {
+    Network net(4, 1, fast_params());
+    EXPECT_DOUBLE_EQ(net.peak_utilization(), 0.0);
+    // Saturate link 0->1: window capacity = 1e9 * 100us = 100 kB.
+    net.send(0, 1, 100'000);
+    net.roll_window();
+    EXPECT_GT(net.peak_utilization(), 0.25);  // alpha * 1.0
+    EXPECT_GT(net.mean_utilization(), 0.0);
+    EXPECT_LT(net.mean_utilization(), net.peak_utilization());
+}
+
+TEST(Network, UtilizationDecaysWithoutTraffic) {
+    Network net(4, 1, fast_params());
+    net.send(0, 1, 100'000);
+    net.roll_window();
+    const double u1 = net.peak_utilization();
+    net.roll_window();
+    net.roll_window();
+    EXPECT_LT(net.peak_utilization(), u1);
+}
+
+TEST(Network, CongestionInflatesLatency) {
+    Network net(4, 1, fast_params());
+    const Transfer before = net.send(0, 3, 10'000);
+    // Hammer the same path, then roll the window to update utilization.
+    for (int i = 0; i < 20; ++i) {
+        net.send(0, 3, 100'000);
+    }
+    net.roll_window();
+    const Transfer after = net.send(0, 3, 10'000);
+    EXPECT_GT(after.bottleneck_util, before.bottleneck_util);
+    EXPECT_GT(after.latency, before.latency);
+}
+
+TEST(Network, CongestedLatencyStaysFinite) {
+    Network net(4, 1, fast_params());
+    for (int i = 0; i < 1000; ++i) {
+        net.send(0, 3, 1'000'000);
+        if (i % 10 == 0) {
+            net.roll_window();
+        }
+    }
+    net.roll_window();
+    const Transfer t = net.send(0, 3, 1000);
+    // Even at max modeled utilization (0.95), slowdown is bounded by 20x.
+    const double base_s = 1000.0 / fast_params().link_bandwidth_bytes_per_s;
+    EXPECT_LT(to_seconds(t.latency), base_s * 25.0);
+}
+
+TEST(Network, LinkUtilizationPerLink) {
+    Network net(4, 1, fast_params());
+    net.send(0, 1, 50'000);
+    net.roll_window();
+    const MeshTopology& topo = net.topology();
+    const LinkId used = topo.link_between(0, 1);
+    const LinkId unused = topo.link_between(1, 0);
+    EXPECT_GT(net.link_utilization(used), 0.0);
+    EXPECT_DOUBLE_EQ(net.link_utilization(unused), 0.0);
+    EXPECT_THROW(net.link_utilization(static_cast<LinkId>(
+                     topo.link_count())),
+                 RequireError);
+}
+
+TEST(Network, RouterIdlePowerScalesWithNodes) {
+    NocParams p = fast_params();
+    p.router_idle_power_w = 0.01;
+    Network small(2, 2, p);
+    Network big(4, 4, p);
+    EXPECT_DOUBLE_EQ(small.routers_idle_power_w(), 0.04);
+    EXPECT_DOUBLE_EQ(big.routers_idle_power_w(), 0.16);
+}
+
+TEST(Network, StatsAccumulate) {
+    Network net(4, 4, fast_params());
+    net.send(0, 5, 100);
+    net.send(3, 12, 200);
+    EXPECT_EQ(net.messages_sent(), 2u);
+    EXPECT_EQ(net.bytes_sent(), 300u);
+}
+
+TEST(Network, RejectsBadParams) {
+    NocParams p = fast_params();
+    p.link_bandwidth_bytes_per_s = 0.0;
+    EXPECT_THROW(Network(4, 4, p), RequireError);
+    p = fast_params();
+    p.util_ewma_alpha = 0.0;
+    EXPECT_THROW(Network(4, 4, p), RequireError);
+    p = fast_params();
+    p.util_window = 0;
+    EXPECT_THROW(Network(4, 4, p), RequireError);
+}
+
+}  // namespace
+}  // namespace mcs

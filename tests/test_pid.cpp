@@ -1,0 +1,132 @@
+#include "power/pid_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Pid, ProportionalResponse) {
+    PidParams p;
+    p.kp = 2.0;
+    p.ki = 0.0;
+    p.kd = 0.0;
+    p.out_min = -10.0;
+    p.out_max = 10.0;
+    PidController pid(p);
+    EXPECT_NEAR(pid.update(1.0, 0.1), 2.0, 1e-12);
+    EXPECT_NEAR(pid.update(-0.5, 0.1), -1.0, 1e-12);
+}
+
+TEST(Pid, OutputClamped) {
+    PidParams p;
+    p.kp = 100.0;
+    p.ki = 0.0;
+    p.kd = 0.0;
+    PidController pid(p);
+    EXPECT_DOUBLE_EQ(pid.update(1.0, 0.1), p.out_max);
+    EXPECT_DOUBLE_EQ(pid.update(-1.0, 0.1), p.out_min);
+}
+
+TEST(Pid, IntegralAccumulates) {
+    PidParams p;
+    p.kp = 0.0;
+    p.ki = 1.0;
+    p.kd = 0.0;
+    p.integral_limit = 100.0;
+    p.out_min = -100.0;
+    p.out_max = 100.0;
+    PidController pid(p);
+    double out = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        out = pid.update(1.0, 0.5);
+    }
+    EXPECT_NEAR(out, 5.0, 1e-12);  // 10 steps * 1.0 * 0.5s
+}
+
+TEST(Pid, AntiWindupClampsIntegral) {
+    PidParams p;
+    p.kp = 0.0;
+    p.ki = 1.0;
+    p.kd = 0.0;
+    p.integral_limit = 2.0;
+    p.out_min = -100.0;
+    p.out_max = 100.0;
+    PidController pid(p);
+    for (int i = 0; i < 100; ++i) {
+        pid.update(1.0, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(pid.last_output(), 2.0);  // saturated at the clamp
+    // Recovery is immediate once errors flip, because the integral never
+    // wound past the clamp.
+    pid.update(-1.0, 1.0);
+    EXPECT_LE(pid.last_output(), 1.0);
+}
+
+TEST(Pid, DerivativeRespondsToChange) {
+    PidParams p;
+    p.kp = 0.0;
+    p.ki = 0.0;
+    p.kd = 1.0;
+    p.out_min = -100.0;
+    p.out_max = 100.0;
+    PidController pid(p);
+    // First update has no derivative (no previous error).
+    EXPECT_DOUBLE_EQ(pid.update(1.0, 0.5), 0.0);
+    // Error jumps by +1 over 0.5s -> derivative 2.
+    EXPECT_NEAR(pid.update(2.0, 0.5), 2.0, 1e-12);
+    // Constant error -> derivative 0.
+    EXPECT_NEAR(pid.update(2.0, 0.5), 0.0, 1e-12);
+}
+
+TEST(Pid, ResetClearsState) {
+    PidParams p;
+    p.kp = 0.0;
+    p.ki = 1.0;
+    p.kd = 1.0;
+    p.integral_limit = 100.0;
+    p.out_min = -100.0;
+    p.out_max = 100.0;
+    PidController pid(p);
+    pid.update(5.0, 1.0);
+    pid.update(5.0, 1.0);
+    pid.reset();
+    EXPECT_DOUBLE_EQ(pid.last_output(), 0.0);
+    // After reset the derivative term is suppressed again.
+    EXPECT_DOUBLE_EQ(pid.update(3.0, 1.0), 3.0);  // integral only: 3*1
+}
+
+TEST(Pid, DefaultsConvergeOnStepDisturbance) {
+    // Simulate a crude plant: power deficit shrinks proportionally to the
+    // controller output; the loop must converge to ~zero error without
+    // oscillating to the clamps (regression for the derivative-blowup bug
+    // with dt = 1e-4).
+    PidController pid(PidParams{});
+    double error = 0.5;
+    int clamped = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const double u = pid.update(error, 1e-4);
+        if (u >= 1.0 || u <= -1.0) {
+            ++clamped;
+        }
+        error -= 0.02 * u;  // plant response
+    }
+    EXPECT_NEAR(error, 0.0, 0.05);
+    EXPECT_LT(clamped, 100);
+}
+
+TEST(Pid, InvalidParamsThrow) {
+    PidParams p;
+    p.out_min = 1.0;
+    p.out_max = -1.0;
+    EXPECT_THROW(PidController{p}, RequireError);
+    PidParams q;
+    q.integral_limit = -1.0;
+    EXPECT_THROW(PidController{q}, RequireError);
+    PidController ok{PidParams{}};
+    EXPECT_THROW(ok.update(0.0, 0.0), RequireError);
+}
+
+}  // namespace
+}  // namespace mcs

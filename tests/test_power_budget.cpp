@@ -1,0 +1,62 @@
+#include "power/power_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(PowerBudget, SlackTracksLastSample) {
+    PowerBudget b(30.0);
+    EXPECT_DOUBLE_EQ(b.tdp_w(), 30.0);
+    EXPECT_DOUBLE_EQ(b.slack_w(), 30.0);  // nothing recorded yet
+    b.record(0, 12.0);
+    EXPECT_DOUBLE_EQ(b.slack_w(), 18.0);
+    EXPECT_DOUBLE_EQ(b.last_power_w(), 12.0);
+    b.record(1, 35.0);
+    EXPECT_DOUBLE_EQ(b.slack_w(), 0.0);  // clamped, never negative
+}
+
+TEST(PowerBudget, CountsViolations) {
+    PowerBudget b(30.0);
+    b.record(0, 29.0);
+    b.record(1, 30.0);  // at the cap: not a violation
+    b.record(2, 31.0);
+    b.record(3, 40.0);
+    EXPECT_EQ(b.samples(), 4u);
+    EXPECT_EQ(b.violations(), 2u);
+    EXPECT_DOUBLE_EQ(b.violation_rate(), 0.5);
+    EXPECT_DOUBLE_EQ(b.worst_overshoot_w(), 10.0);
+}
+
+TEST(PowerBudget, MarginSuppressesSmallOvershoots) {
+    PowerBudget b(30.0, 1.0);
+    b.record(0, 30.5);  // within margin
+    b.record(1, 31.5);  // outside margin
+    EXPECT_EQ(b.violations(), 1u);
+}
+
+TEST(PowerBudget, StatsAggregate) {
+    PowerBudget b(100.0);
+    b.record(0, 10.0);
+    b.record(1, 20.0);
+    b.record(2, 30.0);
+    EXPECT_DOUBLE_EQ(b.power_stats().mean(), 20.0);
+    EXPECT_DOUBLE_EQ(b.power_stats().max(), 30.0);
+    EXPECT_DOUBLE_EQ(b.power_stats().min(), 10.0);
+}
+
+TEST(PowerBudget, EmptyViolationRateIsZero) {
+    PowerBudget b(10.0);
+    EXPECT_DOUBLE_EQ(b.violation_rate(), 0.0);
+}
+
+TEST(PowerBudget, RejectsBadConstruction) {
+    EXPECT_THROW(PowerBudget(0.0), RequireError);
+    EXPECT_THROW(PowerBudget(-5.0), RequireError);
+    EXPECT_THROW(PowerBudget(10.0, -1.0), RequireError);
+}
+
+}  // namespace
+}  // namespace mcs

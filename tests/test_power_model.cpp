@@ -1,0 +1,139 @@
+#include "power/power_model.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+class PowerModelTest : public ::testing::Test {
+protected:
+    PowerModelTest()
+        : tech_(technology(TechNode::nm16)),
+          table_(build_vf_table(tech_)),
+          model_(tech_, table_) {}
+
+    TechnologyParams tech_;
+    std::vector<VfLevel> table_;
+    PowerModel model_;
+    int top() const { return static_cast<int>(table_.size()) - 1; }
+};
+
+TEST_F(PowerModelTest, DynamicPowerFollowsV2F) {
+    const double p = model_.dynamic_w(top(), 1.0);
+    const VfLevel& l = table_.back();
+    EXPECT_DOUBLE_EQ(
+        p, tech_.switched_cap_f * l.voltage_v * l.voltage_v * l.freq_hz);
+    // Halving activity halves dynamic power.
+    EXPECT_DOUBLE_EQ(model_.dynamic_w(top(), 0.5), p / 2.0);
+}
+
+TEST_F(PowerModelTest, DynamicPowerMonotonicInLevel) {
+    for (int l = 1; l <= top(); ++l) {
+        EXPECT_GT(model_.dynamic_w(l, 1.0), model_.dynamic_w(l - 1, 1.0));
+    }
+}
+
+TEST_F(PowerModelTest, LeakageGrowsWithTemperature) {
+    const double cold = model_.leakage_w(top(), 45.0);
+    const double hot = model_.leakage_w(top(), 85.0);
+    EXPECT_GT(hot, cold);
+    // e^(40/30) ~ 3.79x
+    EXPECT_NEAR(hot / cold, std::exp(40.0 / 30.0), 1e-9);
+}
+
+TEST_F(PowerModelTest, LeakageAtReferenceTemp) {
+    const double leak = model_.leakage_w(top(), tech_.leak_ref_temp_c);
+    EXPECT_DOUBLE_EQ(leak, tech_.leak_current_a * tech_.nominal_vdd_v);
+}
+
+TEST_F(PowerModelTest, LeakageLowerAtLowerVoltage) {
+    EXPECT_LT(model_.leakage_w(0, 45.0), model_.leakage_w(top(), 45.0));
+}
+
+TEST_F(PowerModelTest, StatePowerOrdering) {
+    const double temp = 50.0;
+    const double test = model_.core_power_w(CoreState::Testing, top(), temp);
+    const double busy = model_.core_power_w(CoreState::Busy, top(), temp);
+    const double idle = model_.core_power_w(CoreState::Idle, top(), temp);
+    const double dark = model_.core_power_w(CoreState::Dark, top(), temp);
+    const double faulty = model_.core_power_w(CoreState::Faulty, top(), temp);
+    EXPECT_GT(test, busy);   // SBST toggles more than typical workload
+    EXPECT_GT(busy, idle);
+    EXPECT_GT(idle, dark);
+    EXPECT_GT(dark, 0.0);    // residual gated leakage
+    EXPECT_DOUBLE_EQ(dark, faulty);
+}
+
+TEST_F(PowerModelTest, DarkPowerIndependentOfLevel) {
+    EXPECT_DOUBLE_EQ(model_.core_power_w(CoreState::Dark, 0, 50.0),
+                     model_.core_power_w(CoreState::Dark, top(), 50.0));
+}
+
+TEST_F(PowerModelTest, TestPowerMatchesTestingState) {
+    EXPECT_DOUBLE_EQ(model_.test_power_w(2, 55.0),
+                     model_.core_power_w(CoreState::Testing, 2, 55.0));
+}
+
+TEST_F(PowerModelTest, ChipPowerSumsCores) {
+    Chip chip(2, 2, TechNode::nm16);
+    PowerModel model(chip.tech(), chip.vf_table());
+    const std::vector<double> temps(4, chip.tech().leak_ref_temp_c);
+    const double all_idle = model.chip_power_w(chip, temps);
+    EXPECT_NEAR(all_idle,
+                4.0 * model.core_power_w(CoreState::Idle, chip.max_vf_level(),
+                                         chip.tech().leak_ref_temp_c),
+                1e-12);
+    chip.core(0).start_task(0);
+    const double one_busy = model.chip_power_w(chip, temps);
+    EXPECT_GT(one_busy, all_idle);
+}
+
+TEST_F(PowerModelTest, ChipPowerWithoutTempsUsesReference) {
+    Chip chip(2, 2, TechNode::nm16);
+    PowerModel model(chip.tech(), chip.vf_table());
+    const std::vector<double> temps(4, chip.tech().leak_ref_temp_c);
+    EXPECT_NEAR(model.chip_power_w(chip, {}), model.chip_power_w(chip, temps),
+                1e-12);
+}
+
+TEST_F(PowerModelTest, LevelRangeChecked) {
+    EXPECT_THROW(model_.dynamic_w(-1, 1.0), RequireError);
+    EXPECT_THROW(model_.dynamic_w(top() + 1, 1.0), RequireError);
+    EXPECT_THROW(model_.leakage_w(99, 50.0), RequireError);
+}
+
+TEST_F(PowerModelTest, ActivityOfStates) {
+    EXPECT_DOUBLE_EQ(model_.activity_of(CoreState::Busy),
+                     model_.activity().busy);
+    EXPECT_DOUBLE_EQ(model_.activity_of(CoreState::Dark), 0.0);
+    EXPECT_DOUBLE_EQ(model_.activity_of(CoreState::Faulty), 0.0);
+}
+
+// Dark-silicon sanity: at 16nm a full chip of busy cores at top level must
+// exceed the TDP (that is the premise of the whole paper).
+TEST(PowerModelDarkSilicon, FullSpeedChipExceedsTdp) {
+    Chip chip(8, 8, TechNode::nm16);
+    PowerModel model(chip.tech(), chip.vf_table());
+    for (Core& c : chip.cores()) {
+        c.start_task(0);
+    }
+    EXPECT_GT(model.chip_power_w(chip, {}), chip.tdp_w() * 1.5);
+}
+
+// ...but at 45nm the chip is nearly all-lit.
+TEST(PowerModelDarkSilicon, OldNodeFitsMostOfChip) {
+    Chip chip(8, 8, TechNode::nm45);
+    PowerModel model(chip.tech(), chip.vf_table());
+    for (Core& c : chip.cores()) {
+        c.start_task(0);
+    }
+    const double full = model.chip_power_w(chip, {});
+    EXPECT_LT(full, chip.tdp_w() * 1.25);
+}
+
+}  // namespace
+}  // namespace mcs

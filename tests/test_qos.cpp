@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+WorkloadParams mixed_params() {
+    WorkloadParams p;
+    p.arrival_rate_hz = 200.0;
+    p.best_effort_weight = 0.5;
+    p.soft_rt_weight = 0.3;
+    p.hard_rt_weight = 0.2;
+    return p;
+}
+
+TEST(QosWorkload, ClassNames) {
+    EXPECT_STREQ(to_string(QosClass::BestEffort), "best-effort");
+    EXPECT_STREQ(to_string(QosClass::SoftRealTime), "soft-RT");
+    EXPECT_STREQ(to_string(QosClass::HardRealTime), "hard-RT");
+}
+
+TEST(QosWorkload, MixApproximatesWeights) {
+    WorkloadGenerator gen(mixed_params(), 3);
+    const auto apps = gen.generate(seconds(20));
+    ASSERT_GT(apps.size(), 2000u);
+    double counts[3] = {0, 0, 0};
+    for (const auto& app : apps) {
+        counts[static_cast<int>(app.qos)] += 1.0;
+    }
+    const auto n = static_cast<double>(apps.size());
+    EXPECT_NEAR(counts[0] / n, 0.5, 0.03);
+    EXPECT_NEAR(counts[1] / n, 0.3, 0.03);
+    EXPECT_NEAR(counts[2] / n, 0.2, 0.03);
+}
+
+TEST(QosWorkload, DeadlinesScaleWithCriticalPath) {
+    WorkloadParams p = mixed_params();
+    p.hard_deadline_factor = 2.0;
+    p.soft_deadline_factor = 4.0;
+    p.reference_freq_hz = 2.0e9;
+    WorkloadGenerator gen(p, 5);
+    const auto apps = gen.generate(seconds(5));
+    for (const auto& app : apps) {
+        const double ideal_s =
+            static_cast<double>(app.graph.critical_path_cycles()) / 2.0e9;
+        switch (app.qos) {
+            case QosClass::BestEffort:
+                EXPECT_EQ(app.relative_deadline, 0u);
+                break;
+            case QosClass::HardRealTime:
+                EXPECT_NEAR(to_seconds(app.relative_deadline), 2.0 * ideal_s,
+                            1e-9);
+                break;
+            case QosClass::SoftRealTime:
+                EXPECT_NEAR(to_seconds(app.relative_deadline), 4.0 * ideal_s,
+                            1e-9);
+                break;
+        }
+    }
+}
+
+TEST(QosWorkload, DefaultIsBestEffortOnly) {
+    WorkloadParams p;
+    p.arrival_rate_hz = 100.0;
+    WorkloadGenerator gen(p, 7);
+    for (const auto& app : gen.generate(seconds(5))) {
+        EXPECT_EQ(app.qos, QosClass::BestEffort);
+        EXPECT_EQ(app.relative_deadline, 0u);
+    }
+}
+
+TEST(QosWorkload, Validation) {
+    WorkloadParams p;
+    p.best_effort_weight = p.soft_rt_weight = p.hard_rt_weight = 0.0;
+    EXPECT_THROW(WorkloadGenerator(p, 1), RequireError);
+    p = WorkloadParams{};
+    p.hard_deadline_factor = 0.0;
+    EXPECT_THROW(WorkloadGenerator(p, 1), RequireError);
+    p = WorkloadParams{};
+    p.reference_freq_hz = 0.0;
+    EXPECT_THROW(WorkloadGenerator(p, 1), RequireError);
+    p = WorkloadParams{};
+    p.soft_rt_weight = -0.5;
+    EXPECT_THROW(WorkloadGenerator(p, 1), RequireError);
+}
+
+SystemConfig qos_system(std::uint64_t seed, double occupancy) {
+    SystemConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.seed = seed;
+    cfg.workload.graphs.min_tasks = 2;
+    cfg.workload.graphs.max_tasks = 6;
+    cfg.workload.best_effort_weight = 0.5;
+    cfg.workload.soft_rt_weight = 0.3;
+    cfg.workload.hard_rt_weight = 0.2;
+    cfg.workload.reference_freq_hz = technology(cfg.node).max_freq_hz;
+    const double capacity = 16.0 * technology(cfg.node).max_freq_hz;
+    cfg.workload.arrival_rate_hz =
+        rate_for_occupancy(occupancy, cfg.workload.graphs, capacity);
+    return cfg;
+}
+
+TEST(QosSystem, PerClassAccountingAddsUp) {
+    ManycoreSystem sys(qos_system(11, 0.5));
+    const RunMetrics m = sys.run(2 * kSecond);
+    ASSERT_EQ(m.apps_completed_by_class.size(), kQosClassCount);
+    std::uint64_t total = 0;
+    for (auto c : m.apps_completed_by_class) {
+        total += c;
+    }
+    EXPECT_EQ(total, m.apps_completed);
+    // RT classes have deadline outcomes for each completion.
+    for (std::size_t cls = 1; cls < kQosClassCount; ++cls) {
+        EXPECT_EQ(m.deadlines_met_by_class[cls] +
+                      m.deadlines_missed_by_class[cls],
+                  m.apps_completed_by_class[cls]);
+    }
+    EXPECT_EQ(m.deadlines_met_by_class[0] + m.deadlines_missed_by_class[0],
+              0u);  // best effort carries no deadlines
+}
+
+TEST(QosSystem, PriorityProtectsHardRtUnderOverload) {
+    auto miss_rate = [](bool blind) {
+        ManycoreSystem sys(qos_system(13, 2.0));  // heavy overload
+        sys.set_priority_blind(blind);
+        const RunMetrics m = sys.run(3 * kSecond);
+        const auto met = m.deadlines_met_by_class[2];
+        const auto missed = m.deadlines_missed_by_class[2];
+        if (met + missed == 0) {
+            return 1.0;
+        }
+        return static_cast<double>(missed) /
+               static_cast<double>(met + missed);
+    };
+    const double aware = miss_rate(false);
+    const double blind = miss_rate(true);
+    EXPECT_LT(aware, blind * 0.5);
+}
+
+TEST(QosSystem, PriorityBlindAfterRunRejected) {
+    ManycoreSystem sys(qos_system(17, 0.5));
+    sys.run(100 * kMillisecond);
+    EXPECT_THROW(sys.set_priority_blind(true), RequireError);
+}
+
+TEST(QosSystem, DeterministicWithQos) {
+    auto run = [] {
+        ManycoreSystem sys(qos_system(19, 0.8));
+        return sys.run(kSecond);
+    };
+    const RunMetrics a = run();
+    const RunMetrics b = run();
+    EXPECT_EQ(a.apps_completed_by_class, b.apps_completed_by_class);
+    EXPECT_EQ(a.deadlines_met_by_class, b.deadlines_met_by_class);
+}
+
+}  // namespace
+}  // namespace mcs

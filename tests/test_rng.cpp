@@ -1,0 +1,273 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mcs {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u64() == b.next_u64()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+    Rng r(0);
+    // Must not be stuck at zero.
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 16; ++i) {
+        acc |= r.next_u64();
+    }
+    EXPECT_NE(acc, 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        sum += r.uniform();
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+    Rng r(1);
+    EXPECT_THROW(r.uniform(2.0, 1.0), RequireError);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+    Rng r(17);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.uniform_int(3, 7);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+    Rng r(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(r.uniform_int(42, 42), 42);
+    }
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+    Rng r(23);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.uniform_int(-10, -5);
+        ASSERT_GE(v, -10);
+        ASSERT_LE(v, -5);
+    }
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+    Rng r(1);
+    EXPECT_THROW(r.uniform_int(5, 4), RequireError);
+}
+
+TEST(Rng, IndexWithinBounds) {
+    Rng r(29);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_LT(r.index(10), 10u);
+    }
+    EXPECT_THROW(r.index(0), RequireError);
+}
+
+TEST(Rng, BernoulliExtremes) {
+    Rng r(31);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng r(37);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        hits += r.bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng r(41);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.exponential(2.5);
+        ASSERT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+    Rng r(1);
+    EXPECT_THROW(r.exponential(0.0), RequireError);
+    EXPECT_THROW(r.exponential(-1.0), RequireError);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng r(43);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.normal(10.0, 2.0);
+        sum += v;
+        sumsq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+    Rng r(71);
+    const double weights[] = {0.5, 0.3, 0.2};
+    int counts[3] = {0, 0, 0};
+    const int n = 60000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[r.categorical(weights)];
+    }
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.02);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.2, 0.02);
+}
+
+TEST(Rng, CategoricalZeroWeightNeverPicked) {
+    Rng r(73);
+    const double weights[] = {0.0, 1.0, 0.0};
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(r.categorical(weights), 1u);
+    }
+}
+
+TEST(Rng, CategoricalValidation) {
+    Rng r(79);
+    EXPECT_THROW(r.categorical(std::span<const double>{}), RequireError);
+    const double zeros[] = {0.0, 0.0};
+    EXPECT_THROW(r.categorical(zeros), RequireError);
+    const double negative[] = {1.0, -0.5};
+    EXPECT_THROW(r.categorical(negative), RequireError);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng a(47);
+    Rng b = a.split();
+    // Parent and child should not emit identical sequences.
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u64() == b.next_u64()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+    Rng a(51), b(51);
+    Rng ca = a.split();
+    Rng cb = b.split();
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_EQ(ca.next_u64(), cb.next_u64());
+    }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng r(53);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    auto sorted = v;
+    r.shuffle(std::span<int>(v));
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+    Rng r(59);
+    std::vector<int> v(100);
+    for (int i = 0; i < 100; ++i) {
+        v[static_cast<std::size_t>(i)] = i;
+    }
+    r.shuffle(std::span<int>(v));
+    int moved = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (v[static_cast<std::size_t>(i)] != i) {
+            ++moved;
+        }
+    }
+    EXPECT_GT(moved, 80);
+}
+
+TEST(Rng, ShuffleEmptyAndSingle) {
+    Rng r(61);
+    std::vector<int> empty;
+    r.shuffle(std::span<int>(empty));  // must not crash
+    std::vector<int> one{5};
+    r.shuffle(std::span<int>(one));
+    EXPECT_EQ(one[0], 5);
+}
+
+// Property sweep: uniform_int stays unbiased over many ranges.
+class RngRangeTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(RngRangeTest, UniformIntMeanMatchesMidpoint) {
+    const std::int64_t hi = GetParam();
+    Rng r(static_cast<std::uint64_t>(hi) * 977 + 1);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        sum += static_cast<double>(r.uniform_int(0, hi));
+    }
+    const double mid = static_cast<double>(hi) / 2.0;
+    EXPECT_NEAR(sum / n, mid, std::max(0.5, mid * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngRangeTest,
+                         ::testing::Values<std::int64_t>(1, 2, 7, 100, 1000,
+                                                         1 << 20));
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,223 @@
+#include "sbst/fault_model.hpp"
+#include "sbst/test_suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(TestSuite, StandardSuiteInvariants) {
+    const TestSuite suite = TestSuite::standard();
+    EXPECT_EQ(suite.routine_count(), 6u);
+    EXPECT_GT(suite.total_cycles(), 1'000'000u);
+    EXPECT_LT(suite.total_cycles(), 100'000'000u);
+    // SBST is deliberately hotter than typical workload.
+    EXPECT_GT(suite.mean_activity(), 1.0);
+}
+
+TEST(TestSuite, CoverageOfEveryUnitIsHigh) {
+    const TestSuite suite = TestSuite::standard();
+    for (std::size_t u = 0; u < kFunctionalUnitCount; ++u) {
+        const double c = suite.coverage_of(static_cast<FunctionalUnit>(u));
+        EXPECT_GE(c, 0.85) << to_string(static_cast<FunctionalUnit>(u));
+        EXPECT_LE(c, 1.0);
+    }
+}
+
+TEST(TestSuite, CoverageComposesAcrossRoutines) {
+    TestSuite suite({
+        {FunctionalUnit::Alu, "a", 100, 0.5, 1.0},
+        {FunctionalUnit::Alu, "b", 100, 0.5, 1.0},
+        {FunctionalUnit::Fpu, "c", 100, 0.9, 1.0},
+    });
+    EXPECT_DOUBLE_EQ(suite.coverage_of(FunctionalUnit::Alu), 0.75);
+    EXPECT_DOUBLE_EQ(suite.coverage_of(FunctionalUnit::Fpu), 0.9);
+    EXPECT_DOUBLE_EQ(suite.coverage_of(FunctionalUnit::Lsu), 0.0);
+}
+
+TEST(TestSuite, MeanActivityIsCycleWeighted) {
+    TestSuite suite({
+        {FunctionalUnit::Alu, "a", 100, 1.0, 1.0},
+        {FunctionalUnit::Fpu, "b", 300, 1.0, 2.0},
+    });
+    EXPECT_DOUBLE_EQ(suite.mean_activity(), (100.0 + 600.0) / 400.0);
+    EXPECT_EQ(suite.total_cycles(), 400u);
+}
+
+TEST(TestSuite, ValidatesRoutines) {
+    EXPECT_THROW(TestSuite({}), RequireError);
+    EXPECT_THROW(TestSuite({{FunctionalUnit::Alu, "z", 0, 0.5, 1.0}}),
+                 RequireError);
+    EXPECT_THROW(TestSuite({{FunctionalUnit::Alu, "z", 10, 1.5, 1.0}}),
+                 RequireError);
+    EXPECT_THROW(TestSuite({{FunctionalUnit::Alu, "z", 10, 0.5, 0.0}}),
+                 RequireError);
+}
+
+TEST(TestSuite, UnitNames) {
+    EXPECT_STREQ(to_string(FunctionalUnit::Alu), "ALU");
+    EXPECT_STREQ(to_string(FunctionalUnit::RegisterFile), "RegFile");
+}
+
+class FaultInjectorTest : public ::testing::Test {
+protected:
+    FaultInjectorTest() : chip_(4, 4, TechNode::nm16) {}
+
+    Chip chip_;
+};
+
+TEST_F(FaultInjectorTest, NoFaultsAtZeroRate) {
+    FaultModelParams p;
+    p.base_rate_per_core_s = 0.0;
+    FaultInjector inj(16, p, 1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(inj.step(0, 1.0, chip_, {}).empty());
+    }
+    EXPECT_EQ(inj.injected_count(), 0u);
+}
+
+TEST_F(FaultInjectorTest, FaultsArriveAtExpectedRate) {
+    FaultModelParams p;
+    p.base_rate_per_core_s = 0.01;
+    FaultInjector inj(16, p, 2);
+    // 16 cores x 1000 steps x 10ms = 160 core-seconds -> ~1.6 expected...
+    // use a bigger horizon: 16 x 10000 x 0.01s = 1600 core-s -> ~16 faults,
+    // but the one-latent-per-core cap truncates; just check a sane band.
+    int steps_with_faults = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (!inj.step(static_cast<SimTime>(i), 0.01, chip_, {}).empty()) {
+            ++steps_with_faults;
+        }
+    }
+    EXPECT_GT(inj.injected_count(), 4u);
+    EXPECT_LE(inj.injected_count(), 16u);  // capped by one per core
+    EXPECT_EQ(static_cast<std::size_t>(steps_with_faults),
+              inj.injected_count());
+}
+
+TEST_F(FaultInjectorTest, OneLatentFaultPerCore) {
+    FaultModelParams p;
+    p.base_rate_per_core_s = 100.0;  // certain injection
+    FaultInjector inj(16, p, 3);
+    inj.step(0, 1.0, chip_, {});
+    EXPECT_EQ(inj.injected_count(), 16u);
+    inj.step(1, 1.0, chip_, {});
+    EXPECT_EQ(inj.injected_count(), 16u);  // no double faults
+    for (CoreId id = 0; id < 16; ++id) {
+        EXPECT_TRUE(inj.has_latent_fault(id));
+    }
+}
+
+TEST_F(FaultInjectorTest, DarkAndFaultyCoresImmune) {
+    FaultModelParams p;
+    p.base_rate_per_core_s = 100.0;
+    FaultInjector inj(16, p, 4);
+    chip_.core(0).power_gate(0);
+    chip_.core(1).mark_faulty(0);
+    inj.step(0, 1.0, chip_, {});
+    EXPECT_FALSE(inj.has_latent_fault(0));
+    EXPECT_FALSE(inj.has_latent_fault(1));
+    EXPECT_TRUE(inj.has_latent_fault(2));
+}
+
+TEST_F(FaultInjectorTest, AccelerationScalesRate) {
+    FaultModelParams p;
+    p.base_rate_per_core_s = 0.001;
+    FaultInjector slow(16, p, 5), fast(16, p, 5);
+    std::vector<double> accel(16, 50.0);
+    std::uint64_t slow_count = 0, fast_count = 0;
+    for (int i = 0; i < 2000; ++i) {
+        slow.step(static_cast<SimTime>(i), 0.01, chip_, {});
+        fast.step(static_cast<SimTime>(i), 0.01, chip_, accel);
+    }
+    slow_count = slow.injected_count();
+    fast_count = fast.injected_count();
+    EXPECT_GT(fast_count, slow_count);
+}
+
+TEST_F(FaultInjectorTest, DetectionProbabilityMatchesCoverage) {
+    // A suite covering only the ALU at 100%: ALU faults always detected,
+    // others never.
+    TestSuite suite({{FunctionalUnit::Alu, "a", 100, 1.0, 1.0}});
+    FaultModelParams p;
+    p.base_rate_per_core_s = 100.0;
+    int detected = 0, total = 0;
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        FaultInjector inj(1, p, seed);
+        Chip solo(1, 1, TechNode::nm16);
+        inj.step(0, 1.0, solo, {});
+        if (!inj.has_latent_fault(0)) {
+            continue;
+        }
+        const bool is_alu = inj.latent_fault(0)->unit == FunctionalUnit::Alu;
+        const auto result = inj.attempt_detection(0, 10, suite);
+        EXPECT_EQ(result.has_value(), is_alu);
+        detected += result.has_value() ? 1 : 0;
+        ++total;
+    }
+    // ~1/6 of faults are ALU faults.
+    EXPECT_NEAR(static_cast<double>(detected) / total, 1.0 / 6.0, 0.08);
+}
+
+TEST_F(FaultInjectorTest, DetectionRecordsLatencyAndClearsFault) {
+    TestSuite suite = TestSuite::standard();
+    FaultModelParams p;
+    p.base_rate_per_core_s = 100.0;
+    FaultInjector inj(16, p, 7);
+    inj.step(100, 1.0, chip_, {});
+    ASSERT_TRUE(inj.has_latent_fault(0));
+    // Retry until the coverage roll succeeds (coverage ~0.9+).
+    std::optional<Fault> det;
+    for (int i = 0; i < 20 && !det; ++i) {
+        det = inj.attempt_detection(0, 200, suite);
+    }
+    ASSERT_TRUE(det.has_value());
+    EXPECT_TRUE(det->detected);
+    EXPECT_EQ(det->injected, 100u);
+    EXPECT_EQ(det->detected_at, 200u);
+    EXPECT_FALSE(inj.has_latent_fault(0));
+    EXPECT_EQ(inj.detected_count(), 1u);
+    EXPECT_FALSE(inj.attempt_detection(0, 300, suite).has_value());
+}
+
+TEST_F(FaultInjectorTest, EscapesAreCounted) {
+    TestSuite none({{FunctionalUnit::Alu, "noop", 100, 0.0, 1.0}});
+    FaultModelParams p;
+    p.base_rate_per_core_s = 100.0;
+    FaultInjector inj(16, p, 8);
+    inj.step(0, 1.0, chip_, {});
+    ASSERT_TRUE(inj.has_latent_fault(3));
+    EXPECT_FALSE(inj.attempt_detection(3, 10, none).has_value());
+    EXPECT_EQ(inj.escaped_tests(), 1u);
+    EXPECT_TRUE(inj.has_latent_fault(3));  // fault persists
+}
+
+TEST_F(FaultInjectorTest, CorruptionOnlyOnFaultyCores) {
+    FaultModelParams p;
+    p.base_rate_per_core_s = 100.0;
+    p.task_corruption_prob = 1.0;
+    FaultInjector inj(16, p, 9);
+    EXPECT_FALSE(inj.roll_task_corruption(0));  // no fault yet
+    inj.step(0, 1.0, chip_, {});
+    EXPECT_TRUE(inj.roll_task_corruption(0));
+    EXPECT_EQ(inj.corrupted_tasks(), 1u);
+}
+
+TEST_F(FaultInjectorTest, Validation) {
+    FaultModelParams p;
+    p.base_rate_per_core_s = -1.0;
+    EXPECT_THROW(FaultInjector(4, p, 1), RequireError);
+    p = FaultModelParams{};
+    p.task_corruption_prob = 1.5;
+    EXPECT_THROW(FaultInjector(4, p, 1), RequireError);
+    EXPECT_THROW(FaultInjector(0, FaultModelParams{}, 1), RequireError);
+    FaultInjector ok(4, FaultModelParams{}, 1);
+    EXPECT_THROW(ok.has_latent_fault(4), RequireError);
+    // Chip size mismatch.
+    EXPECT_THROW(ok.step(0, 1.0, chip_, {}), RequireError);
+}
+
+}  // namespace
+}  // namespace mcs

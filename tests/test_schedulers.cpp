@@ -1,0 +1,306 @@
+#include "core/schedulers.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "arch/technology.hpp"
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+/// Harness: fabricates a SchedulerContext and records start_test calls.
+class SchedulerHarness {
+public:
+    SchedulerHarness()
+        : table_(build_vf_table(technology(TechNode::nm16))) {}
+
+    SchedulerContext make(SimTime now, double slack_w,
+                          std::vector<TestCandidate> candidates,
+                          double per_test_power_w = 1.0) {
+        SchedulerContext ctx;
+        ctx.now = now;
+        ctx.tdp_w = 30.0;
+        ctx.power_slack_w = slack_w;
+        ctx.tests_running = 0;
+        ctx.vf_table = &table_;
+        ctx.candidates = std::move(candidates);
+        ctx.test_power_w = [this, per_test_power_w](CoreId, int level) {
+            // Power scales with level so level choice is observable.
+            return per_test_power_w *
+                   (0.5 + static_cast<double>(level) /
+                              static_cast<double>(table_.size() - 1));
+        };
+        ctx.start_test = [this](CoreId core, int level) {
+            started_.push_back({core, level});
+        };
+        return ctx;
+    }
+
+    TestCandidate idle(CoreId core, double crit,
+                       SimDuration age = seconds(1)) {
+        return TestCandidate{core, crit, false, age};
+    }
+
+    const std::vector<std::pair<CoreId, int>>& started() const {
+        return started_;
+    }
+    void reset() { started_.clear(); }
+    int top_level() const { return static_cast<int>(table_.size()) - 1; }
+
+private:
+    std::vector<VfLevel> table_;
+    std::vector<std::pair<CoreId, int>> started_;
+};
+
+TEST(PowerAware, TestsMostCriticalFirst) {
+    SchedulerHarness h;
+    PowerAwareParams p;
+    p.guard_band_fraction = 0.0;
+    PowerAwareTestScheduler sched(p);
+    // Rotation starts every core at the top level (1.5 W); slack fits two.
+    auto ctx = h.make(seconds(1), 3.2,
+                      {h.idle(0, 0.6), h.idle(1, 1.5), h.idle(2, 0.9)});
+    sched.epoch(ctx);
+    ASSERT_EQ(h.started().size(), 2u);
+    EXPECT_EQ(h.started()[0].first, 1u);  // highest criticality first
+    EXPECT_EQ(h.started()[1].first, 2u);
+}
+
+TEST(PowerAware, RespectsThreshold) {
+    SchedulerHarness h;
+    PowerAwareParams p;
+    p.criticality_threshold = 0.5;
+    PowerAwareTestScheduler sched(p);
+    auto ctx = h.make(seconds(1), 100.0,
+                      {h.idle(0, 0.49), h.idle(1, 0.2)});
+    sched.epoch(ctx);
+    EXPECT_TRUE(h.started().empty());
+}
+
+TEST(PowerAware, RespectsPowerSlack) {
+    SchedulerHarness h;
+    PowerAwareParams p;
+    p.guard_band_fraction = 0.0;
+    PowerAwareTestScheduler sched(p);
+    auto ctx = h.make(seconds(1), 0.0, {h.idle(0, 2.0), h.idle(1, 2.0)});
+    sched.epoch(ctx);
+    EXPECT_TRUE(h.started().empty());
+    EXPECT_GT(sched.rejected_power(), 0u);
+}
+
+TEST(PowerAware, GuardBandReservesMargin) {
+    SchedulerHarness h;
+    PowerAwareParams p;
+    p.guard_band_fraction = 0.10;  // 3 W of the 30 W TDP
+    p.vf_policy = TestVfPolicy::MaxOnly;
+    PowerAwareTestScheduler sched(p);
+    // One test at top level costs 1.5 W and must clear slack - guard:
+    // 1.5 + 3.0 <= 5.0 admits the first, then 1.5 + 3.0 > 3.5 rejects the
+    // second.
+    auto ctx = h.make(seconds(1), 5.0, {h.idle(0, 2.0), h.idle(1, 2.0)});
+    sched.epoch(ctx);
+    EXPECT_EQ(h.started().size(), 1u);
+}
+
+TEST(PowerAware, AdmitsCheaperTestWhenExpensiveDoesNotFit) {
+    SchedulerHarness h;
+    PowerAwareParams p;
+    p.guard_band_fraction = 0.0;
+    p.vf_policy = TestVfPolicy::RotateAll;
+    PowerAwareTestScheduler sched(p);
+    // Core 0 rotates to the top level (1.5 W) which does not fit in 1.0 W
+    // slack; core 1 also starts at top. Nothing fits -> both rejected, but
+    // the rotation is rolled back so the next epoch retries the same level.
+    auto ctx = h.make(seconds(1), 1.0, {h.idle(0, 2.0), h.idle(1, 1.0)});
+    sched.epoch(ctx);
+    EXPECT_TRUE(h.started().empty());
+    // Min-only policy fits (0.5 W).
+    PowerAwareParams p2 = p;
+    p2.vf_policy = TestVfPolicy::MinOnly;
+    PowerAwareTestScheduler sched2(p2);
+    auto ctx2 = h.make(seconds(1), 1.0, {h.idle(0, 2.0), h.idle(1, 1.0)});
+    sched2.epoch(ctx2);
+    EXPECT_EQ(h.started().size(), 2u);
+    EXPECT_EQ(h.started()[0].second, 0);  // bottom level
+}
+
+TEST(PowerAware, RotationCoversAllLevels) {
+    SchedulerHarness h;
+    PowerAwareParams p;
+    p.guard_band_fraction = 0.0;
+    p.vf_policy = TestVfPolicy::RotateAll;
+    PowerAwareTestScheduler sched(p);
+    std::set<int> levels;
+    for (int round = 0; round < h.top_level() + 1; ++round) {
+        h.reset();
+        auto ctx = h.make(seconds(1), 100.0, {h.idle(0, 2.0)});
+        sched.epoch(ctx);
+        ASSERT_EQ(h.started().size(), 1u);
+        levels.insert(h.started()[0].second);
+    }
+    EXPECT_EQ(levels.size(), static_cast<std::size_t>(h.top_level() + 1));
+}
+
+TEST(PowerAware, MaxOnlyAlwaysTopLevel) {
+    SchedulerHarness h;
+    PowerAwareParams p;
+    p.guard_band_fraction = 0.0;
+    p.vf_policy = TestVfPolicy::MaxOnly;
+    PowerAwareTestScheduler sched(p);
+    for (int round = 0; round < 3; ++round) {
+        h.reset();
+        auto ctx = h.make(seconds(1), 100.0, {h.idle(0, 2.0)});
+        sched.epoch(ctx);
+        ASSERT_EQ(h.started().size(), 1u);
+        EXPECT_EQ(h.started()[0].second, h.top_level());
+    }
+}
+
+TEST(PowerAware, MinIdleAgeFiltersFreshCores) {
+    SchedulerHarness h;
+    PowerAwareParams p;
+    p.guard_band_fraction = 0.0;
+    p.min_idle_age = kMillisecond;
+    PowerAwareTestScheduler sched(p);
+    auto ctx = h.make(seconds(1), 100.0,
+                      {h.idle(0, 2.0, 100 * kMicrosecond),
+                       h.idle(1, 1.0, 2 * kMillisecond)});
+    sched.epoch(ctx);
+    ASSERT_EQ(h.started().size(), 1u);
+    EXPECT_EQ(h.started()[0].first, 1u);
+}
+
+TEST(PowerAware, DarkCoresExemptFromIdleAge) {
+    SchedulerHarness h;
+    PowerAwareParams p;
+    p.guard_band_fraction = 0.0;
+    p.min_idle_age = kSecond;
+    PowerAwareTestScheduler sched(p);
+    auto ctx = h.make(seconds(1), 100.0,
+                      {TestCandidate{0, 2.0, /*dark=*/true, 0}});
+    sched.epoch(ctx);
+    EXPECT_EQ(h.started().size(), 1u);
+}
+
+TEST(PowerAware, MaxConcurrentCap) {
+    SchedulerHarness h;
+    PowerAwareParams p;
+    p.guard_band_fraction = 0.0;
+    p.max_concurrent_tests = 2;
+    PowerAwareTestScheduler sched(p);
+    auto ctx = h.make(seconds(1), 100.0,
+                      {h.idle(0, 2.0), h.idle(1, 2.0), h.idle(2, 2.0)});
+    ctx.tests_running = 1;  // one already in flight
+    sched.epoch(ctx);
+    EXPECT_EQ(h.started().size(), 1u);
+}
+
+TEST(PowerAware, CountsAdmitted) {
+    SchedulerHarness h;
+    PowerAwareParams p;
+    p.guard_band_fraction = 0.0;
+    PowerAwareTestScheduler sched(p);
+    auto ctx = h.make(seconds(1), 100.0, {h.idle(0, 2.0), h.idle(1, 2.0)});
+    sched.epoch(ctx);
+    EXPECT_EQ(sched.admitted(), 2u);
+}
+
+TEST(PowerAware, Validation) {
+    PowerAwareParams p;
+    p.guard_band_fraction = 1.0;
+    EXPECT_THROW(PowerAwareTestScheduler{p}, RequireError);
+    p = PowerAwareParams{};
+    p.max_concurrent_tests = 0;
+    EXPECT_THROW(PowerAwareTestScheduler{p}, RequireError);
+}
+
+TEST(Periodic, TestsWhenDueIgnoringPower) {
+    SchedulerHarness h;
+    PeriodicTestScheduler sched(seconds(1));
+    // Zero slack: periodic tests anyway (power-oblivious) at top level.
+    auto ctx = h.make(seconds(2), 0.0, {h.idle(0, 0.0)});
+    sched.epoch(ctx);
+    ASSERT_EQ(h.started().size(), 1u);
+    EXPECT_EQ(h.started()[0].second, h.top_level());
+}
+
+TEST(Periodic, NotDueAgainUntilPeriodElapses) {
+    SchedulerHarness h;
+    PeriodicTestScheduler sched(seconds(1));
+    auto ctx = h.make(seconds(2), 0.0, {h.idle(0, 0.0)});
+    sched.epoch(ctx);
+    ASSERT_EQ(h.started().size(), 1u);
+    h.reset();
+    auto ctx2 = h.make(seconds(2) + milliseconds(500), 0.0,
+                       {h.idle(0, 0.0)});
+    sched.epoch(ctx2);
+    EXPECT_TRUE(h.started().empty());
+    auto ctx3 = h.make(seconds(3), 0.0, {h.idle(0, 0.0)});
+    sched.epoch(ctx3);
+    EXPECT_EQ(h.started().size(), 1u);
+}
+
+TEST(Periodic, InitialDueTimesStaggered) {
+    SchedulerHarness h;
+    PeriodicTestScheduler sched(seconds(1));
+    // At t=0+, only cores with stagger 0 (core % 16 == 0) are due.
+    std::vector<TestCandidate> cands;
+    for (CoreId id = 0; id < 16; ++id) {
+        cands.push_back(h.idle(id, 0.0));
+    }
+    auto ctx = h.make(1, 0.0, cands);
+    sched.epoch(ctx);
+    EXPECT_LT(h.started().size(), 16u);
+    EXPECT_GE(h.started().size(), 1u);
+}
+
+TEST(Periodic, RejectsZeroPeriod) {
+    EXPECT_THROW(PeriodicTestScheduler{0}, RequireError);
+}
+
+TEST(Greedy, TestsEverythingImmediately) {
+    SchedulerHarness h;
+    GreedyTestScheduler sched;
+    std::vector<TestCandidate> cands;
+    for (CoreId id = 0; id < 8; ++id) {
+        cands.push_back(h.idle(id, 0.0));
+    }
+    auto ctx = h.make(seconds(1), 0.0, cands);
+    sched.epoch(ctx);
+    EXPECT_EQ(h.started().size(), 8u);
+}
+
+TEST(Greedy, MinGapPreventsImmediateRetest) {
+    SchedulerHarness h;
+    GreedyTestScheduler sched(100 * kMillisecond);
+    auto ctx = h.make(seconds(1), 0.0, {h.idle(0, 0.0)});
+    sched.epoch(ctx);
+    ASSERT_EQ(h.started().size(), 1u);
+    h.reset();
+    auto ctx2 = h.make(seconds(1) + milliseconds(50), 0.0, {h.idle(0, 0.0)});
+    sched.epoch(ctx2);
+    EXPECT_TRUE(h.started().empty());
+    auto ctx3 = h.make(seconds(1) + milliseconds(150), 0.0,
+                       {h.idle(0, 0.0)});
+    sched.epoch(ctx3);
+    EXPECT_EQ(h.started().size(), 1u);
+}
+
+TEST(Null, NeverTests) {
+    SchedulerHarness h;
+    NullTestScheduler sched;
+    auto ctx = h.make(seconds(1), 100.0, {h.idle(0, 99.0)});
+    sched.epoch(ctx);
+    EXPECT_TRUE(h.started().empty());
+}
+
+TEST(VfPolicy, Names) {
+    EXPECT_STREQ(to_string(TestVfPolicy::RotateAll), "rotate-all");
+    EXPECT_STREQ(to_string(TestVfPolicy::MaxOnly), "max-only");
+    EXPECT_STREQ(to_string(TestVfPolicy::MinOnly), "min-only");
+}
+
+}  // namespace
+}  // namespace mcs

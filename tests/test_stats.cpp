@@ -1,0 +1,191 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.add(x);
+    }
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_EQ(s.mean(), 3.5);
+}
+
+TEST(RunningStats, NegativeValues) {
+    RunningStats s;
+    s.add(-5.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+    Rng rng(5);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        all.add(x);
+        (i % 3 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(b);  // no-op
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    b.merge(a);  // copy
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Histogram, BasicBinning) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);   // bin 0
+    h.add(3.0);   // bin 1
+    h.add(9.99);  // bin 4
+    EXPECT_EQ(h.bin_count(0), 1u);
+    EXPECT_EQ(h.bin_count(1), 1u);
+    EXPECT_EQ(h.bin_count(4), 1u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, UnderOverflowClampedToEdgeBins) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);
+    h.add(15.0);
+    h.add(10.0);  // hi edge is exclusive -> overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bin_count(0), 1u);
+    EXPECT_EQ(h.bin_count(4), 2u);
+}
+
+TEST(Histogram, BinEdges) {
+    Histogram h(10.0, 20.0, 4);
+    EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.5);
+    EXPECT_DOUBLE_EQ(h.bin_lo(3), 17.5);
+    EXPECT_DOUBLE_EQ(h.bin_hi(3), 20.0);
+    EXPECT_THROW(h.bin_count(4), RequireError);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), RequireError);
+    EXPECT_THROW(Histogram(2.0, 1.0, 4), RequireError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), RequireError);
+}
+
+TEST(SampleSet, Quantiles) {
+    SampleSet s;
+    for (int i = 1; i <= 100; ++i) {
+        s.add(static_cast<double>(i));
+    }
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+    EXPECT_NEAR(s.median(), 50.5, 1e-9);
+    EXPECT_NEAR(s.quantile(0.95), 95.05, 0.01);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, AddAfterQuantileStillCorrect) {
+    SampleSet s;
+    s.add(5.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+    s.add(100.0);  // re-sorts lazily
+    EXPECT_DOUBLE_EQ(s.median(), 5.0);
+}
+
+TEST(SampleSet, EmptyThrows) {
+    SampleSet s;
+    EXPECT_THROW(s.quantile(0.5), RequireError);
+    EXPECT_THROW(s.mean(), RequireError);
+    EXPECT_THROW(s.min(), RequireError);
+}
+
+TEST(SampleSet, QuantileRangeChecked) {
+    SampleSet s;
+    s.add(1.0);
+    EXPECT_THROW(s.quantile(-0.1), RequireError);
+    EXPECT_THROW(s.quantile(1.1), RequireError);
+}
+
+TEST(TimeWeightedStat, PiecewiseConstantAverage) {
+    TimeWeightedStat t;
+    t.update(0, 1.0);    // value 1.0 from t=0
+    t.update(10, 3.0);   // value 1.0 held over [0,10), now 3.0
+    t.update(20, 0.0);   // value 3.0 held over [10,20)
+    // average = (1*10 + 3*10) / 20 = 2.0
+    EXPECT_DOUBLE_EQ(t.average(), 2.0);
+    EXPECT_EQ(t.elapsed(), 20u);
+}
+
+TEST(TimeWeightedStat, NoElapsedTimeReturnsLastValue) {
+    TimeWeightedStat t;
+    t.update(5, 7.0);
+    EXPECT_DOUBLE_EQ(t.average(), 7.0);
+    EXPECT_EQ(t.elapsed(), 0u);
+}
+
+TEST(TimeWeightedStat, RejectsBackwardsTime) {
+    TimeWeightedStat t;
+    t.update(10, 1.0);
+    EXPECT_THROW(t.update(5, 2.0), RequireError);
+}
+
+TEST(TimeWeightedStat, ZeroDurationUpdateKeepsAverage) {
+    TimeWeightedStat t;
+    t.update(0, 4.0);
+    t.update(10, 2.0);
+    t.update(10, 9.0);  // instantaneous change
+    t.update(20, 0.0);
+    // [0,10): 4, [10,20): 9 -> avg 6.5
+    EXPECT_DOUBLE_EQ(t.average(), 6.5);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,108 @@
+#include "arch/technology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Technology, AllNodesNamed) {
+    EXPECT_STREQ(to_string(TechNode::nm45), "45nm");
+    EXPECT_STREQ(to_string(TechNode::nm32), "32nm");
+    EXPECT_STREQ(to_string(TechNode::nm22), "22nm");
+    EXPECT_STREQ(to_string(TechNode::nm16), "16nm");
+}
+
+TEST(Technology, DarkSiliconFractionShrinksWithNode) {
+    // The defining trend: the usable fraction of peak chip power falls with
+    // each technology generation.
+    EXPECT_GT(technology(TechNode::nm45).tdp_fraction,
+              technology(TechNode::nm32).tdp_fraction);
+    EXPECT_GT(technology(TechNode::nm32).tdp_fraction,
+              technology(TechNode::nm22).tdp_fraction);
+    EXPECT_GT(technology(TechNode::nm22).tdp_fraction,
+              technology(TechNode::nm16).tdp_fraction);
+}
+
+TEST(Technology, FrequencyRisesCapacitanceFalls) {
+    EXPECT_LT(technology(TechNode::nm45).max_freq_hz,
+              technology(TechNode::nm16).max_freq_hz);
+    EXPECT_GT(technology(TechNode::nm45).switched_cap_f,
+              technology(TechNode::nm16).switched_cap_f);
+    EXPECT_GT(technology(TechNode::nm45).nominal_vdd_v,
+              technology(TechNode::nm16).nominal_vdd_v);
+}
+
+TEST(Technology, LeakageShareGrowsWithScaling) {
+    // Leakage current grows while dynamic capacitance shrinks: the leakage
+    // share of core peak power must increase toward 16 nm.
+    auto leak_share = [](TechNode n) {
+        const auto& t = technology(n);
+        const double leak = t.leak_current_a * t.nominal_vdd_v;
+        return leak / t.core_peak_power_w();
+    };
+    EXPECT_LT(leak_share(TechNode::nm45), leak_share(TechNode::nm16));
+}
+
+TEST(Technology, CorePeakPowerIsPlausible) {
+    for (TechNode n : {TechNode::nm45, TechNode::nm32, TechNode::nm22,
+                       TechNode::nm16}) {
+        const double p = technology(n).core_peak_power_w();
+        EXPECT_GT(p, 0.3) << to_string(n);
+        EXPECT_LT(p, 5.0) << to_string(n);
+    }
+}
+
+TEST(Technology, ChipTdpScalesWithCoreCount) {
+    const auto& t = technology(TechNode::nm16);
+    EXPECT_DOUBLE_EQ(t.chip_tdp_w(128), 2.0 * t.chip_tdp_w(64));
+    EXPECT_LT(t.chip_tdp_w(64), 64.0 * t.core_peak_power_w());
+}
+
+TEST(VfTable, CoversRangeMonotonically) {
+    const auto& t = technology(TechNode::nm16);
+    const auto table = build_vf_table(t);
+    ASSERT_EQ(table.size(), static_cast<std::size_t>(t.vf_levels));
+    EXPECT_DOUBLE_EQ(table.front().freq_hz, t.min_freq_hz);
+    EXPECT_DOUBLE_EQ(table.front().voltage_v, t.min_vdd_v);
+    EXPECT_DOUBLE_EQ(table.back().freq_hz, t.max_freq_hz);
+    EXPECT_DOUBLE_EQ(table.back().voltage_v, t.nominal_vdd_v);
+    for (std::size_t i = 1; i < table.size(); ++i) {
+        EXPECT_GT(table[i].freq_hz, table[i - 1].freq_hz);
+        EXPECT_GT(table[i].voltage_v, table[i - 1].voltage_v);
+    }
+}
+
+TEST(VfTable, RejectsDegenerateParams) {
+    TechnologyParams t = technology(TechNode::nm16);
+    t.vf_levels = 1;
+    EXPECT_THROW(build_vf_table(t), RequireError);
+    t = technology(TechNode::nm16);
+    t.min_freq_hz = t.max_freq_hz;
+    EXPECT_THROW(build_vf_table(t), RequireError);
+    t = technology(TechNode::nm16);
+    t.min_vdd_v = t.nominal_vdd_v;
+    EXPECT_THROW(build_vf_table(t), RequireError);
+}
+
+// Parameterized: every node builds a valid table.
+class VfTableAllNodes : public ::testing::TestWithParam<TechNode> {};
+
+TEST_P(VfTableAllNodes, TableIsValid) {
+    const auto& t = technology(GetParam());
+    const auto table = build_vf_table(t);
+    for (const auto& level : table) {
+        EXPECT_GT(level.freq_hz, 0.0);
+        EXPECT_GT(level.voltage_v, 0.0);
+        EXPECT_LE(level.voltage_v, t.nominal_vdd_v);
+        EXPECT_LE(level.freq_hz, t.max_freq_hz);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, VfTableAllNodes,
+                         ::testing::Values(TechNode::nm45, TechNode::nm32,
+                                           TechNode::nm22, TechNode::nm16));
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,132 @@
+#include "thermal/thermal_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Thermal, StartsAtAmbient) {
+    ThermalModel t(4, 4);
+    for (double temp : t.temps_c()) {
+        EXPECT_DOUBLE_EQ(temp, t.ambient_c());
+    }
+    EXPECT_DOUBLE_EQ(t.max_temp_c(), t.ambient_c());
+    EXPECT_DOUBLE_EQ(t.mean_temp_c(), t.ambient_c());
+}
+
+TEST(Thermal, SingleCoreReachesIsolatedSteadyStateApproximately) {
+    // 1x1 grid has no lateral neighbors, so the analytic isolated solution
+    // is exact: T = ambient + P / G_vert.
+    ThermalModel t(1, 1);
+    const std::vector<double> power{2.0};
+    for (int i = 0; i < 20000; ++i) {
+        t.step(power, 1e-3);
+    }
+    EXPECT_NEAR(t.temp_c(0), t.isolated_steady_state_c(2.0), 0.01);
+}
+
+TEST(Thermal, HeatingIsMonotonicTowardSteadyState) {
+    ThermalModel t(1, 1);
+    const std::vector<double> power{1.5};
+    double prev = t.temp_c(0);
+    for (int i = 0; i < 100; ++i) {
+        t.step(power, 1e-3);
+        EXPECT_GE(t.temp_c(0), prev);
+        prev = t.temp_c(0);
+    }
+    EXPECT_LT(prev, t.isolated_steady_state_c(1.5));
+}
+
+TEST(Thermal, CoolsBackToAmbient) {
+    ThermalModel t(1, 1);
+    std::vector<double> power{2.0};
+    for (int i = 0; i < 5000; ++i) {
+        t.step(power, 1e-3);
+    }
+    const double hot = t.temp_c(0);
+    power[0] = 0.0;
+    for (int i = 0; i < 50000; ++i) {
+        t.step(power, 1e-3);
+    }
+    EXPECT_LT(t.temp_c(0), hot);
+    EXPECT_NEAR(t.temp_c(0), t.ambient_c(), 0.01);
+}
+
+TEST(Thermal, LateralCouplingSpreadsHeat) {
+    ThermalModel t(3, 1);
+    std::vector<double> power{0.0, 2.0, 0.0};
+    for (int i = 0; i < 2000; ++i) {
+        t.step(power, 1e-3);
+    }
+    // The hot core's neighbors warm above ambient, the hot core stays
+    // hottest, and with lateral spreading it sits below the isolated bound.
+    EXPECT_GT(t.temp_c(0), t.ambient_c() + 1.0);
+    EXPECT_GT(t.temp_c(1), t.temp_c(0));
+    EXPECT_DOUBLE_EQ(t.temp_c(0), t.temp_c(2));  // symmetry
+    EXPECT_LT(t.temp_c(1), t.isolated_steady_state_c(2.0));
+}
+
+TEST(Thermal, HotterCoreStaysHotter) {
+    ThermalModel t(2, 2);
+    std::vector<double> power{2.0, 1.0, 0.5, 0.0};
+    for (int i = 0; i < 3000; ++i) {
+        t.step(power, 1e-3);
+    }
+    EXPECT_GT(t.temp_c(0), t.temp_c(1));
+    EXPECT_GT(t.temp_c(1), t.temp_c(2));
+    EXPECT_GT(t.temp_c(2), t.temp_c(3));
+    EXPECT_DOUBLE_EQ(t.max_temp_c(), t.temp_c(0));
+    EXPECT_GT(t.mean_temp_c(), t.ambient_c());
+}
+
+TEST(Thermal, LongStepIsSubdividedStably) {
+    ThermalModel a(2, 2), b(2, 2);
+    const std::vector<double> power{2.0, 0.0, 0.0, 2.0};
+    // One 50 ms step must equal 50 steps of 1 ms (both subdivide to the
+    // same max_dt grid).
+    a.step(power, 0.05);
+    for (int i = 0; i < 50; ++i) {
+        b.step(power, 1e-3);
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_NEAR(a.temp_c(i), b.temp_c(i), 1e-9);
+    }
+}
+
+TEST(Thermal, EnergyConservationAtSteadyState) {
+    // At steady state, input power equals heat flowing to ambient:
+    // sum(P) = Gv * sum(T - ambient).
+    ThermalParams params;
+    ThermalModel t(3, 3, params);
+    std::vector<double> power(9, 0.0);
+    power[4] = 3.0;
+    for (int i = 0; i < 100000; ++i) {
+        t.step(power, 1e-3);
+    }
+    double outflow = 0.0;
+    for (double temp : t.temps_c()) {
+        outflow += params.g_vertical_w_per_k * (temp - params.ambient_c);
+    }
+    EXPECT_NEAR(outflow, 3.0, 0.01);
+}
+
+TEST(Thermal, ValidatesInputs) {
+    ThermalModel t(2, 2);
+    EXPECT_THROW(t.step(std::vector<double>(3, 0.0), 1e-3), RequireError);
+    EXPECT_THROW(t.step(std::vector<double>(4, 0.0), -1.0), RequireError);
+    EXPECT_THROW(t.temp_c(4), RequireError);
+}
+
+TEST(Thermal, RejectsUnstableMaxStep) {
+    ThermalParams p;
+    p.max_dt_s = 1.0;  // way beyond C/(Gv + 4 Gl)
+    EXPECT_THROW(ThermalModel(2, 2, p), RequireError);
+    p = ThermalParams{};
+    p.heat_capacity_j_per_k = 0.0;
+    EXPECT_THROW(ThermalModel(2, 2, p), RequireError);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,61 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Time, UnitHelpers) {
+    EXPECT_EQ(nanoseconds(5), 5u);
+    EXPECT_EQ(microseconds(2), 2000u);
+    EXPECT_EQ(milliseconds(3), 3'000'000u);
+    EXPECT_EQ(seconds(1), 1'000'000'000u);
+}
+
+TEST(Time, Conversions) {
+    EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+    EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(7)), 7.0);
+    EXPECT_DOUBLE_EQ(to_microseconds(microseconds(9)), 9.0);
+    EXPECT_EQ(from_seconds(1.5), 1'500'000'000u);
+    EXPECT_EQ(from_seconds(0.0), 0u);
+}
+
+TEST(Time, FromSecondsRounds) {
+    // 1 ns = 1e-9 s; 0.4 ns rounds down, 0.6 ns rounds up.
+    EXPECT_EQ(from_seconds(0.4e-9), 0u);
+    EXPECT_EQ(from_seconds(0.6e-9), 1u);
+}
+
+TEST(Time, CyclesIn) {
+    EXPECT_EQ(cycles_in(seconds(1), 1e9), 1'000'000'000u);
+    EXPECT_EQ(cycles_in(microseconds(1), 2e9), 2000u);
+    EXPECT_EQ(cycles_in(0, 1e9), 0u);
+}
+
+TEST(Time, DurationForCyclesRoundsUp) {
+    // 3 cycles at 2 GHz = 1.5 ns -> must round up to 2 ns so the work is
+    // complete when the event fires.
+    EXPECT_EQ(duration_for_cycles(3, 2e9), 2u);
+    EXPECT_EQ(duration_for_cycles(2, 2e9), 1u);
+    EXPECT_EQ(duration_for_cycles(0, 2e9), 0u);
+}
+
+TEST(Time, DurationForCyclesMatchesCyclesIn) {
+    // Round trip: executing for duration_for_cycles(n) at f must retire at
+    // least n cycles.
+    for (std::uint64_t n : {1ull, 17ull, 1'000'003ull}) {
+        const double f = 1.7e9;
+        const SimDuration d = duration_for_cycles(n, f);
+        EXPECT_GE(cycles_in(d, f), n - 1);  // floor vs ceil slack of 1
+    }
+}
+
+TEST(Time, DurationForCyclesRejectsBadFrequency) {
+    EXPECT_THROW(duration_for_cycles(1, 0.0), RequireError);
+    EXPECT_THROW(duration_for_cycles(1, -1.0), RequireError);
+}
+
+}  // namespace
+}  // namespace mcs

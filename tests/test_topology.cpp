@@ -1,0 +1,120 @@
+#include "noc/topology.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Topology, LinkCountFormula) {
+    MeshTopology t(4, 3);
+    // 2*(W-1)*H + 2*W*(H-1) = 2*3*3 + 2*4*2 = 18 + 16 = 34
+    EXPECT_EQ(t.link_count(), 34u);
+    EXPECT_EQ(t.node_count(), 12u);
+}
+
+TEST(Topology, DegenerateMeshes) {
+    MeshTopology row(5, 1);
+    EXPECT_EQ(row.link_count(), 8u);  // 2*(W-1)
+    MeshTopology col(1, 5);
+    EXPECT_EQ(col.link_count(), 8u);
+    MeshTopology single(1, 1);
+    EXPECT_EQ(single.link_count(), 0u);
+}
+
+TEST(Topology, LinkBetweenAllDirections) {
+    MeshTopology t(3, 3);
+    const CoreId center = t.node_at(1, 1);
+    std::set<LinkId> ids;
+    for (const CoreId n : {t.node_at(0, 1), t.node_at(2, 1), t.node_at(1, 0),
+                           t.node_at(1, 2)}) {
+        const LinkId out = t.link_between(center, n);
+        const LinkId back = t.link_between(n, center);
+        EXPECT_NE(out, back);  // directed links
+        ids.insert(out);
+        ids.insert(back);
+    }
+    EXPECT_EQ(ids.size(), 8u);  // all distinct
+}
+
+TEST(Topology, LinkBetweenRejectsNonAdjacent) {
+    MeshTopology t(4, 4);
+    EXPECT_THROW(t.link_between(t.node_at(0, 0), t.node_at(2, 0)),
+                 RequireError);
+    EXPECT_THROW(t.link_between(t.node_at(0, 0), t.node_at(1, 1)),
+                 RequireError);
+    EXPECT_THROW(t.link_between(t.node_at(0, 0), t.node_at(0, 0)),
+                 RequireError);
+}
+
+TEST(Topology, LinkEndsRoundTripsEveryLink) {
+    MeshTopology t(5, 4);
+    std::set<std::pair<CoreId, CoreId>> seen;
+    for (LinkId l = 0; l < t.link_count(); ++l) {
+        const auto [from, to] = t.link_ends(l);
+        EXPECT_EQ(t.manhattan(from, to), 1);
+        EXPECT_EQ(t.link_between(from, to), l);
+        EXPECT_TRUE(seen.insert({from, to}).second) << "duplicate link";
+    }
+    EXPECT_THROW(t.link_ends(static_cast<LinkId>(t.link_count())),
+                 RequireError);
+}
+
+TEST(Topology, XyRouteGoesXFirst) {
+    MeshTopology t(4, 4);
+    const auto route = t.xy_route(t.node_at(0, 0), t.node_at(2, 2));
+    ASSERT_EQ(route.size(), 4u);
+    // First two hops move in X, last two in Y.
+    auto [f0, t0] = t.link_ends(route[0]);
+    auto [f1, t1] = t.link_ends(route[1]);
+    auto [f2, t2] = t.link_ends(route[2]);
+    EXPECT_EQ(t.y_of(f0), t.y_of(t0));
+    EXPECT_EQ(t.y_of(f1), t.y_of(t1));
+    EXPECT_EQ(t.x_of(f2), t.x_of(t2));
+}
+
+TEST(Topology, RouteToSelfIsEmpty) {
+    MeshTopology t(4, 4);
+    EXPECT_TRUE(t.xy_route(5, 5).empty());
+}
+
+TEST(Topology, OutOfRangeNodesThrow) {
+    MeshTopology t(3, 3);
+    EXPECT_THROW(t.xy_route(0, 9), RequireError);
+    EXPECT_THROW(t.manhattan(9, 0), RequireError);
+    EXPECT_THROW(t.node_at(3, 0), RequireError);
+}
+
+// Property test over multiple mesh sizes: every pair's XY route is
+// connected, length-minimal, and stays inside the mesh.
+class TopologyRouteProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TopologyRouteProperty, RoutesAreConnectedAndMinimal) {
+    const auto [w, h] = GetParam();
+    MeshTopology t(w, h);
+    for (CoreId s = 0; s < t.node_count(); ++s) {
+        for (CoreId d = 0; d < t.node_count(); ++d) {
+            const auto route = t.xy_route(s, d);
+            ASSERT_EQ(static_cast<int>(route.size()), t.manhattan(s, d));
+            CoreId at = s;
+            for (const LinkId l : route) {
+                const auto [from, to] = t.link_ends(l);
+                ASSERT_EQ(from, at);
+                at = to;
+            }
+            ASSERT_EQ(at, d);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TopologyRouteProperty,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 6}, std::pair{6, 1},
+                      std::pair{2, 2}, std::pair{5, 3}, std::pair{8, 8}));
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,105 @@
+// Simulator validation against closed-form expectations: configurations
+// simple enough that queueing/utilization theory predicts the outcome.
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+// Single-task applications, light load, huge power budget: the system is an
+// M/G/64 queue far from saturation, so measured utilization must equal
+// offered load and practically no application should wait.
+TEST(Validation, LightLoadMatchesOfferedUtilization) {
+    SystemConfig cfg;
+    cfg.seed = 5;
+    cfg.tdp_scale = 10.0;  // power never binds
+    cfg.workload.graphs.min_tasks = 1;
+    cfg.workload.graphs.max_tasks = 1;
+    const double capacity = 64.0 * technology(cfg.node).max_freq_hz;
+    const double target = 0.25;
+    cfg.workload.arrival_rate_hz = WorkloadGenerator::rate_for_utilization(
+        target, cfg.workload.graphs, capacity);
+    ManycoreSystem sys(cfg);
+    const RunMetrics m = sys.run(10 * kSecond);
+    // With an unbounded budget, busy cores run at the top level: busy-time
+    // utilization equals cycle demand over capacity.
+    EXPECT_NEAR(m.mean_chip_utilization, target, 0.02);
+    EXPECT_NEAR(m.work_cycles_per_s / capacity, target, 0.02);
+    // Far from saturation: queueing is negligible.
+    EXPECT_LT(m.app_queue_wait_ms.mean(), 1.0);
+    EXPECT_EQ(m.apps_rejected, 0u);
+}
+
+// Work conservation: every arrived application's cycles are either retired
+// or still in the system; with a drain-friendly horizon the completed
+// cycles match the demand of completed apps exactly.
+TEST(Validation, RetiredCyclesMatchCompletedDemand) {
+    SystemConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.seed = 9;
+    cfg.tdp_scale = 10.0;
+    cfg.workload.graphs.min_tasks = 1;
+    cfg.workload.graphs.max_tasks = 3;
+    cfg.workload.arrival_rate_hz = 100.0;
+    ManycoreSystem sys(cfg);
+    const RunMetrics m = sys.run(5 * kSecond);
+    // Busy cycles retired >= cycles of completed apps (tasks of in-flight
+    // apps add more); and within a small bound of total arrived demand.
+    EXPECT_GT(m.work_cycles_per_s, 0.0);
+    EXPECT_GE(m.tasks_completed, m.apps_completed);  // >= 1 task per app
+}
+
+// Amdahl-style check: a chain-structured application cannot finish faster
+// than its critical path at the top frequency.
+TEST(Validation, MakespanBoundedByCriticalPath) {
+    std::vector<Task> tasks(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        tasks[i].cycles = 10'000'000;  // 4 ms at 2.5 GHz
+        if (i + 1 < 4) {
+            tasks[i].successors = {{static_cast<TaskIndex>(i + 1), 1000}};
+        }
+    }
+    TaskGraph chain(std::move(tasks));
+    const double ideal_s =
+        static_cast<double>(chain.critical_path_cycles()) / 2.5e9;
+
+    SystemConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.seed = 13;
+    cfg.tdp_scale = 10.0;
+    cfg.workload.arrival_rate_hz = 5.0;  // nearly sequential arrivals
+    cfg.workload.graph_library.push_back(std::move(chain));
+    ManycoreSystem sys(cfg);
+    const RunMetrics m = sys.run(4 * kSecond);
+    ASSERT_GT(m.app_latency_ms.count(), 0u);
+    // No app can beat the critical path; the mean should also be close to
+    // it at this trivial load (within 3x for comm + control overheads).
+    EXPECT_GE(m.app_latency_ms.min(), ideal_s * 1e3 * 0.999);
+    EXPECT_LT(m.app_latency_ms.mean(), ideal_s * 1e3 * 3.0);
+}
+
+// Throttled chip: with the budget scaled to a sliver, sustained compute
+// must be power-limited well below demand, yet never violate the cap.
+TEST(Validation, TinyBudgetThrottlesButHolds) {
+    SystemConfig cfg;
+    cfg.seed = 17;
+    cfg.tdp_scale = 0.4;
+    cfg.workload.graphs.min_tasks = 1;
+    cfg.workload.graphs.max_tasks = 1;
+    const double capacity = 64.0 * technology(cfg.node).max_freq_hz;
+    cfg.workload.arrival_rate_hz = WorkloadGenerator::rate_for_utilization(
+        0.9, cfg.workload.graphs, capacity);
+    ManycoreSystem sys(cfg);
+    const RunMetrics m = sys.run(5 * kSecond);
+    EXPECT_LT(m.work_cycles_per_s / capacity, 0.6);  // power-limited
+    EXPECT_LE(m.max_power_w, m.tdp_w * 1.02);
+    EXPECT_LT(m.tdp_violation_rate, 0.001);
+}
+
+}  // namespace
+}  // namespace mcs

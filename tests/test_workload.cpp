@@ -1,0 +1,200 @@
+#include "app/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(TaskGraphGenerator, RespectsTaskCountRange) {
+    TaskGraphGenParams p;
+    p.min_tasks = 5;
+    p.max_tasks = 9;
+    TaskGraphGenerator gen(p);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const TaskGraph g = gen.generate(rng);
+        EXPECT_GE(g.size(), 5u);
+        EXPECT_LE(g.size(), 9u);
+    }
+}
+
+TEST(TaskGraphGenerator, CyclesWithinBounds) {
+    TaskGraphGenParams p;
+    p.min_cycles = 1000;
+    p.max_cycles = 5000;
+    TaskGraphGenerator gen(p);
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        const TaskGraph g = gen.generate(rng);
+        for (TaskIndex t = 0; t < g.size(); ++t) {
+            EXPECT_GE(g.task(t).cycles, 1000u);
+            EXPECT_LE(g.task(t).cycles, 5001u);  // exp/log rounding slack
+        }
+    }
+}
+
+TEST(TaskGraphGenerator, EdgeBytesWithinBounds) {
+    TaskGraphGenParams p;
+    p.min_edge_bytes = 100;
+    p.max_edge_bytes = 200;
+    TaskGraphGenerator gen(p);
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        const TaskGraph g = gen.generate(rng);
+        for (TaskIndex t = 0; t < g.size(); ++t) {
+            for (const TaskEdge& e : g.task(t).successors) {
+                EXPECT_GE(e.bytes, 100u);
+                EXPECT_LE(e.bytes, 200u);
+            }
+        }
+    }
+}
+
+TEST(TaskGraphGenerator, GraphsAreConnectedEnough) {
+    // Every non-source task must have at least one predecessor (guaranteed
+    // by construction) and sources only sit in the first layer.
+    TaskGraphGenerator gen;
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        const TaskGraph g = gen.generate(rng);
+        // Multi-task graphs have fewer sources than tasks (layers >= 2).
+        if (g.size() > 1) {
+            EXPECT_LT(g.sources().size(), g.size());
+        }
+    }
+}
+
+TEST(TaskGraphGenerator, DeterministicGivenRngState) {
+    TaskGraphGenerator gen;
+    Rng a(13), b(13);
+    for (int i = 0; i < 20; ++i) {
+        const TaskGraph ga = gen.generate(a);
+        const TaskGraph gb = gen.generate(b);
+        ASSERT_EQ(ga.size(), gb.size());
+        ASSERT_EQ(ga.total_cycles(), gb.total_cycles());
+        ASSERT_EQ(ga.total_comm_bytes(), gb.total_comm_bytes());
+    }
+}
+
+TEST(TaskGraphGenerator, SingleTaskGraphsSupported) {
+    TaskGraphGenParams p;
+    p.min_tasks = 1;
+    p.max_tasks = 1;
+    TaskGraphGenerator gen(p);
+    Rng rng(17);
+    const TaskGraph g = gen.generate(rng);
+    EXPECT_EQ(g.size(), 1u);
+    EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(TaskGraphGenerator, MeanCyclesEstimateIsInRange) {
+    TaskGraphGenParams p;
+    const double mean = TaskGraphGenerator::estimate_mean_app_cycles(p);
+    const double lo = static_cast<double>(p.min_tasks) *
+                      static_cast<double>(p.min_cycles);
+    const double hi = static_cast<double>(p.max_tasks) *
+                      static_cast<double>(p.max_cycles);
+    EXPECT_GT(mean, lo);
+    EXPECT_LT(mean, hi);
+}
+
+TEST(TaskGraphGenerator, ValidatesParams) {
+    TaskGraphGenParams p;
+    p.min_tasks = 0;
+    EXPECT_THROW(TaskGraphGenerator{p}, RequireError);
+    p = TaskGraphGenParams{};
+    p.max_tasks = p.min_tasks - 1;
+    EXPECT_THROW(TaskGraphGenerator{p}, RequireError);
+    p = TaskGraphGenParams{};
+    p.min_cycles = 10;
+    p.max_cycles = 5;
+    EXPECT_THROW(TaskGraphGenerator{p}, RequireError);
+    p = TaskGraphGenParams{};
+    p.max_fanin = 0;
+    EXPECT_THROW(TaskGraphGenerator{p}, RequireError);
+}
+
+TEST(WorkloadGenerator, ArrivalsOrderedAndBeforeHorizon) {
+    WorkloadParams p;
+    p.arrival_rate_hz = 100.0;
+    WorkloadGenerator gen(p, 42);
+    const auto apps = gen.generate(seconds(5));
+    ASSERT_FALSE(apps.empty());
+    SimTime prev = 0;
+    for (const auto& a : apps) {
+        EXPECT_GE(a.arrival, prev);
+        EXPECT_LT(a.arrival, seconds(5));
+        prev = a.arrival;
+    }
+}
+
+TEST(WorkloadGenerator, UniqueIncreasingIds) {
+    WorkloadParams p;
+    p.arrival_rate_hz = 50.0;
+    WorkloadGenerator gen(p, 1);
+    const auto apps = gen.generate(seconds(2));
+    for (std::size_t i = 1; i < apps.size(); ++i) {
+        EXPECT_EQ(apps[i].id, apps[i - 1].id + 1);
+    }
+}
+
+TEST(WorkloadGenerator, RateApproximatelyHonored) {
+    WorkloadParams p;
+    p.arrival_rate_hz = 200.0;
+    WorkloadGenerator gen(p, 7);
+    const auto apps = gen.generate(seconds(20));
+    // 4000 expected; Poisson sd ~ 63.
+    EXPECT_NEAR(static_cast<double>(apps.size()), 4000.0, 250.0);
+}
+
+TEST(WorkloadGenerator, DeterministicBySeed) {
+    WorkloadParams p;
+    WorkloadGenerator a(p, 99), b(p, 99), c(p, 100);
+    const auto wa = a.generate(seconds(1));
+    const auto wb = b.generate(seconds(1));
+    const auto wc = c.generate(seconds(1));
+    ASSERT_EQ(wa.size(), wb.size());
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+        EXPECT_EQ(wa[i].arrival, wb[i].arrival);
+        EXPECT_EQ(wa[i].graph.total_cycles(), wb[i].graph.total_cycles());
+    }
+    // Different seed -> different trace (with overwhelming probability).
+    bool differs = wc.size() != wa.size();
+    for (std::size_t i = 0; !differs && i < std::min(wa.size(), wc.size());
+         ++i) {
+        differs = wa[i].arrival != wc[i].arrival;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(WorkloadGenerator, OfferedUtilizationScalesWithRate) {
+    WorkloadParams p;
+    p.arrival_rate_hz = 100.0;
+    const double u1 = WorkloadGenerator::offered_utilization(p, 1.6e11);
+    p.arrival_rate_hz = 200.0;
+    const double u2 = WorkloadGenerator::offered_utilization(p, 1.6e11);
+    EXPECT_NEAR(u2 / u1, 2.0, 1e-9);
+}
+
+TEST(WorkloadGenerator, RateForUtilizationRoundTrips) {
+    TaskGraphGenParams graphs;
+    const double capacity = 1.6e11;
+    const double rate =
+        WorkloadGenerator::rate_for_utilization(0.5, graphs, capacity);
+    WorkloadParams p;
+    p.arrival_rate_hz = rate;
+    p.graphs = graphs;
+    EXPECT_NEAR(WorkloadGenerator::offered_utilization(p, capacity), 0.5,
+                1e-6);
+}
+
+TEST(WorkloadGenerator, RejectsNonPositiveRate) {
+    WorkloadParams p;
+    p.arrival_rate_hz = 0.0;
+    EXPECT_THROW(WorkloadGenerator(p, 1), RequireError);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,89 @@
+// mcs_sim -- command-line driver for the manycore online-test simulator.
+//
+// Usage:
+//   mcs_sim [key=value ...]
+//   mcs_sim config=run.cfg [key=value overrides ...]
+//
+// Keys: see core/config_bridge.hpp. Driver-specific keys:
+//   seconds=<double>   simulation horizon (default 10)
+//   out=<path>         write a (metric,value) CSV report
+//   trace=<path>       write the 5 ms power/state trace as CSV
+//   quiet=true         suppress the human-readable summary
+//
+// Examples:
+//   mcs_sim occupancy=0.9 scheduler=power-aware seconds=20 out=run.csv
+//   mcs_sim node=22nm mapper=contiguous faults=true fault_rate=0.05
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "core/config_bridge.hpp"
+#include "core/report.hpp"
+#include "util/csv.hpp"
+
+using namespace mcs;
+
+int main(int argc, char** argv) {
+    try {
+        Config args = Config::from_args(std::span<const char* const>(
+            argv + 1, static_cast<std::size_t>(argc - 1)));
+        if (args.has("config")) {
+            Config file = Config::from_file(args.get_string("config", ""));
+            file.merge(args);  // command line wins
+            args = std::move(file);
+        }
+
+        const double seconds = args.get_double("seconds", 10.0);
+        const std::string out = args.get_string("out", "");
+        const std::string trace = args.get_string("trace", "");
+        const bool quiet = args.get_bool("quiet", false);
+
+        const SystemConfig cfg = system_config_from(args);
+        if (!quiet) {
+            std::printf("mcs_sim: %dx%d @ %s | scheduler %s | mapper %s | "
+                        "%.1f apps/s | %.1f s\n\n",
+                        cfg.width, cfg.height, to_string(cfg.node),
+                        to_string(cfg.scheduler), to_string(cfg.mapper),
+                        cfg.workload.arrival_rate_hz, seconds);
+        }
+
+        ManycoreSystem sys(cfg);
+        std::optional<CsvWriter> trace_csv;
+        if (!trace.empty()) {
+            trace_csv.emplace(
+                trace,
+                std::vector<std::string>{"t_s", "workload_w", "test_w",
+                                         "other_w", "total_w", "tdp_w",
+                                         "busy", "testing", "dark",
+                                         "max_temp_c"});
+            sys.set_trace_sink([&](const TraceSample& s) {
+                trace_csv->write_row(std::vector<double>{
+                    to_seconds(s.time), s.workload_power_w, s.test_power_w,
+                    s.other_power_w, s.total_power_w, s.tdp_w,
+                    static_cast<double>(s.cores_busy),
+                    static_cast<double>(s.cores_testing),
+                    static_cast<double>(s.cores_dark), s.max_temp_c});
+            });
+        }
+
+        const RunMetrics m = sys.run(from_seconds(seconds));
+        if (!quiet) {
+            std::printf("%s", format_metrics(m).c_str());
+        }
+        if (!out.empty()) {
+            write_metrics_csv(m, out);
+            if (!quiet) {
+                std::printf("\nmetrics written to %s\n", out.c_str());
+            }
+        }
+        if (trace_csv && !quiet) {
+            std::printf("trace written to %s (%zu samples)\n", trace.c_str(),
+                        trace_csv->rows_written());
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "mcs_sim: error: %s\n", e.what());
+        return 1;
+    }
+}
