@@ -10,9 +10,18 @@
 #include <vector>
 
 #include "core/system.hpp"
+#include "util/config.hpp"
 #include "util/table.hpp"
 
 namespace mcs::bench {
+
+/// Worker-thread count for campaign-based experiments: `jobs=N` on the
+/// command line, 0 (= hardware concurrency) otherwise.
+inline int parse_jobs(int argc, char** argv) {
+    const Config cfg = Config::from_args(std::span<const char* const>(
+        argv + 1, static_cast<std::size_t>(argc - 1)));
+    return static_cast<int>(cfg.get_int("jobs", 0));
+}
 
 /// Standard evaluation platform: 8x8 mesh at 16 nm (the paper's headline
 /// configuration).

@@ -6,55 +6,74 @@
 // load or violates the power budget.
 //
 // Output: one row per (occupancy, scheduler) with throughput normalized to
-// the no-test run of the same seeds.
+// the no-test run of the same seeds. The (occupancy x scheduler x seed)
+// grid runs through the campaign runner: pass jobs=N to parallelize
+// (results are identical for any N).
 
 #include <cstdio>
-#include <map>
 
 #include "bench_common.hpp"
+#include "runner/campaign_runner.hpp"
 
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
     print_header("E1: throughput vs injection rate",
                  "PA-OTS throughput penalty < 1%; power-oblivious testing "
                  "costs more under load");
 
-    constexpr int kSeeds = 3;
-    constexpr SimDuration kHorizon = 8 * kSecond;
-    const std::vector<double> occupancies{0.3, 0.5, 0.7, 0.9, 1.1};
-    const std::vector<SchedulerKind> schedulers{
-        SchedulerKind::None, SchedulerKind::PowerAware,
-        SchedulerKind::Periodic, SchedulerKind::Greedy};
+    const std::vector<std::string> occupancies{"0.3", "0.5", "0.7", "0.9",
+                                               "1.1"};
+    const std::vector<std::string> schedulers{"none", "power-aware",
+                                              "periodic", "greedy"};
+    CampaignSpec spec;
+    spec.base.set("width", "8");
+    spec.base.set("height", "8");
+    spec.base.set("node", "16nm");
+    spec.axes = {{"occupancy", occupancies}, {"scheduler", schedulers}};
+    spec.replicas = 3;
+    spec.campaign_seed = 1;
+    spec.seconds = 8.0;
+
+    CampaignRunner runner(std::move(spec));
+    const CampaignResult res = runner.run(parse_jobs(argc, argv));
 
     TablePrinter table({"occupancy", "scheduler", "work Gcycles/s",
                         "norm. throughput", "penalty", "tests/core/s",
                         "TDP viol."});
-    for (double occ : occupancies) {
-        std::map<SchedulerKind, Replicates> results;
-        for (SchedulerKind sched : schedulers) {
-            SystemConfig cfg = base_config();
-            set_occupancy(cfg, occ);
-            cfg.scheduler = sched;
-            results.emplace(sched, replicate(cfg, kSeeds, kHorizon));
-        }
-        const double baseline =
-            results.at(SchedulerKind::None).mean(&RunMetrics::work_cycles_per_s);
-        for (SchedulerKind sched : schedulers) {
-            const Replicates& r = results.at(sched);
-            const double work = r.mean(&RunMetrics::work_cycles_per_s);
+    for (std::size_t o = 0; o < occupancies.size(); ++o) {
+        // Cell order: occupancy outer, scheduler inner (last axis fastest);
+        // schedulers[0] is the no-test baseline of this occupancy.
+        const std::size_t base_cell = o * schedulers.size();
+        const double baseline = res.cell_mean(
+            base_cell,
+            [](const RunMetrics& m) { return m.work_cycles_per_s; });
+        for (std::size_t s = 0; s < schedulers.size(); ++s) {
+            const std::size_t c = base_cell + s;
+            const double work = res.cell_mean(
+                c, [](const RunMetrics& m) { return m.work_cycles_per_s; });
             const double norm = work / baseline;
-            table.add_row({fmt(occ, 1), to_string(sched), fmt(work / 1e9, 2),
-                           fmt(norm, 4), fmt_pct(1.0 - norm),
-                           fmt(r.mean(&RunMetrics::tests_per_core_per_s), 2),
-                           fmt_pct(r.mean(&RunMetrics::tdp_violation_rate),
-                                   3)});
+            table.add_row(
+                {occupancies[o], schedulers[s], fmt(work / 1e9, 2),
+                 fmt(norm, 4), fmt_pct(1.0 - norm),
+                 fmt(res.cell_mean(c,
+                                   [](const RunMetrics& m) {
+                                       return m.tests_per_core_per_s;
+                                   }),
+                     2),
+                 fmt_pct(res.cell_mean(c,
+                                       [](const RunMetrics& m) {
+                                           return m.tdp_violation_rate;
+                                       }),
+                         3)});
         }
         table.add_separator();
     }
     std::printf("%s\n", table.to_string().c_str());
     std::printf("note: 'penalty' is relative to the no-test run of the same "
                 "seeds; negative values are seed noise.\n");
-    return 0;
+    std::printf("campaign: %zu runs in %.1f s wall\n", res.replicas.size(),
+                res.wall_seconds);
+    return res.failed_count() == 0 ? 0 : 1;
 }

@@ -5,39 +5,48 @@
 // voltage/frequency level of the platform over time (frequency-dependent
 // faults require testing at every operating point), whereas a fixed-level
 // policy leaves all other levels untested.
+//
+// The three policies run as one campaign (pass jobs=N to parallelize).
 
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "runner/campaign_runner.hpp"
 
 using namespace mcs;
 using namespace mcs::bench;
 
-namespace {
-
-RunMetrics run_policy(TestVfPolicy policy) {
-    SystemConfig cfg = base_config(47);
-    set_occupancy(cfg, 0.5);
-    cfg.power_aware.vf_policy = policy;
-    return run_one(std::move(cfg), 10 * kSecond);
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
     print_header("E7: V/F level coverage of test sessions",
                  "rotation covers all DVFS levels; fixed policy leaves "
                  "levels untested");
 
-    const auto& table_levels =
-        build_vf_table(technology(TechNode::nm16));
-    const RunMetrics rotate_m = run_policy(TestVfPolicy::RotateAll);
-    const RunMetrics max_m = run_policy(TestVfPolicy::MaxOnly);
-    const RunMetrics min_m = run_policy(TestVfPolicy::MinOnly);
+    CampaignSpec spec;
+    spec.base.set("width", "8");
+    spec.base.set("height", "8");
+    spec.base.set("node", "16nm");
+    spec.base.set("occupancy", "0.5");
+    spec.axes = {{"vf_policy", {"rotate-all", "max-only", "min-only"}}};
+    spec.replicas = 1;
+    spec.campaign_seed = 47;
+    spec.seconds = 10.0;
+
+    CampaignRunner runner(std::move(spec));
+    const CampaignResult res = runner.run(parse_jobs(argc, argv));
+    for (const ReplicaResult& r : res.replicas) {
+        if (!r.ok) {
+            std::fprintf(stderr, "replica failed: %s\n", r.error.c_str());
+            return 1;
+        }
+    }
+    const RunMetrics& rotate_m = res.cell(0)[0].metrics;
+    const RunMetrics& max_m = res.cell(1)[0].metrics;
+    const RunMetrics& min_m = res.cell(2)[0].metrics;
     const auto& rotate = rotate_m.tests_per_vf_level;
     const auto& max_only = max_m.tests_per_vf_level;
     const auto& min_only = min_m.tests_per_vf_level;
 
+    const auto& table_levels = build_vf_table(technology(TechNode::nm16));
     TablePrinter table({"VF level", "voltage [V]", "freq [GHz]",
                         "tests (rotate-all)", "tests (max-only)",
                         "tests (min-only)"});

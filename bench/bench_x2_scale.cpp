@@ -6,45 +6,56 @@
 // untouched falls -- with abortable sessions the scheduler degenerates into
 // start/abort churn. Making sessions atomic (the mapper must briefly wait
 // for, or route around, a testing core) restores coverage at negligible
-// throughput cost. This experiment quantifies both policies across sizes.
+// throughput cost. This experiment quantifies both policies across sizes,
+// as a (side x session-policy) campaign grid (pass jobs=N to parallelize).
 
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "runner/campaign_runner.hpp"
 
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
     print_header("X2 (extension): scaling the chip",
                  "abortable sessions churn on large chips; atomic sessions "
                  "keep full test coverage at the same throughput");
 
-    constexpr SimDuration kHorizon = 8 * kSecond;
+    const std::vector<std::string> sides{"4", "8", "12", "16"};
+    const std::vector<std::string> sessions{"abortable", "atomic",
+                                            "segmented"};
+    CampaignSpec spec;
+    spec.base.set("node", "16nm");
+    spec.base.set("occupancy", "0.9");
+    spec.axes = {{"side", sides}, {"sessions", sessions}};
+    spec.replicas = 1;
+    spec.campaign_seed = 89;
+    spec.seconds = 8.0;
+
+    CampaignRunner runner(std::move(spec));
+    const CampaignResult res = runner.run(parse_jobs(argc, argv));
+    for (const ReplicaResult& r : res.replicas) {
+        if (!r.ok) {
+            std::fprintf(stderr, "replica failed: %s\n", r.error.c_str());
+            return 1;
+        }
+    }
 
     TablePrinter table({"chip", "sessions", "work Gcycles/s",
                         "tests/core/s", "untested cores", "max gap [s]",
                         "aborted", "TDP viol."});
-    for (int side : {4, 8, 12, 16}) {
-        for (int variant = 0; variant < 3; ++variant) {
-            SystemConfig cfg = base_config(89);
-            cfg.width = side;
-            cfg.height = side;
-            cfg.abort_tests_for_mapping = variant != 1;
-            cfg.segmented_tests = variant == 2;
-            set_occupancy(cfg, 0.9);
-            const RunMetrics m = run_one(std::move(cfg), kHorizon);
-            table.add_row(
-                {fmt(static_cast<std::int64_t>(side)) + "x" +
-                     fmt(static_cast<std::int64_t>(side)),
-                 variant == 0   ? "abortable"
-                 : variant == 1 ? "atomic"
-                                : "segmented",
-                 fmt(m.work_cycles_per_s / 1e9, 2),
-                 fmt(m.tests_per_core_per_s, 2),
-                 fmt_pct(m.untested_core_fraction, 1),
-                 fmt(m.max_open_test_gap_s, 2), fmt(m.tests_aborted),
-                 fmt_pct(m.tdp_violation_rate, 3)});
+    for (std::size_t i = 0; i < sides.size(); ++i) {
+        for (std::size_t v = 0; v < sessions.size(); ++v) {
+            const RunMetrics& m =
+                res.cell(i * sessions.size() + v)[0].metrics;
+            table.add_row({sides[i] + "x" + sides[i], sessions[v],
+                           fmt(m.work_cycles_per_s / 1e9, 2),
+                           fmt(m.tests_per_core_per_s, 2),
+                           fmt_pct(m.untested_core_fraction, 1),
+                           fmt(m.max_open_test_gap_s, 2),
+                           fmt(m.tests_aborted),
+                           fmt_pct(m.tdp_violation_rate, 3)});
         }
         table.add_separator();
     }
@@ -52,5 +63,7 @@ int main() {
     std::printf("note: same occupancy (0.9) at every size; 'atomic' makes "
                 "the mapper treat testing cores as busy for the ~3 ms "
                 "session instead of aborting them.\n");
+    std::printf("campaign: %zu runs in %.1f s wall\n", res.replicas.size(),
+                res.wall_seconds);
     return 0;
 }

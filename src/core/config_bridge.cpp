@@ -10,12 +10,12 @@ namespace {
 
 const std::set<std::string>& known_keys() {
     static const std::set<std::string> keys{
-        "width", "height", "node", "seed", "tdp_scale", "occupancy",
+        "width", "height", "side", "node", "seed", "tdp_scale", "occupancy",
         "arrival_rate_hz", "min_tasks", "max_tasks", "min_cycles",
         "max_cycles", "graph_file", "scheduler", "test_period_ms",
         "guard_band", "criticality_threshold", "criticality_mode",
         "vf_policy", "mapper", "abort_tests", "faults", "fault_rate",
-        "capping", "gate_delay_ms", "segmented", "hard_rt_share",
+        "capping", "gate_delay_ms", "segmented", "sessions", "hard_rt_share",
         "soft_rt_share", "noc_testing", "link_fault_rate",
         // Keys consumed by the CLI itself, accepted here so a shared file
         // can hold both.
@@ -80,6 +80,13 @@ SystemConfig system_config_from(const Config& cfg) {
     SystemConfig sys;
     sys.width = static_cast<int>(cfg.get_int("width", 8));
     sys.height = static_cast<int>(cfg.get_int("height", 8));
+    if (cfg.has("side")) {
+        // Square-chip shorthand (sweep axes set one key per axis).
+        MCS_REQUIRE(!cfg.has("width") && !cfg.has("height"),
+                    "side cannot be combined with width/height");
+        sys.width = static_cast<int>(cfg.get_int("side", 8));
+        sys.height = sys.width;
+    }
     sys.node = parse_node(cfg.get_string("node", "16nm"));
     sys.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
     sys.tdp_scale = cfg.get_double("tdp_scale", 1.0);
@@ -150,6 +157,24 @@ SystemConfig system_config_from(const Config& cfg) {
     sys.mapper = parse_mapper(cfg.get_string("mapper", "test-aware"));
     sys.abort_tests_for_mapping = cfg.get_bool("abort_tests", true);
     sys.segmented_tests = cfg.get_bool("segmented", false);
+    if (cfg.has("sessions")) {
+        // One-key session policy (X2's comparison; handy as a sweep axis).
+        MCS_REQUIRE(!cfg.has("abort_tests") && !cfg.has("segmented"),
+                    "sessions cannot be combined with abort_tests/segmented");
+        const std::string sessions = cfg.get_string("sessions", "abortable");
+        if (sessions == "abortable") {
+            sys.abort_tests_for_mapping = true;
+            sys.segmented_tests = false;
+        } else if (sessions == "atomic") {
+            sys.abort_tests_for_mapping = false;
+            sys.segmented_tests = false;
+        } else if (sessions == "segmented") {
+            sys.abort_tests_for_mapping = true;
+            sys.segmented_tests = true;
+        } else {
+            MCS_REQUIRE(false, "unknown sessions policy: " + sessions);
+        }
+    }
 
     sys.enable_fault_injection = cfg.get_bool("faults", false);
     sys.faults.base_rate_per_core_s = cfg.get_double("fault_rate", 0.01);

@@ -10,6 +10,8 @@ namespace mcs {
 ///
 /// Key reference (defaults in parentheses):
 ///   width (8), height (8)            chip dimensions
+///   side                             square-chip shorthand: width = height
+///                                    (exclusive with width/height)
 ///   node (16nm)                      45nm | 32nm | 22nm | 16nm
 ///   seed (42)                        master RNG seed
 ///   tdp_scale (1.0)                  power-budget scaling
@@ -30,6 +32,9 @@ namespace mcs {
 ///                                    contiguous | random | first-fit
 ///   abort_tests (true)               mapper may abort in-flight tests
 ///   segmented (false)                aborted sessions resume per-routine
+///   sessions                         abortable | atomic | segmented — sets
+///                                    the two keys above in one axis
+///                                    (exclusive with them)
 ///   hard_rt_share (0), soft_rt_share (0)  QoS class mix (rest best-effort)
 ///   noc_testing (false)              enable online link testing
 ///   link_fault_rate (0)              link wear rate per link-second

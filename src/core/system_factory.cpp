@@ -1,0 +1,15 @@
+#include "core/system_factory.hpp"
+
+#include "core/config_bridge.hpp"
+
+namespace mcs {
+
+std::unique_ptr<ManycoreSystem> make_system(const Config& cfg) {
+    return std::make_unique<ManycoreSystem>(system_config_from(cfg));
+}
+
+RunMetrics run_system(const Config& cfg, SimDuration horizon) {
+    return make_system(cfg)->run(horizon);
+}
+
+}  // namespace mcs

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <memory>
+
+#include "core/system.hpp"
+#include "util/config.hpp"
+
+namespace mcs {
+
+/// Constructs a fresh ManycoreSystem from generic key=value configuration
+/// (core/config_bridge.hpp keys). The build path touches no global mutable
+/// state, so factories may run concurrently from any number of threads —
+/// this is the entry the campaign runner uses for each replica.
+std::unique_ptr<ManycoreSystem> make_system(const Config& cfg);
+
+/// Builds and runs one system for `horizon` simulated time and returns its
+/// metrics; the convenience form of make_system for one-shot replicas.
+RunMetrics run_system(const Config& cfg, SimDuration horizon);
+
+}  // namespace mcs

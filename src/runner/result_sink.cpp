@@ -1,0 +1,188 @@
+#include "runner/result_sink.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace mcs {
+namespace {
+
+constexpr std::array<MetricDef, 16> kMetrics{{
+    {"work_cycles_per_s",
+     [](const RunMetrics& m) { return m.work_cycles_per_s; }},
+    {"throughput_apps_per_s",
+     [](const RunMetrics& m) { return m.throughput_apps_per_s; }},
+    {"apps_completed",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.apps_completed);
+     }},
+    {"app_latency_ms_mean",
+     [](const RunMetrics& m) { return m.app_latency_ms.mean(); }},
+    {"mean_chip_utilization",
+     [](const RunMetrics& m) { return m.mean_chip_utilization; }},
+    {"mean_dark_fraction",
+     [](const RunMetrics& m) { return m.mean_dark_fraction; }},
+    {"mean_power_w", [](const RunMetrics& m) { return m.mean_power_w; }},
+    {"tdp_violation_rate",
+     [](const RunMetrics& m) { return m.tdp_violation_rate; }},
+    {"energy_total_j", [](const RunMetrics& m) { return m.energy_total_j; }},
+    {"test_energy_share",
+     [](const RunMetrics& m) { return m.test_energy_share; }},
+    {"tests_completed",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.tests_completed);
+     }},
+    {"tests_aborted",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.tests_aborted);
+     }},
+    {"tests_per_core_per_s",
+     [](const RunMetrics& m) { return m.tests_per_core_per_s; }},
+    {"untested_core_fraction",
+     [](const RunMetrics& m) { return m.untested_core_fraction; }},
+    {"max_open_test_gap_s",
+     [](const RunMetrics& m) { return m.max_open_test_gap_s; }},
+    {"peak_temp_c", [](const RunMetrics& m) { return m.peak_temp_c; }},
+}};
+
+/// Shortest round-trip-exact decimal text; locale-independent, so the CSV
+/// bytes are reproducible everywhere.
+std::string num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // Prefer the shortest representation that round-trips.
+    for (int precision = 1; precision < 17; ++precision) {
+        char candidate[32];
+        std::snprintf(candidate, sizeof candidate, "%.*g", precision, v);
+        if (std::strtod(candidate, nullptr) == v) {
+            return candidate;
+        }
+    }
+    return buf;
+}
+
+}  // namespace
+
+std::span<const MetricDef> campaign_metrics() {
+    return kMetrics;
+}
+
+void write_campaign_csv(const CampaignResult& result,
+                        const std::string& path) {
+    std::vector<std::string> header{"cell"};
+    for (const SweepAxis& axis : result.spec.axes) {
+        header.push_back(axis.key);
+    }
+    header.insert(header.end(), {"replicas_ok", "replicas_failed"});
+    for (const MetricDef& metric : campaign_metrics()) {
+        header.push_back(std::string(metric.name) + "_mean");
+        header.push_back(std::string(metric.name) + "_stddev");
+        header.push_back(std::string(metric.name) + "_ci95");
+    }
+
+    CsvWriter csv(path, std::move(header));
+    for (std::size_t c = 0; c < result.cell_count(); ++c) {
+        std::vector<std::string> row{std::to_string(c)};
+        for (const auto& [key, value] : result.spec.cell_point(c)) {
+            (void)key;
+            row.push_back(value);
+        }
+        const auto replicas = result.cell(c);
+        std::size_t ok = 0;
+        for (const ReplicaResult& r : replicas) {
+            ok += r.ok ? 1 : 0;
+        }
+        row.push_back(std::to_string(ok));
+        row.push_back(std::to_string(replicas.size() - ok));
+        for (const MetricDef& metric : campaign_metrics()) {
+            const RunningStats stats = result.cell_stats(c, metric.get);
+            if (stats.empty()) {
+                row.insert(row.end(), {"nan", "nan", "nan"});
+                continue;
+            }
+            const double ci95 =
+                1.96 * stats.stddev() /
+                std::sqrt(static_cast<double>(stats.count()));
+            row.push_back(num(stats.mean()));
+            row.push_back(num(stats.stddev()));
+            row.push_back(num(ci95));
+        }
+        csv.write_row(row);
+    }
+}
+
+void write_replica_csv(const CampaignResult& result,
+                       const std::string& path) {
+    std::vector<std::string> header{"cell", "replica", "seed", "ok",
+                                    "error"};
+    for (const SweepAxis& axis : result.spec.axes) {
+        header.push_back(axis.key);
+    }
+    for (const MetricDef& metric : campaign_metrics()) {
+        header.push_back(metric.name);
+    }
+
+    CsvWriter csv(path, std::move(header));
+    for (const ReplicaResult& r : result.replicas) {
+        std::vector<std::string> row{
+            std::to_string(r.cell), std::to_string(r.replica),
+            std::to_string(r.seed), r.ok ? "1" : "0", r.error};
+        for (const auto& [key, value] : result.spec.cell_point(r.cell)) {
+            (void)key;
+            row.push_back(value);
+        }
+        for (const MetricDef& metric : campaign_metrics()) {
+            row.push_back(r.ok ? num(metric.get(r.metrics)) : "nan");
+        }
+        csv.write_row(row);
+    }
+}
+
+std::string format_campaign_summary(const CampaignResult& result) {
+    TablePrinter table({"cell", "point", "ok/total", "work Gcycles/s",
+                        "tests/core/s", "TDP viol."});
+    for (std::size_t c = 0; c < result.cell_count(); ++c) {
+        const auto replicas = result.cell(c);
+        std::size_t ok = 0;
+        for (const ReplicaResult& r : replicas) {
+            ok += r.ok ? 1 : 0;
+        }
+        const RunningStats work = result.cell_stats(
+            c, [](const RunMetrics& m) { return m.work_cycles_per_s; });
+        const RunningStats tests = result.cell_stats(
+            c, [](const RunMetrics& m) { return m.tests_per_core_per_s; });
+        const RunningStats viol = result.cell_stats(
+            c, [](const RunMetrics& m) { return m.tdp_violation_rate; });
+        std::string work_cell = "-";
+        if (!work.empty()) {
+            work_cell = fmt(work.mean() / 1e9, 2);
+            if (work.count() > 1) {
+                work_cell += " +/- " + fmt(work.stddev() / 1e9, 2);
+            }
+        }
+        table.add_row({std::to_string(c), result.spec.cell_label(c),
+                       std::to_string(ok) + "/" +
+                           std::to_string(replicas.size()),
+                       work_cell,
+                       tests.empty() ? "-" : fmt(tests.mean(), 2),
+                       viol.empty() ? "-" : fmt_pct(viol.mean(), 3)});
+    }
+    std::string out = table.to_string();
+    if (result.failed_count() > 0) {
+        out += "\nfailed replicas:\n";
+        for (const ReplicaResult& r : result.replicas) {
+            if (!r.ok) {
+                out += "  cell " + std::to_string(r.cell) + " [" +
+                       result.spec.cell_label(r.cell) + "] replica " +
+                       std::to_string(r.replica) + ": " + r.error + "\n";
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace mcs

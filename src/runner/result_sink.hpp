@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "runner/campaign_runner.hpp"
+
+namespace mcs {
+
+/// One scalar column of the campaign CSVs, extracted from RunMetrics.
+struct MetricDef {
+    const char* name;
+    double (*get)(const RunMetrics&);
+};
+
+/// The fixed catalog of scalar metrics exported per replica/cell. Order is
+/// part of the CSV contract (columns appear in this order).
+std::span<const MetricDef> campaign_metrics();
+
+/// Writes the aggregate campaign CSV: one row per grid cell with the axis
+/// values, replica counts, and mean/stddev/ci95 per catalog metric (ci95 is
+/// the normal-approximation half-width 1.96 * stddev / sqrt(n)). Cells
+/// whose replicas all failed emit "nan" data columns. The bytes depend only
+/// on the spec — never on thread count or completion order.
+void write_campaign_csv(const CampaignResult& result,
+                        const std::string& path);
+
+/// Writes one row per replica: grid location, seed, ok/error, and every
+/// catalog metric (raw, unaggregated). Same determinism contract.
+void write_replica_csv(const CampaignResult& result, const std::string& path);
+
+/// Human-readable end-of-campaign table: one line per cell with replica
+/// health and headline metrics (work throughput, TDP violations, tests).
+std::string format_campaign_summary(const CampaignResult& result);
+
+}  // namespace mcs

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/config.hpp"
+
+namespace mcs {
+
+/// One swept configuration key and the values it takes. The campaign grid
+/// is the cartesian product of all axes.
+struct SweepAxis {
+    std::string key;
+    std::vector<std::string> values;
+};
+
+/// Declarative description of an experiment campaign: a base key=value
+/// config (core/config_bridge.hpp keys), a grid of swept overrides, and a
+/// number of seed replicates per grid cell.
+///
+/// File format — a regular `key = value` config file (util/config.hpp
+/// syntax) where some keys are interpreted by the runner:
+///
+///     # base config: any config_bridge key
+///     width = 8
+///     height = 8
+///     occupancy = 0.9
+///     seconds = 8
+///     # sweep axes: "sweep.<key> = v1, v2, ..." (grid = cartesian product)
+///     sweep.scheduler = power-aware, periodic, greedy, none
+///     sweep.occupancy = 0.3, 0.7, 1.1
+///     # campaign shape
+///     replicas = 3          # seed replicates per grid cell
+///     campaign_seed = 42    # root of all replica RNG streams
+///     jobs = 8              # default worker count (CLI --jobs wins)
+///
+/// A file with no `sweep.*` keys is a valid single-cell campaign, so any
+/// existing run config doubles as a sweep spec.
+///
+/// Determinism contract: replica r of every cell runs with seed
+/// Rng::stream_seed(campaign_seed, r) — a pure function of the spec, never
+/// of thread count or completion order. Replicas of the same r therefore
+/// see identical workload arrivals across cells (paired comparisons), and
+/// a parallel campaign is bit-identical to a sequential one.
+struct CampaignSpec {
+    Config base;                  ///< per-replica config, axes not applied
+    std::vector<SweepAxis> axes;  ///< sorted by key (Config stores a map)
+    int replicas = 1;
+    std::uint64_t campaign_seed = 42;
+    double seconds = 10.0;
+    int default_jobs = 0;  ///< 0 = hardware concurrency
+
+    /// Parses a spec file (see format above).
+    static CampaignSpec from_file(const std::string& path);
+    /// Extracts the runner keys (sweep.*, replicas, campaign_seed, jobs)
+    /// from `cfg`; everything else becomes the base config. Throws
+    /// RequireError on an empty axis or non-positive replicas.
+    static CampaignSpec from_config(const Config& cfg);
+
+    /// Number of grid cells (product of axis sizes; 1 with no axes).
+    std::size_t cell_count() const;
+    /// Total replica count: cell_count() * replicas.
+    std::size_t replica_count() const;
+
+    /// Axis assignment of cell `c`, in axis order (the last axis varies
+    /// fastest in cell order).
+    std::vector<std::pair<std::string, std::string>> cell_point(
+        std::size_t c) const;
+    /// Human-readable cell label, e.g. "occupancy=0.7 scheduler=periodic".
+    std::string cell_label(std::size_t c) const;
+
+    /// Full config of one replica: base + cell overrides + derived seed.
+    Config replica_config(std::size_t cell, int replica) const;
+    /// Seed of replicate `replica` (shared by all cells; see above).
+    std::uint64_t replica_seed(int replica) const;
+};
+
+/// Splits a comma-separated value list, trimming surrounding whitespace.
+/// Empty items are rejected ("a,,b" throws RequireError).
+std::vector<std::string> split_value_list(const std::string& text);
+
+}  // namespace mcs

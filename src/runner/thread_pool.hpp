@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mcs {
+
+/// Runs `fn(i)` for every i in [0, n) across `jobs` worker threads using
+/// static sharding: worker t executes i = t, t + jobs, t + 2*jobs, ...
+/// There is no shared queue and no work stealing, so the thread that runs a
+/// given index is a pure function of (i, jobs) — callers that commit
+/// results by index get identical output for any job count.
+///
+/// jobs <= 1 (or n <= 1) runs everything inline on the calling thread.
+/// If any invocation throws, the remaining indices of that worker's shard
+/// are skipped, all workers are joined, and the first exception (lowest
+/// worker id) is rethrown.
+void parallel_for_sharded(std::size_t n, int jobs,
+                          const std::function<void(std::size_t)>& fn);
+
+/// Number of hardware threads, never less than 1 (the fallback when the
+/// runtime cannot tell).
+int hardware_jobs() noexcept;
+
+}  // namespace mcs

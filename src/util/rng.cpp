@@ -124,4 +124,14 @@ Rng Rng::split() noexcept {
     return Rng(next_u64());
 }
 
+std::uint64_t Rng::stream_seed(std::uint64_t root_seed,
+                               std::uint64_t stream) noexcept {
+    // Two splitmix64 rounds over a golden-ratio-spread stream index
+    // decorrelate adjacent (root, stream) pairs; the +1 keeps stream 0
+    // distinct from the root seed itself.
+    std::uint64_t x = root_seed ^ ((stream + 1) * 0x9e3779b97f4a7c15ULL);
+    splitmix64(x);
+    return splitmix64(x);
+}
+
 }  // namespace mcs

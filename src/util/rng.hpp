@@ -52,6 +52,14 @@ public:
     /// from this stream's output; adequate for simulation workloads).
     Rng split() noexcept;
 
+    /// Derives the seed of stream `stream` rooted at `root_seed` without
+    /// constructing intermediate generators. Unlike split(), the result
+    /// depends only on the two arguments — never on call order — so replica
+    /// `i` of a campaign draws the same stream whether replicas run
+    /// sequentially or on any number of threads in any completion order.
+    static std::uint64_t stream_seed(std::uint64_t root_seed,
+                                     std::uint64_t stream) noexcept;
+
     /// Fisher-Yates shuffle of a span in place.
     template <typename T>
     void shuffle(std::span<T> items) {

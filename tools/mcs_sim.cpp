@@ -1,6 +1,6 @@
 // mcs_sim -- command-line driver for the manycore online-test simulator.
 //
-// Usage:
+// Single-run usage:
 //   mcs_sim [key=value ...]
 //   mcs_sim config=run.cfg [key=value overrides ...]
 //
@@ -10,78 +10,182 @@
 //   trace=<path>       write the 5 ms power/state trace as CSV
 //   quiet=true         suppress the human-readable summary
 //
+// Campaign usage (runner/sweep_spec.hpp format; any run config is a valid
+// single-cell spec):
+//   mcs_sim --sweep spec.cfg [--jobs N] [key=value overrides ...]
+// Sweep-mode keys (also valid inside the spec file):
+//   replicas=<int>         seed replicates per grid cell (default 1)
+//   campaign_seed=<int>    root of all replica RNG streams (default 42)
+//   jobs=<int>             worker threads (0 = hardware concurrency)
+//   out=<path>             aggregate CSV (mean/stddev/ci95 per cell)
+//   replica_out=<path>     per-replica CSV
+// The aggregate CSV is bit-identical for every --jobs value. Exit status is
+// nonzero if any replica failed.
+//
 // Examples:
 //   mcs_sim occupancy=0.9 scheduler=power-aware seconds=20 out=run.csv
-//   mcs_sim node=22nm mapper=contiguous faults=true fault_rate=0.05
+//   mcs_sim --sweep examples/configs/e1_sweep.cfg --jobs 8 out=sweep.csv
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/config_bridge.hpp"
 #include "core/report.hpp"
+#include "core/system_factory.hpp"
+#include "runner/campaign_runner.hpp"
+#include "runner/result_sink.hpp"
 #include "util/csv.hpp"
 
 using namespace mcs;
 
+namespace {
+
+/// Rewrites "--sweep X" / "--jobs N" flag pairs into the key=value form the
+/// Config parser consumes; all other tokens pass through untouched.
+std::vector<std::string> normalize_args(int argc, char** argv) {
+    std::vector<std::string> out;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if ((arg == "--sweep" || arg == "--jobs") && i + 1 < argc) {
+            out.push_back(arg.substr(2) + "=" + argv[++i]);
+        } else {
+            out.push_back(arg);
+        }
+    }
+    return out;
+}
+
+int run_sweep(const Config& args) {
+    const std::string spec_path = args.get_string("sweep", "");
+    Config merged = Config::from_file(spec_path);
+    merged.merge(args);  // command line wins
+    const int jobs = static_cast<int>(merged.get_int("jobs", 0));
+    const std::string out = merged.get_string("out", "");
+    const std::string replica_out = merged.get_string("replica_out", "");
+    const bool quiet = merged.get_bool("quiet", false);
+    // CLI-only keys the replica config must not see.
+    Config spec_cfg;
+    for (const auto& [key, value] : merged.entries()) {
+        if (key != "out" && key != "replica_out" && key != "trace" &&
+            key != "quiet" && key != "config") {
+            spec_cfg.set(key, value);
+        }
+    }
+
+    CampaignSpec spec = CampaignSpec::from_config(spec_cfg);
+    CampaignRunner runner(std::move(spec));
+    if (!quiet) {
+        std::printf("mcs_sim: sweep %s | %zu cells x %d replicas = %zu "
+                    "runs | %.1f s horizon\n",
+                    spec_path.c_str(), runner.spec().cell_count(),
+                    runner.spec().replicas, runner.spec().replica_count(),
+                    runner.spec().seconds);
+        runner.set_progress([](std::size_t done, std::size_t total) {
+            std::fprintf(stderr, "\r[%zu/%zu]", done, total);
+            if (done == total) {
+                std::fprintf(stderr, "\n");
+            }
+        });
+    }
+
+    const CampaignResult result = runner.run(jobs);
+    if (!quiet) {
+        std::printf("%s\n", format_campaign_summary(result).c_str());
+        std::printf("%zu/%zu replicas ok in %.2f s wall\n",
+                    result.ok_count(), result.replicas.size(),
+                    result.wall_seconds);
+    }
+    if (!out.empty()) {
+        write_campaign_csv(result, out);
+        if (!quiet) {
+            std::printf("aggregate CSV written to %s\n", out.c_str());
+        }
+    }
+    if (!replica_out.empty()) {
+        write_replica_csv(result, replica_out);
+        if (!quiet) {
+            std::printf("replica CSV written to %s\n", replica_out.c_str());
+        }
+    }
+    return result.failed_count() == 0 ? 0 : 1;
+}
+
+int run_single(const Config& args) {
+    const double seconds = args.get_double("seconds", 10.0);
+    const std::string out = args.get_string("out", "");
+    const std::string trace = args.get_string("trace", "");
+    const bool quiet = args.get_bool("quiet", false);
+
+    const SystemConfig cfg = system_config_from(args);
+    if (!quiet) {
+        std::printf("mcs_sim: %dx%d @ %s | scheduler %s | mapper %s | "
+                    "%.1f apps/s | %.1f s\n\n",
+                    cfg.width, cfg.height, to_string(cfg.node),
+                    to_string(cfg.scheduler), to_string(cfg.mapper),
+                    cfg.workload.arrival_rate_hz, seconds);
+    }
+
+    ManycoreSystem sys(cfg);
+    std::optional<CsvWriter> trace_csv;
+    if (!trace.empty()) {
+        trace_csv.emplace(
+            trace,
+            std::vector<std::string>{"t_s", "workload_w", "test_w",
+                                     "other_w", "total_w", "tdp_w",
+                                     "busy", "testing", "dark",
+                                     "max_temp_c"});
+        sys.set_trace_sink([&](const TraceSample& s) {
+            trace_csv->write_row(std::vector<double>{
+                to_seconds(s.time), s.workload_power_w, s.test_power_w,
+                s.other_power_w, s.total_power_w, s.tdp_w,
+                static_cast<double>(s.cores_busy),
+                static_cast<double>(s.cores_testing),
+                static_cast<double>(s.cores_dark), s.max_temp_c});
+        });
+    }
+
+    const RunMetrics m = sys.run(from_seconds(seconds));
+    if (!quiet) {
+        std::printf("%s", format_metrics(m).c_str());
+    }
+    if (!out.empty()) {
+        write_metrics_csv(m, out);
+        if (!quiet) {
+            std::printf("\nmetrics written to %s\n", out.c_str());
+        }
+    }
+    if (trace_csv && !quiet) {
+        std::printf("trace written to %s (%zu samples)\n", trace.c_str(),
+                    trace_csv->rows_written());
+    }
+    return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
     try {
-        Config args = Config::from_args(std::span<const char* const>(
-            argv + 1, static_cast<std::size_t>(argc - 1)));
+        const std::vector<std::string> tokens = normalize_args(argc, argv);
+        std::vector<const char*> raw;
+        raw.reserve(tokens.size());
+        for (const std::string& t : tokens) {
+            raw.push_back(t.c_str());
+        }
+        Config args = Config::from_args(
+            std::span<const char* const>(raw.data(), raw.size()));
+        if (args.has("sweep")) {
+            return run_sweep(args);
+        }
         if (args.has("config")) {
             Config file = Config::from_file(args.get_string("config", ""));
             file.merge(args);  // command line wins
             args = std::move(file);
         }
-
-        const double seconds = args.get_double("seconds", 10.0);
-        const std::string out = args.get_string("out", "");
-        const std::string trace = args.get_string("trace", "");
-        const bool quiet = args.get_bool("quiet", false);
-
-        const SystemConfig cfg = system_config_from(args);
-        if (!quiet) {
-            std::printf("mcs_sim: %dx%d @ %s | scheduler %s | mapper %s | "
-                        "%.1f apps/s | %.1f s\n\n",
-                        cfg.width, cfg.height, to_string(cfg.node),
-                        to_string(cfg.scheduler), to_string(cfg.mapper),
-                        cfg.workload.arrival_rate_hz, seconds);
-        }
-
-        ManycoreSystem sys(cfg);
-        std::optional<CsvWriter> trace_csv;
-        if (!trace.empty()) {
-            trace_csv.emplace(
-                trace,
-                std::vector<std::string>{"t_s", "workload_w", "test_w",
-                                         "other_w", "total_w", "tdp_w",
-                                         "busy", "testing", "dark",
-                                         "max_temp_c"});
-            sys.set_trace_sink([&](const TraceSample& s) {
-                trace_csv->write_row(std::vector<double>{
-                    to_seconds(s.time), s.workload_power_w, s.test_power_w,
-                    s.other_power_w, s.total_power_w, s.tdp_w,
-                    static_cast<double>(s.cores_busy),
-                    static_cast<double>(s.cores_testing),
-                    static_cast<double>(s.cores_dark), s.max_temp_c});
-            });
-        }
-
-        const RunMetrics m = sys.run(from_seconds(seconds));
-        if (!quiet) {
-            std::printf("%s", format_metrics(m).c_str());
-        }
-        if (!out.empty()) {
-            write_metrics_csv(m, out);
-            if (!quiet) {
-                std::printf("\nmetrics written to %s\n", out.c_str());
-            }
-        }
-        if (trace_csv && !quiet) {
-            std::printf("trace written to %s (%zu samples)\n", trace.c_str(),
-                        trace_csv->rows_written());
-        }
-        return 0;
+        return run_single(args);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "mcs_sim: error: %s\n", e.what());
         return 1;
