@@ -12,13 +12,14 @@
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("A1 (ablation): criticality metric",
                  "utilization/aging terms focus tests on stressed cores");
 
-    constexpr int kSeeds = 4;
-    constexpr SimDuration kHorizon = 12 * kSecond;
-
+    const int kSeeds = seeds(opt, 4);
+    const SimDuration kHorizon = horizon(opt, 12.0, 1.5);
+    BenchReport report("a1_criticality", opt);
     TablePrinter table({"criticality mode", "tests/core/s",
                         "mean interval [s]", "max open gap [s]",
                         "mean det. latency [s]", "detected/injected"});
@@ -44,6 +45,9 @@ int main() {
                 latencies.add(v);
             }
         }
+        const std::string key(to_string(mode));
+        report.metric("tests_per_core_per_s." + key, rate.mean());
+        report.metric("max_open_gap_s." + key, open_gap.mean());
         table.add_row(
             {std::string(to_string(mode)), fmt(rate.mean(), 2),
              fmt(interval.mean(), 2), fmt(open_gap.mean(), 2),
@@ -51,5 +55,6 @@ int main() {
              fmt(detected) + "/" + fmt(injected)});
     }
     std::printf("%s\n", table.to_string().c_str());
+    report.write();
     return 0;
 }

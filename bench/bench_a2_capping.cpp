@@ -10,14 +10,15 @@
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("A2 (ablation): PID vs bang-bang power capping",
                  "PID capping delivers more throughput under the same TDP "
                  "with fewer violations");
 
-    constexpr int kSeeds = 3;
-    constexpr SimDuration kHorizon = 8 * kSecond;
-
+    const int kSeeds = seeds(opt, 3);
+    const SimDuration kHorizon = horizon(opt, 8.0, 1.0);
+    BenchReport report("a2_capping", opt);
     TablePrinter table({"occupancy", "capping", "work Gcycles/s",
                         "mean power [W]", "TDP viol.",
                         "worst overshoot [W]", "DVFS steps"});
@@ -31,6 +32,13 @@ int main() {
             const double steps =
                 r.mean_u64(&RunMetrics::dvfs_throttle_steps) +
                 r.mean_u64(&RunMetrics::dvfs_boost_steps);
+            const std::string key =
+                std::string(mode == CappingMode::Pid ? "pid" : "bang_bang") +
+                ".occ" + fmt(occ, 1);
+            report.metric("work_gcycles_per_s." + key,
+                          r.mean(&RunMetrics::work_cycles_per_s) / 1e9);
+            report.metric("tdp_violation_rate." + key,
+                          r.mean(&RunMetrics::tdp_violation_rate));
             table.add_row(
                 {fmt(occ, 1),
                  mode == CappingMode::Pid ? "PID" : "bang-bang",
@@ -43,5 +51,6 @@ int main() {
         table.add_separator();
     }
     std::printf("%s\n", table.to_string().c_str());
+    report.write();
     return 0;
 }

@@ -15,11 +15,13 @@
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("A3 (ablation): measured SBST coverage",
                  "march/pattern routines achieve >90% coverage of their "
                  "target units; cross-coverage comes for free");
 
+    BenchReport report("a3_sbst_coverage", opt);
     SbstLibrary lib;
     const auto matrix = lib.coverage_matrix();
 
@@ -41,6 +43,13 @@ int main() {
     }
     std::printf("-- measured routine x unit stuck-at coverage --\n%s\n",
                 table.to_string().c_str());
+    for (std::size_t p = 0; p < programs.size(); ++p) {
+        double best = 0.0;
+        for (std::size_t u = 0; u < kFunctionalUnitCount; ++u) {
+            best = std::max(best, matrix[p][u]);
+        }
+        report.metric("peak_coverage." + programs[p].name, best);
+    }
 
     // Plug the measured suite into the full system and compare with the
     // parameterized default.
@@ -56,7 +65,10 @@ int main() {
             cfg.suite = measured;
         }
         ManycoreSystem sys(cfg);
-        const RunMetrics m = sys.run(10 * kSecond);
+        const RunMetrics m = sys.run(horizon(opt, 10.0, 1.5));
+        report.metric(std::string("tests_per_core_per_s.") +
+                          (variant == 0 ? "parameterized" : "measured"),
+                      m.tests_per_core_per_s);
         sys_table.add_row(
             {variant == 0 ? "parameterized (default)" : "measured (ISA)",
              fmt(sys.suite().total_cycles()),
@@ -68,5 +80,6 @@ int main() {
     }
     std::printf("-- full-system run with each suite --\n%s\n",
                 sys_table.to_string().c_str());
+    report.write();
     return 0;
 }

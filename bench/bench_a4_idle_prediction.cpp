@@ -13,14 +13,15 @@
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("A4 (extension): idle-period prediction",
                  "prediction cuts aborted (wasted) test sessions under load "
                  "at little cost in completed tests");
 
-    constexpr int kSeeds = 3;
-    constexpr SimDuration kHorizon = 10 * kSecond;
-
+    const int kSeeds = seeds(opt, 3);
+    const SimDuration kHorizon = horizon(opt, 10.0, 1.0);
+    BenchReport report("a4_idle_prediction", opt);
     TablePrinter table({"occupancy", "prediction", "tests/core/s",
                         "aborted", "abort ratio", "test energy",
                         "max open gap [s]"});
@@ -33,6 +34,10 @@ int main() {
             const double completed =
                 r.mean_u64(&RunMetrics::tests_completed);
             const double aborted = r.mean_u64(&RunMetrics::tests_aborted);
+            report.metric(std::string("abort_ratio.") +
+                              (predict ? "predict" : "no_predict") + ".occ" +
+                              fmt(occ, 1),
+                          aborted / std::max(1.0, aborted + completed));
             table.add_row(
                 {fmt(occ, 1), predict ? "on" : "off",
                  fmt(r.mean(&RunMetrics::tests_per_core_per_s), 2),
@@ -44,5 +49,6 @@ int main() {
         table.add_separator();
     }
     std::printf("%s\n", table.to_string().c_str());
+    report.write();
     return 0;
 }

@@ -5,23 +5,130 @@
 // see DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
 // measured results.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/system.hpp"
+#include "telemetry/json.hpp"
 #include "util/config.hpp"
+#include "util/require.hpp"
 #include "util/table.hpp"
 
 namespace mcs::bench {
 
+/// Command-line options shared by every experiment binary:
+///   jobs=N / --jobs N      worker threads for campaign experiments
+///   quick=true / --quick   CI smoke mode: 1 seed, short horizons
+///   out_dir=D / --out-dir  directory for all outputs (default build/out)
+struct BenchOptions {
+    int jobs = 0;
+    bool quick = false;
+    std::string out_dir = "build/out";
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick" || arg == "quick=true") {
+            opt.quick = true;
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opt.jobs = std::atoi(argv[++i]);
+        } else if (arg.rfind("jobs=", 0) == 0) {
+            opt.jobs = std::atoi(arg.c_str() + 5);
+        } else if (arg == "--out-dir" && i + 1 < argc) {
+            opt.out_dir = argv[++i];
+        } else if (arg.rfind("out_dir=", 0) == 0) {
+            opt.out_dir = arg.substr(8);
+        }
+    }
+    return opt;
+}
+
 /// Worker-thread count for campaign-based experiments: `jobs=N` on the
 /// command line, 0 (= hardware concurrency) otherwise.
 inline int parse_jobs(int argc, char** argv) {
-    const Config cfg = Config::from_args(std::span<const char* const>(
-        argv + 1, static_cast<std::size_t>(argc - 1)));
-    return static_cast<int>(cfg.get_int("jobs", 0));
+    return parse_options(argc, argv).jobs;
 }
+
+/// Seed replicates: `full` normally, 1 in --quick mode.
+inline int seeds(const BenchOptions& opt, int full) {
+    return opt.quick ? 1 : full;
+}
+
+/// Simulation horizon: `full_s` normally, `quick_s` in --quick mode.
+inline SimDuration horizon(const BenchOptions& opt, double full_s,
+                           double quick_s = 1.0) {
+    return from_seconds(opt.quick ? quick_s : full_s);
+}
+
+/// Routes a relative output path through opt.out_dir (created on demand);
+/// absolute paths pass through untouched.
+inline std::string out_path(const BenchOptions& opt,
+                            const std::string& filename) {
+    if (opt.out_dir.empty() || opt.out_dir == "." ||
+        std::filesystem::path(filename).is_absolute()) {
+        return filename;
+    }
+    std::filesystem::create_directories(opt.out_dir);
+    return (std::filesystem::path(opt.out_dir) / filename).string();
+}
+
+/// Machine-readable experiment result: headline metrics keyed by name plus
+/// the wall time, written as BENCH_<name>.json into opt.out_dir. The
+/// "metrics" member is byte-deterministic for a fixed seed (sorted keys,
+/// shortest round-trip numbers); "wall_s" is the only wall-clock field and
+/// the perf-regression gate (tools/check_bench.py) treats it separately.
+class BenchReport {
+public:
+    BenchReport(std::string name, const BenchOptions& opt)
+        : name_(std::move(name)),
+          opt_(opt),
+          start_(std::chrono::steady_clock::now()) {}
+
+    void metric(const std::string& key, double value) {
+        metrics_[key] = value;
+    }
+
+    /// Writes BENCH_<name>.json and prints its path. Call once, last.
+    void write() {
+        const double wall_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count();
+        const std::string path = out_path(opt_, "BENCH_" + name_ + ".json");
+        std::ofstream out(path, std::ios::binary);
+        MCS_REQUIRE(out.is_open(), "cannot open bench report: " + path);
+        telemetry::JsonWriter w(out);
+        w.begin_object();
+        w.field("schema", "mcs.bench_report.v1");
+        w.field("bench", name_);
+        w.field("quick", opt_.quick);
+        w.key("metrics");
+        w.begin_object();
+        for (const auto& [key, value] : metrics_) {
+            w.field(key, value);
+        }
+        w.end_object();
+        w.field("wall_s", wall_s);
+        w.end_object();
+        out << '\n';
+        MCS_REQUIRE(out.good(), "write failed: " + path);
+        std::printf("bench report written to %s\n", path.c_str());
+    }
+
+private:
+    std::string name_;
+    BenchOptions opt_;
+    std::chrono::steady_clock::time_point start_;
+    std::map<std::string, double> metrics_;
+};
 
 /// Standard evaluation platform: 8x8 mesh at 16 nm (the paper's headline
 /// configuration).

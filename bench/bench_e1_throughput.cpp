@@ -19,12 +19,15 @@ using namespace mcs;
 using namespace mcs::bench;
 
 int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("E1: throughput vs injection rate",
                  "PA-OTS throughput penalty < 1%; power-oblivious testing "
                  "costs more under load");
 
-    const std::vector<std::string> occupancies{"0.3", "0.5", "0.7", "0.9",
-                                               "1.1"};
+    const std::vector<std::string> occupancies =
+        opt.quick ? std::vector<std::string>{"0.5", "0.9"}
+                  : std::vector<std::string>{"0.3", "0.5", "0.7", "0.9",
+                                             "1.1"};
     const std::vector<std::string> schedulers{"none", "power-aware",
                                               "periodic", "greedy"};
     CampaignSpec spec;
@@ -32,12 +35,13 @@ int main(int argc, char** argv) {
     spec.base.set("height", "8");
     spec.base.set("node", "16nm");
     spec.axes = {{"occupancy", occupancies}, {"scheduler", schedulers}};
-    spec.replicas = 3;
+    spec.replicas = seeds(opt, 3);
     spec.campaign_seed = 1;
-    spec.seconds = 8.0;
+    spec.seconds = opt.quick ? 1.0 : 8.0;
 
     CampaignRunner runner(std::move(spec));
-    const CampaignResult res = runner.run(parse_jobs(argc, argv));
+    const CampaignResult res = runner.run(opt.jobs);
+    BenchReport report("e1_throughput", opt);
 
     TablePrinter table({"occupancy", "scheduler", "work Gcycles/s",
                         "norm. throughput", "penalty", "tests/core/s",
@@ -54,6 +58,9 @@ int main(int argc, char** argv) {
             const double work = res.cell_mean(
                 c, [](const RunMetrics& m) { return m.work_cycles_per_s; });
             const double norm = work / baseline;
+            report.metric("norm_throughput." + schedulers[s] + ".occ" +
+                              occupancies[o],
+                          norm);
             table.add_row(
                 {occupancies[o], schedulers[s], fmt(work / 1e9, 2),
                  fmt(norm, 4), fmt_pct(1.0 - norm),
@@ -75,5 +82,6 @@ int main(int argc, char** argv) {
                 "seeds; negative values are seed noise.\n");
     std::printf("campaign: %zu runs in %.1f s wall\n", res.replicas.size(),
                 res.wall_seconds);
+    report.write();
     return res.failed_count() == 0 ? 0 : 1;
 }

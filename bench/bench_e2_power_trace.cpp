@@ -15,7 +15,8 @@
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("E2: power trace over time",
                  "capped power <= TDP; test power fills the slack under the "
                  "cap");
@@ -28,9 +29,10 @@ int main() {
     std::vector<TraceSample> samples;
     ManycoreSystem sys(cfg);
     sys.set_trace_sink([&](const TraceSample& s) { samples.push_back(s); });
-    const RunMetrics m = sys.run(6 * kSecond);
+    const RunMetrics m = sys.run(horizon(opt, 6.0, 1.5));
 
-    CsvWriter csv("e2_power_trace.csv",
+    const std::string csv_path = out_path(opt, "e2_power_trace.csv");
+    CsvWriter csv(csv_path,
                   {"t_s", "workload_w", "test_w", "other_w", "total_w",
                    "tdp_w", "busy", "testing", "dark", "max_temp_c"});
     for (const TraceSample& s : samples) {
@@ -62,9 +64,16 @@ int main() {
         test_peak = std::max(test_peak, s.test_power_w);
     }
     std::printf("TDP %.1f W | peak total %.1f W | peak test power %.1f W | "
-                "TDP violation rate %.4f%% | full trace: e2_power_trace.csv "
-                "(%zu samples)\n",
+                "TDP violation rate %.4f%% | full trace: %s (%zu samples)\n",
                 m.tdp_w, peak, test_peak, m.tdp_violation_rate * 100.0,
-                samples.size());
+                csv_path.c_str(), samples.size());
+
+    BenchReport report("e2_power_trace", opt);
+    report.metric("tdp_w", m.tdp_w);
+    report.metric("peak_total_w", peak);
+    report.metric("peak_test_w", test_peak);
+    report.metric("tdp_violation_rate", m.tdp_violation_rate);
+    report.metric("trace_samples", static_cast<double>(samples.size()));
+    report.write();
     return 0;
 }

@@ -14,12 +14,17 @@
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("E3: test interval vs utilization / power budget",
                  "test frequency adapts to core stress and available budget");
 
-    constexpr int kSeeds = 3;
-    constexpr SimDuration kHorizon = 10 * kSecond;
+    const int kSeeds = seeds(opt, 3);
+    // Quick mode still needs a few seconds: test sessions only become due
+    // after the criticality threshold accumulates, so a 1 s horizon would
+    // report all-zero rates.
+    const SimDuration kHorizon = horizon(opt, 10.0, 3.0);
+    BenchReport report("e3_test_interval", opt);
 
     TablePrinter load({"occupancy", "chip util", "tests/core/s",
                        "mean interval [s]", "max open gap [s]", "aborted",
@@ -28,6 +33,8 @@ int main() {
         SystemConfig cfg = base_config(23);
         set_occupancy(cfg, occ);
         const Replicates r = replicate(cfg, kSeeds, kHorizon);
+        report.metric("tests_per_core_per_s.occ" + fmt(occ, 1),
+                      r.mean(&RunMetrics::tests_per_core_per_s));
         load.add_row(
             {fmt(occ, 1), fmt_pct(r.mean(&RunMetrics::mean_chip_utilization)),
              fmt(r.mean(&RunMetrics::tests_per_core_per_s), 2),
@@ -52,6 +59,8 @@ int main() {
         set_occupancy(cfg, 0.6);
         cfg.tdp_scale = scale;
         const Replicates r = replicate(cfg, kSeeds, kHorizon);
+        report.metric("tests_per_core_per_s.tdp" + fmt(scale, 1),
+                      r.mean(&RunMetrics::tests_per_core_per_s));
         double interval = 0.0;
         for (const auto& run : r.runs) {
             interval += run.test_interval_s.mean();
@@ -65,5 +74,6 @@ int main() {
     }
     std::printf("-- power-budget sweep (occupancy 0.6) --\n%s\n",
                 budget.to_string().c_str());
+    report.write();
     return 0;
 }

@@ -12,13 +12,15 @@
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("E4: runtime mapping policies",
                  "test-aware mapping bounds worst-case test intervals at the "
                  "same throughput");
 
-    constexpr int kSeeds = 3;
-    constexpr SimDuration kHorizon = 10 * kSecond;
+    const int kSeeds = seeds(opt, 3);
+    const SimDuration kHorizon = horizon(opt, 10.0, 1.0);
+    BenchReport report("e4_mapping", opt);
     const std::vector<MapperKind> mappers{
         MapperKind::TestAware, MapperKind::UtilizationOriented,
         MapperKind::Contiguous, MapperKind::FirstFit, MapperKind::Random};
@@ -36,6 +38,11 @@ int main() {
             dispersion += run.mapping_dispersion_hops.mean();
         }
         dispersion /= static_cast<double>(r.runs.size());
+        const std::string key(to_string(mapper));
+        report.metric("work_gcycles_per_s." + key,
+                      r.mean(&RunMetrics::work_cycles_per_s) / 1e9);
+        report.metric("max_open_gap_s." + key,
+                      r.mean(&RunMetrics::max_open_test_gap_s));
         table.add_row(
             {std::string(to_string(mapper)),
              fmt(r.mean(&RunMetrics::work_cycles_per_s) / 1e9, 2),
@@ -47,5 +54,6 @@ int main() {
              fmt(r.mean(&RunMetrics::damage_imbalance), 2)});
     }
     std::printf("%s\n", table.to_string().c_str());
+    report.write();
     return 0;
 }

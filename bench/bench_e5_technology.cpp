@@ -15,13 +15,15 @@
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("E5: technology nodes 45/32/22/16 nm",
                  "dark silicon grows with scaling; PA-OTS penalty < 1% at "
                  "16 nm");
 
-    constexpr int kSeeds = 3;
-    constexpr SimDuration kHorizon = 8 * kSecond;
+    const int kSeeds = seeds(opt, 3);
+    const SimDuration kHorizon = horizon(opt, 8.0, 1.0);
+    BenchReport report("e5_technology", opt);
     const std::vector<TechNode> nodes{TechNode::nm45, TechNode::nm32,
                                       TechNode::nm22, TechNode::nm16};
 
@@ -42,6 +44,8 @@ int main() {
             tech.core_peak_power_w() * 64.0 / tech.chip_tdp_w(64);
         const double sustained = r.mean(&RunMetrics::work_cycles_per_s) /
                                  (64.0 * tech.max_freq_hz);
+        report.metric("sustained_over_peak." + std::string(to_string(node)),
+                      sustained);
         wall.add_row({std::string(to_string(node)),
                       fmt(r.mean(&RunMetrics::tdp_w), 1),
                       fmt(peak_over_tdp, 2), fmt_pct(sustained, 1),
@@ -70,6 +74,8 @@ int main() {
             interval += run.test_interval_s.mean();
         }
         interval /= static_cast<double>(pa.runs.size());
+        report.metric("tests_per_core_per_s." + std::string(to_string(node)),
+                      pa.mean(&RunMetrics::tests_per_core_per_s));
 
         testing.add_row(
             {std::string(to_string(node)),
@@ -85,5 +91,6 @@ int main() {
     std::printf("note: peak/TDP is the dark-silicon ratio (all cores at max "
                 "vs sustainable power); sustained/peak is the lit fraction "
                 "the budget actually allows.\n");
+    report.write();
     return 0;
 }

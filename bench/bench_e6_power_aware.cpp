@@ -13,13 +13,15 @@
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("E6: power-aware vs power-oblivious admission",
                  "power-aware admission adds zero TDP violations; oblivious "
                  "testing violates the cap or costs throughput");
 
-    constexpr int kSeeds = 3;
-    constexpr SimDuration kHorizon = 10 * kSecond;
+    const int kSeeds = seeds(opt, 3);
+    const SimDuration kHorizon = horizon(opt, 10.0, 1.0);
+    BenchReport report("e6_power_aware", opt);
     const std::vector<SchedulerKind> schedulers{
         SchedulerKind::None, SchedulerKind::PowerAware,
         SchedulerKind::Periodic, SchedulerKind::Greedy};
@@ -38,6 +40,12 @@ int main() {
         set_occupancy(cfg, 1.0);
         cfg.scheduler = sched;
         const Replicates r = replicate(cfg, kSeeds, kHorizon);
+        const std::string key(to_string(sched));
+        report.metric("tdp_violation_rate." + key,
+                      r.mean(&RunMetrics::tdp_violation_rate));
+        report.metric("penalty." + key,
+                      1.0 - r.mean(&RunMetrics::work_cycles_per_s) /
+                                baseline);
         table.add_row(
             {std::string(to_string(sched)),
              fmt_pct(r.mean(&RunMetrics::tdp_violation_rate), 3),
@@ -48,5 +56,6 @@ int main() {
              fmt_pct(r.mean(&RunMetrics::test_energy_share))});
     }
     std::printf("%s\n", table.to_string().c_str());
+    report.write();
     return 0;
 }

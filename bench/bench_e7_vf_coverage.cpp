@@ -17,6 +17,7 @@ using namespace mcs;
 using namespace mcs::bench;
 
 int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("E7: V/F level coverage of test sessions",
                  "rotation covers all DVFS levels; fixed policy leaves "
                  "levels untested");
@@ -29,10 +30,10 @@ int main(int argc, char** argv) {
     spec.axes = {{"vf_policy", {"rotate-all", "max-only", "min-only"}}};
     spec.replicas = 1;
     spec.campaign_seed = 47;
-    spec.seconds = 10.0;
+    spec.seconds = opt.quick ? 2.0 : 10.0;
 
     CampaignRunner runner(std::move(spec));
-    const CampaignResult res = runner.run(parse_jobs(argc, argv));
+    const CampaignResult res = runner.run(opt.jobs);
     for (const ReplicaResult& r : res.replicas) {
         if (!r.ok) {
             std::fprintf(stderr, "replica failed: %s\n", r.error.c_str());
@@ -75,5 +76,15 @@ int main(int argc, char** argv) {
     std::printf("note: min-only sessions run ~12x longer (0.2 vs 2.5 GHz), "
                 "so under mapping contention many are aborted -- the "
                 "rotation policy amortizes this across levels.\n");
+
+    BenchReport report("e7_vf_coverage", opt);
+    report.metric("levels_covered_rotate", covered);
+    report.metric("tests_completed_rotate",
+                  static_cast<double>(rotate_m.tests_completed));
+    report.metric("tests_completed_max_only",
+                  static_cast<double>(max_m.tests_completed));
+    report.metric("tests_completed_min_only",
+                  static_cast<double>(min_m.tests_completed));
+    report.write();
     return 0;
 }

@@ -15,13 +15,15 @@
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("E8: fault detection latency",
                  "testing bounds detection latency; criticality-driven "
                  "scheduling detects faults on stressed cores sooner");
 
-    constexpr int kSeeds = 4;
-    constexpr SimDuration kHorizon = 12 * kSecond;
+    const int kSeeds = seeds(opt, 4);
+    const SimDuration kHorizon = horizon(opt, 12.0, 1.5);
+    BenchReport report("e8_detection", opt);
     const std::vector<SchedulerKind> schedulers{
         SchedulerKind::PowerAware, SchedulerKind::Periodic,
         SchedulerKind::Greedy, SchedulerKind::None};
@@ -69,6 +71,9 @@ int main() {
                 ? 1.0 - static_cast<double>(detected) /
                             static_cast<double>(injected)
                 : 0.0;
+        const std::string key(to_string(sched));
+        report.metric("escape_ratio." + key, escape_ratio);
+        report.metric("mean_detection_latency_s." + key, mean);
         table.add_row({std::string(to_string(sched)), fmt(injected),
                        fmt(detected), fmt_pct(escape_ratio, 1), fmt(mean, 2),
                        fmt(p95, 2), fmt(corrupted)});
@@ -80,5 +85,6 @@ int main() {
                 kinds.to_string().c_str());
     std::printf("note: 'escape ratio' counts faults still latent at the end "
                 "of the run (finite horizon), not permanent escapes.\n");
+    report.write();
     return 0;
 }

@@ -9,13 +9,14 @@
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("E9: test energy share",
                  "testing costs ~2% of consumed energy and < 1% throughput");
 
-    constexpr int kSeeds = 3;
-    constexpr SimDuration kHorizon = 10 * kSecond;
-
+    const int kSeeds = seeds(opt, 3);
+    const SimDuration kHorizon = horizon(opt, 10.0, 1.0);
+    BenchReport report("e9_test_energy", opt);
     TablePrinter table({"occupancy", "test energy share", "busy energy",
                         "idle energy", "NoC energy", "penalty",
                         "tests/core/s"});
@@ -30,6 +31,10 @@ int main() {
         set_occupancy(cfg, occ);
         const Replicates r = replicate(cfg, kSeeds, kHorizon);
         const double total = r.mean(&RunMetrics::energy_total_j);
+        report.metric("test_energy_share.occ" + fmt(occ, 1),
+                      r.mean(&RunMetrics::test_energy_share));
+        report.metric("penalty.occ" + fmt(occ, 1),
+                      1.0 - r.mean(&RunMetrics::work_cycles_per_s) / baseline);
         table.add_row(
             {fmt(occ, 1), fmt_pct(r.mean(&RunMetrics::test_energy_share)),
              fmt_pct(r.mean(&RunMetrics::energy_busy_j) / total, 1),
@@ -39,5 +44,6 @@ int main() {
              fmt(r.mean(&RunMetrics::tests_per_core_per_s), 2)});
     }
     std::printf("%s\n", table.to_string().c_str());
+    report.write();
     return 0;
 }

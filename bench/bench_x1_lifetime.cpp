@@ -15,12 +15,15 @@
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("X1 (extension): mapping policy vs system lifetime",
                  "wear-leveling mapping postpones core deaths and preserves "
                  "capacity");
 
-    constexpr SimDuration kHorizon = 30 * kSecond;
+    const SimDuration kHorizon = horizon(opt, 30.0, 2.0);
+    const int kSeeds = seeds(opt, 3);
+    BenchReport report("x1_lifetime", opt);
     const std::vector<MapperKind> mappers{
         MapperKind::TestAware, MapperKind::UtilizationOriented,
         MapperKind::Contiguous, MapperKind::FirstFit};
@@ -33,7 +36,7 @@ int main() {
         std::uint64_t faults = 0, lost = 0;
         double first_loss = 0.0;
         int first_loss_runs = 0;
-        for (int s = 0; s < 3; ++s) {
+        for (int s = 0; s < kSeeds; ++s) {
             SystemConfig cfg = base_config(73 + static_cast<unsigned>(s));
             set_occupancy(cfg, 0.5);
             cfg.mapper = mapper;
@@ -62,6 +65,9 @@ int main() {
                 ++first_loss_runs;
             }
         }
+        const std::string key(to_string(mapper));
+        report.metric("max_damage." + key, max_damage.mean());
+        report.metric("damage_imbalance." + key, imbalance.mean());
         table.add_row(
             {std::string(to_string(mapper)), fmt(max_damage.mean(), 3),
              fmt(imbalance.mean(), 2), fmt(faults), fmt(lost),
@@ -72,5 +78,6 @@ int main() {
     std::printf("note: aging is time-compressed (20 s nominal lifetime) so "
                 "attrition happens inside the simulation horizon; only "
                 "relative differences between mappers are meaningful.\n");
+    report.write();
     return 0;
 }

@@ -18,11 +18,14 @@ using namespace mcs;
 using namespace mcs::bench;
 
 int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("X2 (extension): scaling the chip",
                  "abortable sessions churn on large chips; atomic sessions "
                  "keep full test coverage at the same throughput");
 
-    const std::vector<std::string> sides{"4", "8", "12", "16"};
+    const std::vector<std::string> sides =
+        opt.quick ? std::vector<std::string>{"4", "8"}
+                  : std::vector<std::string>{"4", "8", "12", "16"};
     const std::vector<std::string> sessions{"abortable", "atomic",
                                             "segmented"};
     CampaignSpec spec;
@@ -31,10 +34,10 @@ int main(int argc, char** argv) {
     spec.axes = {{"side", sides}, {"sessions", sessions}};
     spec.replicas = 1;
     spec.campaign_seed = 89;
-    spec.seconds = 8.0;
+    spec.seconds = opt.quick ? 1.0 : 8.0;
 
     CampaignRunner runner(std::move(spec));
-    const CampaignResult res = runner.run(parse_jobs(argc, argv));
+    const CampaignResult res = runner.run(opt.jobs);
     for (const ReplicaResult& r : res.replicas) {
         if (!r.ok) {
             std::fprintf(stderr, "replica failed: %s\n", r.error.c_str());
@@ -42,6 +45,7 @@ int main(int argc, char** argv) {
         }
     }
 
+    BenchReport report("x2_scale", opt);
     TablePrinter table({"chip", "sessions", "work Gcycles/s",
                         "tests/core/s", "untested cores", "max gap [s]",
                         "aborted", "TDP viol."});
@@ -49,6 +53,9 @@ int main(int argc, char** argv) {
         for (std::size_t v = 0; v < sessions.size(); ++v) {
             const RunMetrics& m =
                 res.cell(i * sessions.size() + v)[0].metrics;
+            report.metric("untested_fraction." + sessions[v] + "." +
+                              sides[i] + "x" + sides[i],
+                          m.untested_core_fraction);
             table.add_row({sides[i] + "x" + sides[i], sessions[v],
                            fmt(m.work_cycles_per_s / 1e9, 2),
                            fmt(m.tests_per_core_per_s, 2),
@@ -65,5 +72,6 @@ int main(int argc, char** argv) {
                 "session instead of aborting them.\n");
     std::printf("campaign: %zu runs in %.1f s wall\n", res.replicas.size(),
                 res.wall_seconds);
+    report.write();
     return 0;
 }

@@ -24,7 +24,8 @@ struct QosResult {
     double tests = 0.0;
 };
 
-QosResult run_mix(double occupancy, bool priority_aware, int seeds) {
+QosResult run_mix(double occupancy, bool priority_aware, int seeds,
+                  SimDuration horizon) {
     std::uint64_t hard_met = 0, hard_missed = 0;
     std::uint64_t soft_met = 0, soft_missed = 0;
     RunningStats work, viol, tests;
@@ -40,7 +41,7 @@ QosResult run_mix(double occupancy, bool priority_aware, int seeds) {
         // Priority-blind baseline: capping and admission see every
         // application as best-effort (deadlines still measured).
         sys.set_priority_blind(!priority_aware);
-        const RunMetrics m = sys.run(10 * kSecond);
+        const RunMetrics m = sys.run(horizon);
         hard_met += m.deadlines_met_by_class[2];
         hard_missed += m.deadlines_missed_by_class[2];
         soft_met += m.deadlines_met_by_class[1];
@@ -66,18 +67,25 @@ QosResult run_mix(double occupancy, bool priority_aware, int seeds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("X3 (extension): mixed-criticality workloads",
                  "priority-aware capping protects RT deadlines under load "
                  "without breaking the TDP or the test schedule");
 
-    constexpr int kSeeds = 3;
+    const int kSeeds = seeds(opt, 3);
+    const SimDuration kHorizon = horizon(opt, 10.0, 1.0);
+    BenchReport report("x3_qos", opt);
     TablePrinter table({"occupancy", "priorities", "hard-RT miss",
                         "soft-RT miss", "work Gcycles/s", "tests/core/s",
                         "TDP viol."});
     for (double occ : {0.6, 0.9, 1.2}) {
         for (bool aware : {false, true}) {
-            const QosResult r = run_mix(occ, aware, kSeeds);
+            const QosResult r = run_mix(occ, aware, kSeeds, kHorizon);
+            const std::string key =
+                std::string(aware ? "aware" : "blind") + ".occ" + fmt(occ, 1);
+            report.metric("hard_rt_miss." + key, r.hard_miss);
+            report.metric("soft_rt_miss." + key, r.soft_miss);
             table.add_row({fmt(occ, 1), aware ? "aware" : "blind",
                            fmt_pct(r.hard_miss, 1), fmt_pct(r.soft_miss, 1),
                            fmt(r.work_gcps, 2), fmt(r.tests, 2),
@@ -86,5 +94,6 @@ int main() {
         table.add_separator();
     }
     std::printf("%s\n", table.to_string().c_str());
+    report.write();
     return 0;
 }

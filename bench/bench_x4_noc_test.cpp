@@ -13,14 +13,15 @@
 using namespace mcs;
 using namespace mcs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
     print_header("X4 (extension): NoC link online testing",
                  "idle-window link tests bound corruption exposure under "
                  "the same power budget");
 
-    constexpr int kSeeds = 3;
-    constexpr SimDuration kHorizon = 10 * kSecond;
-
+    const int kSeeds = seeds(opt, 3);
+    const SimDuration kHorizon = horizon(opt, 10.0, 1.5);
+    BenchReport report("x4_noc_test", opt);
     TablePrinter table({"occupancy", "testing", "link tests",
                         "faults det/inj", "mean det. latency [s]",
                         "corrupted msgs", "TDP viol."});
@@ -47,6 +48,11 @@ int main() {
                 }
                 viol.add(m.tdp_violation_rate);
             }
+            const std::string key =
+                std::string(testing ? "on" : "off") + ".occ" + fmt(occ, 1);
+            report.metric("link_tests." + key, static_cast<double>(tests));
+            report.metric("corrupted_msgs." + key,
+                          static_cast<double>(corrupted));
             table.add_row(
                 {fmt(occ, 1), testing ? "on" : "off", fmt(tests),
                  fmt(det) + "/" + fmt(inj),
@@ -59,5 +65,6 @@ int main() {
     std::printf("note: link wear is enabled in both rows; 'off' never "
                 "schedules sessions, so faults persist and corrupt "
                 "traffic.\n");
+    report.write();
     return 0;
 }

@@ -19,7 +19,8 @@ const std::set<std::string>& known_keys() {
         "soft_rt_share", "noc_testing", "link_fault_rate",
         // Keys consumed by the CLI itself, accepted here so a shared file
         // can hold both.
-        "seconds", "config", "out", "trace", "quiet",
+        "seconds", "config", "out", "out_dir", "trace", "trace_capacity",
+        "report", "power_trace", "quiet",
     };
     return keys;
 }

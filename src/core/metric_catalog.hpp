@@ -1,0 +1,164 @@
+#pragma once
+
+// The canonical catalog of scalar run metrics: one (name, getter) pair per
+// exported RunMetrics scalar. Every serializer (core/report CSV,
+// telemetry/run_report JSON, runner/result_sink campaign CSVs) draws from
+// this list so metric names stay consistent across formats; vector-valued
+// metrics (per-V/F, per-QoS-class) are expanded by each serializer.
+//
+// Header-only on purpose: telemetry serializes RunMetrics but must not
+// link against mcs_core (which itself links telemetry).
+
+#include <span>
+
+#include "core/metrics.hpp"
+
+namespace mcs {
+
+/// One scalar metric extracted from RunMetrics.
+struct MetricDef {
+    const char* name;
+    double (*get)(const RunMetrics&);
+};
+
+namespace detail {
+
+inline constexpr MetricDef kMetricCatalog[] = {
+    {"sim_time_s", [](const RunMetrics& m) { return to_seconds(m.sim_time); }},
+    {"core_count",
+     [](const RunMetrics& m) { return static_cast<double>(m.core_count); }},
+    {"apps_arrived",
+     [](const RunMetrics& m) { return static_cast<double>(m.apps_arrived); }},
+    {"apps_completed",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.apps_completed);
+     }},
+    {"apps_rejected",
+     [](const RunMetrics& m) { return static_cast<double>(m.apps_rejected); }},
+    {"tasks_completed",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.tasks_completed);
+     }},
+    {"throughput_tasks_per_s",
+     [](const RunMetrics& m) { return m.throughput_tasks_per_s; }},
+    {"throughput_apps_per_s",
+     [](const RunMetrics& m) { return m.throughput_apps_per_s; }},
+    {"work_cycles_per_s",
+     [](const RunMetrics& m) { return m.work_cycles_per_s; }},
+    {"app_latency_ms_mean",
+     [](const RunMetrics& m) { return m.app_latency_ms.mean(); }},
+    {"app_queue_wait_ms_mean",
+     [](const RunMetrics& m) { return m.app_queue_wait_ms.mean(); }},
+    {"chip_utilization",
+     [](const RunMetrics& m) { return m.mean_chip_utilization; }},
+    {"reserved_fraction",
+     [](const RunMetrics& m) { return m.mean_reserved_fraction; }},
+    {"dark_fraction",
+     [](const RunMetrics& m) { return m.mean_dark_fraction; }},
+    {"testing_fraction",
+     [](const RunMetrics& m) { return m.mean_testing_fraction; }},
+    {"tdp_w", [](const RunMetrics& m) { return m.tdp_w; }},
+    {"mean_power_w", [](const RunMetrics& m) { return m.mean_power_w; }},
+    {"max_power_w", [](const RunMetrics& m) { return m.max_power_w; }},
+    {"tdp_violation_rate",
+     [](const RunMetrics& m) { return m.tdp_violation_rate; }},
+    {"worst_overshoot_w",
+     [](const RunMetrics& m) { return m.worst_overshoot_w; }},
+    {"energy_total_j", [](const RunMetrics& m) { return m.energy_total_j; }},
+    {"energy_busy_j", [](const RunMetrics& m) { return m.energy_busy_j; }},
+    {"energy_test_j", [](const RunMetrics& m) { return m.energy_test_j; }},
+    {"energy_idle_j", [](const RunMetrics& m) { return m.energy_idle_j; }},
+    {"energy_noc_j", [](const RunMetrics& m) { return m.energy_noc_j; }},
+    {"test_energy_share",
+     [](const RunMetrics& m) { return m.test_energy_share; }},
+    {"tests_completed",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.tests_completed);
+     }},
+    {"tests_aborted",
+     [](const RunMetrics& m) { return static_cast<double>(m.tests_aborted); }},
+    {"tests_per_core_per_s",
+     [](const RunMetrics& m) { return m.tests_per_core_per_s; }},
+    {"test_interval_s_mean",
+     [](const RunMetrics& m) { return m.test_interval_s.mean(); }},
+    {"test_interval_s_max",
+     [](const RunMetrics& m) { return m.test_interval_s.max(); }},
+    {"max_open_test_gap_s",
+     [](const RunMetrics& m) { return m.max_open_test_gap_s; }},
+    {"untested_core_fraction",
+     [](const RunMetrics& m) { return m.untested_core_fraction; }},
+    {"faults_injected",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.faults_injected);
+     }},
+    {"faults_detected",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.faults_detected);
+     }},
+    {"test_escapes",
+     [](const RunMetrics& m) { return static_cast<double>(m.test_escapes); }},
+    {"corrupted_tasks",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.corrupted_tasks);
+     }},
+    {"corrupted_apps",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.corrupted_apps);
+     }},
+    {"detection_latency_s_mean",
+     [](const RunMetrics& m) { return m.detection_latency_s.mean(); }},
+    {"link_tests_completed",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.link_tests_completed);
+     }},
+    {"link_faults_injected",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.link_faults_injected);
+     }},
+    {"link_faults_detected",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.link_faults_detected);
+     }},
+    {"link_test_escapes",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.link_test_escapes);
+     }},
+    {"corrupted_messages",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.corrupted_messages);
+     }},
+    {"link_detection_latency_s_mean",
+     [](const RunMetrics& m) { return m.link_detection_latency_s.mean(); }},
+    {"max_open_link_test_gap_s",
+     [](const RunMetrics& m) { return m.max_open_link_test_gap_s; }},
+    {"mapping_dispersion_hops_mean",
+     [](const RunMetrics& m) { return m.mapping_dispersion_hops.mean(); }},
+    {"noc_mean_utilization",
+     [](const RunMetrics& m) { return m.noc_mean_utilization; }},
+    {"noc_peak_utilization",
+     [](const RunMetrics& m) { return m.noc_peak_utilization; }},
+    {"noc_messages",
+     [](const RunMetrics& m) { return static_cast<double>(m.noc_messages); }},
+    {"peak_temp_c", [](const RunMetrics& m) { return m.peak_temp_c; }},
+    {"mean_damage", [](const RunMetrics& m) { return m.mean_damage; }},
+    {"max_damage", [](const RunMetrics& m) { return m.max_damage; }},
+    {"damage_imbalance",
+     [](const RunMetrics& m) { return m.damage_imbalance; }},
+    {"dvfs_throttle_steps",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.dvfs_throttle_steps);
+     }},
+    {"dvfs_boost_steps",
+     [](const RunMetrics& m) {
+         return static_cast<double>(m.dvfs_boost_steps);
+     }},
+};
+
+}  // namespace detail
+
+/// Every exported scalar metric, in the fixed serialization order.
+inline std::span<const MetricDef> metric_catalog() {
+    return detail::kMetricCatalog;
+}
+
+}  // namespace mcs

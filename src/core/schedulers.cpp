@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/tracer.hpp"
 #include "util/require.hpp"
 
 namespace mcs {
@@ -100,6 +102,13 @@ void PowerAwareTestScheduler::epoch(SchedulerContext& ctx) {
                 --rotation_[cand.core];
             }
             ++rejected_power_;
+            if (ctx.tracer != nullptr) {
+                ctx.tracer->record(ctx.now,
+                                   telemetry::TraceCategory::Session,
+                                   telemetry::TracePhase::Instant,
+                                   "test_reject_power", cand.core, level,
+                                   static_cast<std::int64_t>(power * 1e3));
+            }
             continue;  // a cheaper (lower-V/F) core might still fit
         }
         ctx.start_test(cand.core, level);
@@ -107,6 +116,12 @@ void PowerAwareTestScheduler::epoch(SchedulerContext& ctx) {
         ++running;
         ++admitted_;
     }
+}
+
+void PowerAwareTestScheduler::export_telemetry(
+    telemetry::MetricsRegistry& registry) const {
+    registry.counter("scheduler.tests_admitted").inc(admitted_);
+    registry.counter("scheduler.tests_rejected_power").inc(rejected_power_);
 }
 
 PeriodicTestScheduler::PeriodicTestScheduler(SimDuration period)

@@ -42,6 +42,8 @@ public:
 
     void epoch(SchedulerContext& ctx) override;
     std::string_view name() const override { return "power-aware"; }
+    void export_telemetry(
+        telemetry::MetricsRegistry& registry) const override;
 
     const PowerAwareParams& params() const noexcept { return params_; }
     std::uint64_t admitted() const noexcept { return admitted_; }

@@ -155,6 +155,23 @@ ManycoreSystem::ManycoreSystem(SystemConfig cfg)
     for (const Core& c : chip_.cores()) {
         idle_predictor_.notify_available(c.id(), 0);
     }
+    // Resolve hot-path metrics once; the references are stable for the
+    // registry's lifetime.
+    c_tests_started_ = &registry_.counter("system.test_sessions_started");
+    c_tests_completed_ = &registry_.counter("system.tests_completed");
+    c_tests_aborted_ = &registry_.counter("system.tests_aborted");
+    c_apps_mapped_ = &registry_.counter("system.apps_mapped");
+    c_apps_completed_ = &registry_.counter("system.apps_completed");
+    h_app_latency_ms_ =
+        &registry_.histogram("system.app_latency_ms", 0.0, 500.0, 50);
+    power_mgr_.set_telemetry(nullptr, &registry_);
+}
+
+void ManycoreSystem::set_tracer(telemetry::Tracer* tracer) {
+    MCS_REQUIRE(!ran_, "set_tracer must precede run()");
+    tracer_ = tracer;
+    sim_.set_tracer(tracer);
+    power_mgr_.set_telemetry(tracer, &registry_);
 }
 
 RunMetrics ManycoreSystem::run(SimDuration horizon) {
@@ -193,6 +210,13 @@ void ManycoreSystem::set_priority_blind(bool blind) {
 }
 
 void ManycoreSystem::on_arrival(std::size_t app_index) {
+    if (tracer_ != nullptr) {
+        tracer_->record(sim_.now(), telemetry::TraceCategory::Workload,
+                        telemetry::TracePhase::Instant, "app_arrival",
+                        0, static_cast<std::int64_t>(app_index),
+                        static_cast<std::int64_t>(
+                            apps_[app_index].spec.graph.size()));
+    }
     const auto cls =
         priority_blind_
             ? std::size_t{0}
@@ -292,6 +316,16 @@ void ManycoreSystem::commit_mapping(std::size_t app_index,
         idle_predictor_.notify_unavailable(id, now);
         power_mgr_.touch(now, id);
     }
+    if (tracer_ != nullptr) {
+        tracer_->record(now, telemetry::TraceCategory::Workload,
+                        telemetry::TracePhase::Instant, "app_mapped",
+                        result.cores.empty() ? 0 : result.cores.front(),
+                        static_cast<std::int64_t>(app_index),
+                        static_cast<std::int64_t>(result.cores.size()));
+    }
+    if (c_apps_mapped_ != nullptr) {
+        c_apps_mapped_->inc();
+    }
     app.task_core = result.cores;
     const auto n = static_cast<TaskIndex>(app.spec.graph.size());
     app.waiting.resize(n);
@@ -389,7 +423,16 @@ void ManycoreSystem::release_app(std::size_t app_index) {
     if (app.corrupted) {
         ++metrics_.corrupted_apps;
     }
-    metrics_.app_latency_ms.add(to_milliseconds(now - app.spec.arrival));
+    if (tracer_ != nullptr) {
+        tracer_->record(now, telemetry::TraceCategory::Workload,
+                        telemetry::TracePhase::Instant, "app_complete", 0,
+                        static_cast<std::int64_t>(app_index),
+                        app.corrupted ? 1 : 0);
+    }
+    c_apps_completed_->inc();
+    const double latency_ms = to_milliseconds(now - app.spec.arrival);
+    h_app_latency_ms_->add(latency_ms);
+    metrics_.app_latency_ms.add(latency_ms);
     const auto cls = static_cast<std::size_t>(app.spec.qos);
     ++metrics_.apps_completed_by_class[cls];
     if (app.spec.relative_deadline > 0) {
@@ -473,6 +516,7 @@ void ManycoreSystem::test_epoch_fn() {
     ctx.start_test = [this](CoreId core, int level) {
         start_test_session(core, level);
     };
+    ctx.tracer = tracer_;
     scheduler_->epoch(ctx);
     if (link_tester_) {
         schedule_link_tests(ctx.now);
@@ -559,6 +603,14 @@ void ManycoreSystem::start_test_session(CoreId core, int vf_level) {
     ex.active = true;
     ex.vf_level = vf_level;
     ++tests_running_;
+    c_tests_started_->inc();
+    if (tracer_ != nullptr) {
+        // Begin/End pairs keyed on the core id render as per-core test
+        // spans in the Chrome trace viewer.
+        tracer_->record(now, telemetry::TraceCategory::Session,
+                        telemetry::TracePhase::Begin, "test_session", core,
+                        vf_level);
+    }
     if (cfg_.segmented_tests) {
         const auto& routine = suite_.routines()[test_progress_[core]];
         const SimDuration dur = std::max<SimDuration>(
@@ -605,6 +657,12 @@ void ManycoreSystem::on_test_complete(CoreId core) {
     c.set_vf_level(now, 0);
     power_mgr_.touch(now, core);
     ++metrics_.tests_completed;
+    c_tests_completed_->inc();
+    if (tracer_ != nullptr) {
+        tracer_->record(now, telemetry::TraceCategory::Session,
+                        telemetry::TracePhase::End, "test_session", core,
+                        ex.vf_level);
+    }
     // The histogram counts *completed* suites per level (aborted sessions
     // are tracked separately via tests_aborted).
     ++metrics_.tests_per_vf_level[static_cast<std::size_t>(ex.vf_level)];
@@ -645,6 +703,16 @@ void ManycoreSystem::abort_test(CoreId core) {
     c.set_vf_level(now, 0);  // frugal idle until reassigned
     last_test_abort_[core] = now;
     ++metrics_.tests_aborted;
+    c_tests_aborted_->inc();
+    if (tracer_ != nullptr) {
+        // Close the session span and mark the abort distinctly.
+        tracer_->record(now, telemetry::TraceCategory::Session,
+                        telemetry::TracePhase::End, "test_session", core,
+                        ex.vf_level);
+        tracer_->record(now, telemetry::TraceCategory::Session,
+                        telemetry::TracePhase::Instant, "test_abort", core,
+                        ex.vf_level);
+    }
 }
 
 // -------------------------------------------------------------- controllers
@@ -865,6 +933,12 @@ RunMetrics ManycoreSystem::finalize() {
 
     m.dvfs_throttle_steps = power_mgr_.throttle_steps();
     m.dvfs_boost_steps = power_mgr_.boost_steps();
+
+    scheduler_->export_telemetry(registry_);
+    registry_.gauge("system.peak_temp_c").set(peak_temp_c_);
+    registry_.gauge("system.mean_power_w").set(m.mean_power_w);
+    registry_.gauge("system.mean_chip_utilization")
+        .set(m.mean_chip_utilization);
     return m;
 }
 

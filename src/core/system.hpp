@@ -24,6 +24,8 @@
 #include "sbst/fault_model.hpp"
 #include "sbst/test_suite.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/tracer.hpp"
 #include "thermal/thermal_model.hpp"
 
 namespace mcs {
@@ -122,6 +124,21 @@ public:
 
     /// Streams power/state trace samples during run() (E2's figure).
     void set_trace_sink(TraceSink sink) { trace_sink_ = std::move(sink); }
+
+    /// Attaches an (optional, non-owning) event tracer recording the run's
+    /// discrete events: app arrival/mapping/completion, test session
+    /// begin/end/abort, DVFS transitions, capping actuations and power
+    /// gating. Must be called before run(); pass nullptr to detach.
+    void set_tracer(telemetry::Tracer* tracer);
+
+    /// Live metrics registry for this run: "power.*" counters are bumped by
+    /// the power manager as it actuates, "system.*" counters/histograms by
+    /// the workload and test paths, and "scheduler.*" counters are exported
+    /// by the policy at finalize().
+    telemetry::MetricsRegistry& registry() noexcept { return registry_; }
+    const telemetry::MetricsRegistry& registry() const noexcept {
+        return registry_;
+    }
 
     /// Makes capping and admission ignore QoS classes (deadlines are still
     /// measured); the baseline for the mixed-criticality experiments. Must
@@ -267,6 +284,16 @@ private:
     double link_test_energy_j_ = 0.0;
     double peak_temp_c_ = 0.0;
     TraceSink trace_sink_;
+
+    // telemetry (registry is owned; tracer is optional and non-owning)
+    telemetry::MetricsRegistry registry_;
+    telemetry::Tracer* tracer_ = nullptr;
+    telemetry::Counter* c_tests_started_ = nullptr;
+    telemetry::Counter* c_tests_completed_ = nullptr;
+    telemetry::Counter* c_tests_aborted_ = nullptr;
+    telemetry::Counter* c_apps_mapped_ = nullptr;
+    telemetry::Counter* c_apps_completed_ = nullptr;
+    Histogram* h_app_latency_ms_ = nullptr;
 };
 
 /// Convenience: translate a target *occupancy* (fraction of core-time

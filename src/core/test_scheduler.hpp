@@ -8,6 +8,11 @@
 #include "arch/technology.hpp"
 #include "sim/time.hpp"
 
+namespace mcs::telemetry {
+class Tracer;
+class MetricsRegistry;
+}  // namespace mcs::telemetry
+
 namespace mcs {
 
 /// A core the system offers to the test scheduler this epoch: idle (or
@@ -50,6 +55,9 @@ struct SchedulerContext {
     /// core to the requested level, runs the full SBST suite, and restores
     /// state on completion.
     std::function<void(CoreId core, int vf_level)> start_test;
+    /// Optional event tracer (may be null); policies record admission and
+    /// rejection decisions here.
+    telemetry::Tracer* tracer = nullptr;
 };
 
 /// Online test-scheduling policy interface (the paper's contribution point).
@@ -58,6 +66,12 @@ public:
     virtual ~TestScheduler() = default;
     virtual void epoch(SchedulerContext& ctx) = 0;
     virtual std::string_view name() const = 0;
+    /// Publishes the policy's internal counters into `registry` under
+    /// "scheduler.*" names. Called once at end of run; default is a no-op
+    /// for policies with no internal state.
+    virtual void export_telemetry(telemetry::MetricsRegistry& registry) const {
+        (void)registry;
+    }
 };
 
 /// How a policy chooses the V/F level of each test session.

@@ -55,6 +55,22 @@ void PowerManager::set_priority_lookup(std::function<int(CoreId)> lookup) {
     priority_lookup_ = std::move(lookup);
 }
 
+void PowerManager::set_telemetry(telemetry::Tracer* tracer,
+                                 telemetry::MetricsRegistry* registry) {
+    tracer_ = tracer;
+    if (registry != nullptr) {
+        c_throttle_ = &registry->counter("power.dvfs_throttle_steps");
+        c_boost_ = &registry->counter("power.dvfs_boost_steps");
+        c_gated_ = &registry->counter("power.cores_gated");
+        c_actuations_ = &registry->counter("power.capping_actuations");
+    } else {
+        c_throttle_ = nullptr;
+        c_boost_ = nullptr;
+        c_gated_ = nullptr;
+        c_actuations_ = nullptr;
+    }
+}
+
 double PowerManager::setpoint_w() const {
     return params_.setpoint_fraction * budget_.tdp_w();
 }
@@ -65,6 +81,11 @@ void PowerManager::change_vf(SimTime now, Core& core, int new_level) {
         return;
     }
     core.set_vf_level(now, new_level);
+    if (tracer_ != nullptr) {
+        tracer_->record(now, telemetry::TraceCategory::Dvfs,
+                        telemetry::TracePhase::Instant, "vf_change",
+                        core.id(), old_level, new_level);
+    }
     if (vf_listener_) {
         vf_listener_(core.id(), old_level, new_level);
     }
@@ -96,6 +117,18 @@ void PowerManager::control_epoch(SimTime now, std::span<const double> temps_c,
             (setpoint_w() - measured_power_w_) / budget_.tdp_w();
         const double signal = pid_.update(error, dt_s);
         if (std::abs(signal) > params_.deadband) {
+            if (c_actuations_ != nullptr) {
+                c_actuations_->inc();
+            }
+            if (tracer_ != nullptr) {
+                // a/b carry the signed control signal and the measured
+                // power, both in milli-units (the trace stores integers).
+                tracer_->record(
+                    now, telemetry::TraceCategory::Power,
+                    telemetry::TracePhase::Instant, "cap_actuate", 0,
+                    static_cast<std::int64_t>(signal * 1e3),
+                    static_cast<std::int64_t>(measured_power_w_ * 1e3));
+            }
             actuate(now, signal, temps_c);
         }
     }
@@ -117,8 +150,14 @@ void PowerManager::bang_step(SimTime now, int direction) {
         change_vf(now, c, target);
         if (direction < 0) {
             ++throttle_steps_;
+            if (c_throttle_ != nullptr) {
+                c_throttle_->inc();
+            }
         } else {
             ++boost_steps_;
+            if (c_boost_ != nullptr) {
+                c_boost_->inc();
+            }
         }
     }
 }
@@ -172,6 +211,9 @@ void PowerManager::actuate(SimTime now, double signal,
             if (c.vf_level() > 0) {
                 change_vf(now, c, c.vf_level() - 1);
                 ++throttle_steps_;
+                if (c_throttle_ != nullptr) {
+                    c_throttle_->inc();
+                }
                 ++done;
             }
         }
@@ -212,6 +254,9 @@ void PowerManager::actuate(SimTime now, double signal,
             committed_power_w_ += delta;
             change_vf(now, c, c.vf_level() + 1);
             ++boost_steps_;
+            if (c_boost_ != nullptr) {
+                c_boost_->inc();
+            }
             ++done;
         }
     }
@@ -257,6 +302,14 @@ void PowerManager::apply_power_gating(SimTime now) {
             if (now - last_active_[c.id()] >= params_.gate_delay) {
                 c.power_gate(now);
                 ++cores_gated_;
+                if (c_gated_ != nullptr) {
+                    c_gated_->inc();
+                }
+                if (tracer_ != nullptr) {
+                    tracer_->record(now, telemetry::TraceCategory::Power,
+                                    telemetry::TracePhase::Instant,
+                                    "power_gate", c.id());
+                }
             }
         } else if (c.state() != CoreState::Dark) {
             last_active_[c.id()] = now;

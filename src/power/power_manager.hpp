@@ -8,6 +8,8 @@
 #include "power/pid_controller.hpp"
 #include "power/power_budget.hpp"
 #include "power/power_model.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace mcs {
 
@@ -59,6 +61,12 @@ public:
     /// task completions.
     void set_vf_change_listener(
         std::function<void(CoreId, int, int)> listener);
+
+    /// Attaches run telemetry (both optional, non-owning, may be null):
+    /// DVFS transitions, capping actuations, and power gating are traced,
+    /// and the "power.*" counters are registered and incremented live.
+    void set_telemetry(telemetry::Tracer* tracer,
+                       telemetry::MetricsRegistry* registry);
 
     /// Optional QoS hook (ICCD'14: hard/soft/best-effort priorities):
     /// returns the priority of the work on a busy core (higher = more
@@ -118,6 +126,11 @@ private:
     PowerBudget& budget_;
     PowerManagerParams params_;
     PidController pid_;
+    telemetry::Tracer* tracer_ = nullptr;
+    telemetry::Counter* c_throttle_ = nullptr;
+    telemetry::Counter* c_boost_ = nullptr;
+    telemetry::Counter* c_gated_ = nullptr;
+    telemetry::Counter* c_actuations_ = nullptr;
     std::function<void(CoreId, int, int)> vf_listener_;
     std::function<int(CoreId)> priority_lookup_;
     std::vector<SimTime> last_active_;

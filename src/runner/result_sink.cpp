@@ -4,8 +4,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <limits>
 
+#include "telemetry/json.hpp"
 #include "util/csv.hpp"
+#include "util/require.hpp"
 #include "util/table.hpp"
 
 namespace mcs {
@@ -140,6 +144,62 @@ void write_replica_csv(const CampaignResult& result,
         }
         csv.write_row(row);
     }
+}
+
+void write_campaign_report_json(const CampaignResult& result,
+                                const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    MCS_REQUIRE(out.is_open(),
+                "cannot open campaign report file: " + path);
+    telemetry::JsonWriter w(out);
+    w.begin_object();
+    w.field("schema", "mcs.campaign_report.v1");
+    w.key("cells");
+    w.begin_array();
+    for (std::size_t c = 0; c < result.cell_count(); ++c) {
+        w.begin_object();
+        w.field("cell", static_cast<std::uint64_t>(c));
+        w.key("point");
+        w.begin_object();
+        for (const auto& [key, value] : result.spec.cell_point(c)) {
+            w.field(key, value);
+        }
+        w.end_object();
+        const auto replicas = result.cell(c);
+        std::size_t ok = 0;
+        for (const ReplicaResult& r : replicas) {
+            ok += r.ok ? 1 : 0;
+        }
+        w.field("replicas_ok", static_cast<std::uint64_t>(ok));
+        w.field("replicas_failed",
+                static_cast<std::uint64_t>(replicas.size() - ok));
+        w.key("metrics");
+        w.begin_object();
+        for (const MetricDef& metric : campaign_metrics()) {
+            const RunningStats stats = result.cell_stats(c, metric.get);
+            w.key(metric.name);
+            w.begin_object();
+            if (stats.empty()) {
+                w.field("mean", std::numeric_limits<double>::quiet_NaN());
+                w.field("stddev", std::numeric_limits<double>::quiet_NaN());
+                w.field("ci95", std::numeric_limits<double>::quiet_NaN());
+            } else {
+                const double ci95 =
+                    1.96 * stats.stddev() /
+                    std::sqrt(static_cast<double>(stats.count()));
+                w.field("mean", stats.mean());
+                w.field("stddev", stats.stddev());
+                w.field("ci95", ci95);
+            }
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out << '\n';
+    MCS_REQUIRE(out.good(), "write failed: " + path);
 }
 
 std::string format_campaign_summary(const CampaignResult& result) {

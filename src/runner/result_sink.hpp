@@ -3,18 +3,14 @@
 #include <span>
 #include <string>
 
+#include "core/metric_catalog.hpp"
 #include "runner/campaign_runner.hpp"
 
 namespace mcs {
 
-/// One scalar column of the campaign CSVs, extracted from RunMetrics.
-struct MetricDef {
-    const char* name;
-    double (*get)(const RunMetrics&);
-};
-
-/// The fixed catalog of scalar metrics exported per replica/cell. Order is
-/// part of the CSV contract (columns appear in this order).
+/// The fixed catalog of scalar metrics exported per replica/cell (a
+/// headline subset of metric_catalog()). Order is part of the CSV contract
+/// (columns appear in this order).
 std::span<const MetricDef> campaign_metrics();
 
 /// Writes the aggregate campaign CSV: one row per grid cell with the axis
@@ -28,6 +24,14 @@ void write_campaign_csv(const CampaignResult& result,
 /// Writes one row per replica: grid location, seed, ok/error, and every
 /// catalog metric (raw, unaggregated). Same determinism contract.
 void write_replica_csv(const CampaignResult& result, const std::string& path);
+
+/// Writes the aggregate campaign report as JSON: schema
+/// "mcs.campaign_report.v1" with one entry per cell carrying the axis
+/// point, replica health, and mean/stddev/ci95 per catalog metric. Byte-
+/// deterministic for a given spec (independent of worker count), so fixed
+/// seeds yield identical files across runs and --jobs values.
+void write_campaign_report_json(const CampaignResult& result,
+                                const std::string& path);
 
 /// Human-readable end-of-campaign table: one line per cell with replica
 /// health and headline metrics (work throughput, TDP violations, tests).

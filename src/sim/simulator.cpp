@@ -57,13 +57,30 @@ void Simulator::stop_periodic(PeriodicHandle handle) {
     periodics_.erase(it);
 }
 
+void Simulator::set_tracer(telemetry::Tracer* tracer) {
+    tracer_ = tracer;
+    if (tracer_ != nullptr) {
+        tracer_->set_clock([this] { return now_; });
+    }
+}
+
 std::uint64_t Simulator::run_until(SimTime until) {
+    if (tracer_ != nullptr) {
+        tracer_->record(now_, telemetry::TraceCategory::Sim,
+                        telemetry::TracePhase::Instant, "run_until_begin", 0,
+                        static_cast<std::int64_t>(until));
+    }
     std::uint64_t ran = 0;
     while (step(until)) {
         ++ran;
     }
     if (now_ < until) {
         now_ = until;
+    }
+    if (tracer_ != nullptr) {
+        tracer_->record(now_, telemetry::TraceCategory::Sim,
+                        telemetry::TracePhase::Instant, "run_until_end", 0,
+                        static_cast<std::int64_t>(ran));
     }
     return ran;
 }

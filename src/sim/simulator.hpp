@@ -6,6 +6,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace mcs {
 
@@ -55,11 +56,18 @@ public:
     std::size_t pending_events() const noexcept { return queue_.pending(); }
     std::uint64_t events_executed() const noexcept { return executed_; }
 
+    /// Attaches an (optional, non-owning) event tracer: its clock is bound
+    /// to this simulator's `now()` and run_until() marks its span. Pass
+    /// nullptr to detach.
+    void set_tracer(telemetry::Tracer* tracer);
+    telemetry::Tracer* tracer() const noexcept { return tracer_; }
+
 private:
     struct Periodic;
     void fire_periodic(std::uint64_t periodic_id);
 
     EventQueue queue_;
+    telemetry::Tracer* tracer_ = nullptr;
     SimTime now_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t next_periodic_id_ = 1;

@@ -1,0 +1,320 @@
+#include "telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/require.hpp"
+
+namespace mcs::telemetry {
+
+std::string json_number(double v) {
+    if (!std::isfinite(v)) {
+        return "null";  // JSON has no NaN/inf literal
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // Prefer the shortest representation that round-trips.
+    for (int precision = 1; precision < 17; ++precision) {
+        char candidate[32];
+        std::snprintf(candidate, sizeof candidate, "%.*g", precision, v);
+        if (std::strtod(candidate, nullptr) == v) {
+            return candidate;
+        }
+    }
+    return buf;
+}
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+// ------------------------------------------------------------- JsonWriter
+
+void JsonWriter::separate() {
+    if (pending_key_) {
+        pending_key_ = false;
+        return;  // the key already emitted its separator
+    }
+    if (!has_item_.empty()) {
+        if (has_item_.back()) {
+            out_ << ',';
+        }
+        has_item_.back() = true;
+    }
+}
+
+void JsonWriter::begin_object() {
+    separate();
+    out_ << '{';
+    has_item_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+    MCS_REQUIRE(!has_item_.empty(), "end_object without begin_object");
+    has_item_.pop_back();
+    out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+    separate();
+    out_ << '[';
+    has_item_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+    MCS_REQUIRE(!has_item_.empty(), "end_array without begin_array");
+    has_item_.pop_back();
+    out_ << ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+    MCS_REQUIRE(!has_item_.empty(), "key outside an object");
+    if (has_item_.back()) {
+        out_ << ',';
+    }
+    has_item_.back() = true;
+    out_ << '"' << json_escape(name) << "\":";
+    pending_key_ = true;
+}
+
+void JsonWriter::value(double v) {
+    separate();
+    out_ << json_number(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+    separate();
+    out_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+    separate();
+    out_ << v;
+}
+
+void JsonWriter::value(bool v) {
+    separate();
+    out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(std::string_view v) {
+    separate();
+    out_ << '"' << json_escape(v) << '"';
+}
+
+void JsonWriter::null() {
+    separate();
+    out_ << "null";
+}
+
+// ------------------------------------------------------------- JsonValue
+
+const JsonValue& JsonValue::at(const std::string& name) const {
+    MCS_REQUIRE(kind == Kind::Object, "JsonValue::at on a non-object");
+    const auto it = object.find(name);
+    MCS_REQUIRE(it != object.end(), "missing JSON member: " + name);
+    return it->second;
+}
+
+bool JsonValue::has(const std::string& name) const {
+    return kind == Kind::Object && object.find(name) != object.end();
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue parse_document() {
+        JsonValue v = parse_value();
+        skip_ws();
+        MCS_REQUIRE(pos_ == text_.size(), "trailing bytes after JSON value");
+        return v;
+    }
+
+private:
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        skip_ws();
+        MCS_REQUIRE(pos_ < text_.size(), "unexpected end of JSON input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        MCS_REQUIRE(peek() == c, std::string("expected '") + c + "' in JSON");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) == lit) {
+            pos_ += lit.size();
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue parse_value() {
+        const char c = peek();
+        JsonValue v;
+        switch (c) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"':
+                v.kind = JsonValue::Kind::String;
+                v.string = parse_string();
+                return v;
+            case 't':
+                MCS_REQUIRE(consume_literal("true"), "bad JSON literal");
+                v.kind = JsonValue::Kind::Bool;
+                v.boolean = true;
+                return v;
+            case 'f':
+                MCS_REQUIRE(consume_literal("false"), "bad JSON literal");
+                v.kind = JsonValue::Kind::Bool;
+                v.boolean = false;
+                return v;
+            case 'n':
+                MCS_REQUIRE(consume_literal("null"), "bad JSON literal");
+                v.kind = JsonValue::Kind::Null;
+                return v;
+            default: return parse_number();
+        }
+    }
+
+    JsonValue parse_object() {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            MCS_REQUIRE(peek() == '"', "JSON object key must be a string");
+            std::string key = parse_string();
+            expect(':');
+            v.object.emplace(std::move(key), parse_value());
+            const char c = peek();
+            ++pos_;
+            if (c == '}') {
+                return v;
+            }
+            MCS_REQUIRE(c == ',', "expected ',' or '}' in JSON object");
+        }
+    }
+
+    JsonValue parse_array() {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parse_value());
+            const char c = peek();
+            ++pos_;
+            if (c == ']') {
+                return v;
+            }
+            MCS_REQUIRE(c == ',', "expected ',' or ']' in JSON array");
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            MCS_REQUIRE(pos_ < text_.size(), "unterminated JSON string");
+            const char c = text_[pos_++];
+            if (c == '"') {
+                return out;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            MCS_REQUIRE(pos_ < text_.size(), "unterminated JSON escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    MCS_REQUIRE(pos_ + 4 <= text_.size(),
+                                "truncated \\u escape");
+                    const std::string hex(text_.substr(pos_, 4));
+                    pos_ += 4;
+                    const auto cp = static_cast<unsigned>(
+                        std::strtoul(hex.c_str(), nullptr, 16));
+                    // The writer only emits \u00xx control escapes; decode
+                    // the Latin-1 range and refuse the rest.
+                    MCS_REQUIRE(cp < 0x80, "unsupported \\u escape");
+                    out += static_cast<char>(cp);
+                    break;
+                }
+                default: MCS_REQUIRE(false, "bad JSON escape");
+            }
+        }
+    }
+
+    JsonValue parse_number() {
+        skip_ws();
+        const char* begin = text_.data() + pos_;
+        char* end = nullptr;
+        const double d = std::strtod(begin, &end);
+        MCS_REQUIRE(end != begin, "malformed JSON number");
+        pos_ += static_cast<std::size_t>(end - begin);
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = d;
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+    return Parser(text).parse_document();
+}
+
+}  // namespace mcs::telemetry

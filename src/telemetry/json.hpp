@@ -1,0 +1,95 @@
+#pragma once
+
+// Minimal deterministic JSON support for the telemetry subsystem.
+//
+// The writer produces byte-stable output: numbers are rendered with the
+// shortest locale-independent decimal text that round-trips (so the bytes
+// depend only on the values, never on locale or formatting state), and all
+// container contents are emitted in the order the caller provides them.
+// The parser covers the subset this repo emits (objects, arrays, strings,
+// finite numbers, booleans, null) and exists for round-trip tests and
+// report tooling, not for hostile input.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcs::telemetry {
+
+/// Shortest decimal text that strtod round-trips to exactly `v`;
+/// locale-independent. NaN/inf (not valid JSON numbers) render as null.
+std::string json_number(double v);
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer with explicit structure calls. Produces compact
+/// one-line output; the caller is responsible for calling begin/end pairs
+/// in a well-formed order (checked with assertions in debug builds).
+class JsonWriter {
+public:
+    explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+    void begin_object();
+    void end_object();
+    void begin_array();
+    void end_array();
+
+    /// Emits `"name":` inside an object (with any needed comma).
+    void key(std::string_view name);
+
+    void value(double v);
+    void value(std::int64_t v);
+    void value(std::uint64_t v);
+    void value(bool v);
+    void value(std::string_view v);
+    void value(const char* v) { value(std::string_view(v)); }
+    void null();
+
+    // Convenience: `key(name); value(v);`
+    template <typename T>
+    void field(std::string_view name, T v) {
+        key(name);
+        value(v);
+    }
+
+private:
+    void separate();
+
+    std::ostream& out_;
+    // One entry per open container: whether a value has been written.
+    std::vector<bool> has_item_;
+    bool pending_key_ = false;
+};
+
+/// Parsed JSON value (round-trip tests and report tooling).
+struct JsonValue {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool is_object() const { return kind == Kind::Object; }
+    bool is_array() const { return kind == Kind::Array; }
+    bool is_number() const { return kind == Kind::Number; }
+    bool is_string() const { return kind == Kind::String; }
+
+    /// Object member access; throws RequireError if absent or not an
+    /// object.
+    const JsonValue& at(const std::string& name) const;
+    bool has(const std::string& name) const;
+};
+
+/// Parses a complete JSON document. Throws RequireError on malformed
+/// input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace mcs::telemetry

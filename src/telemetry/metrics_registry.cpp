@@ -1,0 +1,105 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include "util/require.hpp"
+
+namespace mcs::telemetry {
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) {
+        return it->second;
+    }
+    return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) {
+        return it->second;
+    }
+    return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
+                                      double hi, std::size_t bins) {
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+        MCS_REQUIRE(it->second.same_layout(Histogram(lo, hi, bins)),
+                    "histogram re-registered with a different layout: " +
+                        std::string(name));
+        return it->second;
+    }
+    return histograms_.emplace(std::string(name), Histogram(lo, hi, bins))
+        .first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+    for (const auto& [name, c] : other.counters_) {
+        counter(name).inc(c.value());
+    }
+    for (const auto& [name, g] : other.gauges_) {
+        gauge(name).add(g.value());
+    }
+    for (const auto& [name, h] : other.histograms_) {
+        const auto it = histograms_.find(name);
+        if (it == histograms_.end()) {
+            histograms_.emplace(name, h);
+        } else {
+            it->second.merge(h);
+        }
+    }
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+    w.begin_object();
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, c] : counters_) {
+        w.field(name, c.value());
+    }
+    w.end_object();
+    w.key("gauges");
+    w.begin_object();
+    for (const auto& [name, g] : gauges_) {
+        w.field(name, g.value());
+    }
+    w.end_object();
+    w.key("histograms");
+    w.begin_object();
+    for (const auto& [name, h] : histograms_) {
+        w.key(name);
+        w.begin_object();
+        w.field("lo", h.bins() > 0 ? h.bin_lo(0) : 0.0);
+        w.field("hi", h.bins() > 0 ? h.bin_hi(h.bins() - 1) : 0.0);
+        w.field("underflow", h.underflow());
+        w.field("overflow", h.overflow());
+        w.field("total", h.total());
+        w.key("counts");
+        w.begin_array();
+        for (std::size_t i = 0; i < h.bins(); ++i) {
+            w.value(h.bin_count(i));
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+}
+
+}  // namespace mcs::telemetry

@@ -1,0 +1,85 @@
+#pragma once
+
+// Low-overhead metrics registry: named counters, gauges, and fixed-bucket
+// histograms. Intended use: resolve the metric once (the returned reference
+// is stable for the registry's lifetime) and update it from hot paths with
+// a plain increment -- no name lookup, no locking, no allocation.
+//
+// Determinism contract: iteration and JSON export are sorted by name, and
+// merge() is associative and commutative (counters and gauges add,
+// histograms add bin-wise), so aggregating per-replica registries yields
+// the same bytes regardless of merge order or worker count.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "telemetry/json.hpp"
+#include "util/stats.hpp"
+
+namespace mcs::telemetry {
+
+/// Monotonic event count.
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+    std::uint64_t value() const noexcept { return value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Last-written scalar (plus an add() for merge-friendly accumulation).
+class Gauge {
+public:
+    void set(double v) noexcept { value_ = v; }
+    void add(double v) noexcept { value_ += v; }
+    double value() const noexcept { return value_; }
+
+private:
+    double value_ = 0.0;
+};
+
+/// Name-addressed metric store. Metric names use dotted lowercase paths
+/// ("system.tests_completed", "power.dvfs_throttle_steps"); see
+/// docs/telemetry.md for the naming scheme.
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Returns the metric with this name, creating it on first use. The
+    /// reference stays valid for the registry's lifetime.
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    /// Histogram layout (lo, hi, bins) is fixed at first registration;
+    /// re-registering with a different layout throws RequireError.
+    Histogram& histogram(std::string_view name, double lo, double hi,
+                         std::size_t bins);
+
+    const Counter* find_counter(std::string_view name) const;
+    const Gauge* find_gauge(std::string_view name) const;
+    const Histogram* find_histogram(std::string_view name) const;
+
+    std::size_t size() const noexcept {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+    /// Deterministic merge: counters and gauges add, histograms merge
+    /// bin-wise (layouts must match). Metrics present only in `other` are
+    /// created here.
+    void merge(const MetricsRegistry& other);
+
+    /// Emits {"counters":{...},"gauges":{...},"histograms":{...}} sorted
+    /// by name (byte-deterministic for equal contents).
+    void write_json(JsonWriter& w) const;
+
+private:
+    std::map<std::string, Counter, std::less<>> counters_;
+    std::map<std::string, Gauge, std::less<>> gauges_;
+    std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace mcs::telemetry

@@ -1,0 +1,88 @@
+#include "telemetry/run_report.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "core/metric_catalog.hpp"
+#include "telemetry/json.hpp"
+#include "util/require.hpp"
+
+namespace mcs::telemetry {
+
+namespace {
+
+void write_stat(JsonWriter& w, std::string_view name,
+                const RunningStats& s) {
+    w.key(name);
+    w.begin_object();
+    w.field("count", static_cast<std::uint64_t>(s.count()));
+    w.field("mean", s.mean());
+    w.field("stddev", s.stddev());
+    w.field("min", s.min());
+    w.field("max", s.max());
+    w.end_object();
+}
+
+void write_u64_vector(JsonWriter& w, std::string_view name,
+                      const std::vector<std::uint64_t>& values) {
+    w.key(name);
+    w.begin_array();
+    for (const std::uint64_t v : values) {
+        w.value(v);
+    }
+    w.end_array();
+}
+
+}  // namespace
+
+void write_run_report(const RunMetrics& m, const MetricsRegistry* registry,
+                      std::ostream& out) {
+    JsonWriter w(out);
+    w.begin_object();
+    w.field("schema", "mcs.run_report.v1");
+
+    w.key("metrics");
+    w.begin_object();
+    for (const MetricDef& def : metric_catalog()) {
+        w.field(def.name, def.get(m));
+    }
+    w.end_object();
+
+    w.key("vectors");
+    w.begin_object();
+    write_u64_vector(w, "tests_per_vf_level", m.tests_per_vf_level);
+    write_u64_vector(w, "apps_completed_by_class",
+                     m.apps_completed_by_class);
+    write_u64_vector(w, "deadlines_met_by_class", m.deadlines_met_by_class);
+    write_u64_vector(w, "deadlines_missed_by_class",
+                     m.deadlines_missed_by_class);
+    w.end_object();
+
+    w.key("stats");
+    w.begin_object();
+    write_stat(w, "app_latency_ms", m.app_latency_ms);
+    write_stat(w, "app_queue_wait_ms", m.app_queue_wait_ms);
+    write_stat(w, "test_interval_s", m.test_interval_s);
+    write_stat(w, "detection_latency_s", m.detection_latency_s);
+    write_stat(w, "link_detection_latency_s", m.link_detection_latency_s);
+    write_stat(w, "mapping_dispersion_hops", m.mapping_dispersion_hops);
+    w.end_object();
+
+    if (registry != nullptr) {
+        w.key("registry");
+        registry->write_json(w);
+    }
+    w.end_object();
+    out << '\n';
+}
+
+void write_run_report_file(const RunMetrics& m,
+                           const MetricsRegistry* registry,
+                           const std::string& path) {
+    std::ofstream out(path);
+    MCS_REQUIRE(out.good(), "cannot open report file: " + path);
+    write_run_report(m, registry, out);
+}
+
+}  // namespace mcs::telemetry

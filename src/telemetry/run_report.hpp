@@ -1,0 +1,31 @@
+#pragma once
+
+// RunReport: the machine-readable end-of-run artifact. Serializes every
+// RunMetrics scalar (via core/metric_catalog.hpp), the vector-valued
+// metrics, distribution summaries, and -- when attached -- the full
+// MetricsRegistry contents as one JSON document.
+//
+// Determinism contract: the bytes are a pure function of the metrics and
+// registry contents (sorted keys, shortest round-trip numbers); a fixed
+// seed therefore produces identical report bytes across runs and worker
+// counts. Wall-clock quantities are deliberately excluded.
+
+#include <ostream>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "telemetry/metrics_registry.hpp"
+
+namespace mcs::telemetry {
+
+/// Writes the report JSON ("mcs.run_report.v1") to `out`. `registry` may
+/// be null (the "registry" member is then omitted).
+void write_run_report(const RunMetrics& m, const MetricsRegistry* registry,
+                      std::ostream& out);
+
+/// Same, to a file. Throws RequireError if the file cannot be opened.
+void write_run_report_file(const RunMetrics& m,
+                           const MetricsRegistry* registry,
+                           const std::string& path);
+
+}  // namespace mcs::telemetry

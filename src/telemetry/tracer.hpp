@@ -1,0 +1,144 @@
+#pragma once
+
+// Deterministic run tracing: a fixed-capacity ring buffer of simulator
+// events (test sessions, DVFS transitions, capping interventions, mapping
+// decisions, ...) exportable as Chrome-trace JSON (chrome://tracing,
+// https://ui.perfetto.dev) or as JSONL for ad-hoc tooling.
+//
+// Overhead contract: a disabled tracer costs one predictable branch per
+// call site; an enabled tracer costs one ring-buffer store (no allocation
+// after construction, no locking -- the simulator is single-threaded).
+// Event names must be string literals (the buffer stores the pointer).
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mcs::telemetry {
+
+enum class TraceCategory : std::uint8_t {
+    Sim,       ///< simulator lifecycle (run begin/end)
+    Workload,  ///< application arrival / mapping / completion
+    Session,   ///< SBST test-session lifecycle
+    Dvfs,      ///< per-core V/F transitions
+    Power,     ///< capping interventions, power gating
+    Noc,       ///< link-test lifecycle
+};
+
+/// Chrome-trace phases (the subset this tracer emits).
+enum class TracePhase : std::uint8_t {
+    Instant,  ///< "i": a point event
+    Begin,    ///< "B": opens a duration slice on (pid 0, tid)
+    End,      ///< "E": closes the innermost slice on (pid 0, tid)
+};
+
+std::string_view to_string(TraceCategory cat);
+
+/// One recorded event. `tid` is the Chrome-trace track -- this repo uses
+/// the core id (or 0 for chip-level events). `a`/`b` are small integer
+/// arguments whose meaning is event-specific (documented per event in
+/// docs/telemetry.md).
+struct TraceEvent {
+    SimTime time = 0;
+    const char* name = "";
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    std::uint32_t tid = 0;
+    TraceCategory cat = TraceCategory::Sim;
+    TracePhase phase = TracePhase::Instant;
+};
+
+class Tracer {
+public:
+    static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+    explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+    bool enabled() const noexcept { return enabled_; }
+    void set_enabled(bool on) noexcept { enabled_ = on; }
+
+    /// Clock used by the scope/instant conveniences (the wiring point for
+    /// Simulator::now). record() takes explicit times and works without it.
+    void set_clock(std::function<SimTime()> clock) {
+        clock_ = std::move(clock);
+    }
+    SimTime clock_now() const { return clock_ ? clock_() : 0; }
+
+    void record(SimTime time, TraceCategory cat, TracePhase phase,
+                const char* name, std::uint32_t tid = 0, std::int64_t a = 0,
+                std::int64_t b = 0) {
+        if (!enabled_) {
+            return;
+        }
+        store(TraceEvent{time, name, a, b, tid, cat, phase});
+    }
+
+    /// Point event stamped with the attached clock.
+    void instant(TraceCategory cat, const char* name, std::uint32_t tid = 0,
+                 std::int64_t a = 0, std::int64_t b = 0) {
+        if (!enabled_) {
+            return;
+        }
+        store(TraceEvent{clock_now(), name, a, b, tid, cat,
+                         TracePhase::Instant});
+    }
+
+    std::size_t capacity() const noexcept { return buf_.size(); }
+    /// Events currently retained (<= capacity()).
+    std::size_t size() const noexcept { return count_; }
+    /// Events overwritten because the buffer wrapped.
+    std::uint64_t dropped() const noexcept { return dropped_; }
+    void clear() noexcept;
+
+    /// Visits retained events oldest-first.
+    void for_each(const std::function<void(const TraceEvent&)>& fn) const;
+
+    /// Chrome-trace JSON object ({"traceEvents":[...]}); `ts` is simulated
+    /// microseconds. Byte-deterministic for identical event sequences.
+    void write_chrome_json(std::ostream& out) const;
+
+    /// One compact JSON object per line, schema-stable for stream tooling.
+    void write_jsonl(std::ostream& out) const;
+
+private:
+    void store(const TraceEvent& e) noexcept;
+
+    std::vector<TraceEvent> buf_;
+    std::size_t next_ = 0;   ///< slot the next event lands in
+    std::size_t count_ = 0;  ///< retained events
+    std::uint64_t dropped_ = 0;
+    bool enabled_ = true;
+    std::function<SimTime()> clock_;
+};
+
+/// RAII Begin/End pair on one track, stamped with the tracer clock:
+///
+///     TraceScope scope(tracer, TraceCategory::Session, "test_session",
+///                      core, vf_level);
+class TraceScope {
+public:
+    TraceScope(Tracer& tracer, TraceCategory cat, const char* name,
+               std::uint32_t tid = 0, std::int64_t a = 0, std::int64_t b = 0)
+        : tracer_(tracer), name_(name), tid_(tid), cat_(cat) {
+        tracer_.record(tracer_.clock_now(), cat_, TracePhase::Begin, name_,
+                       tid_, a, b);
+    }
+    TraceScope(const TraceScope&) = delete;
+    TraceScope& operator=(const TraceScope&) = delete;
+    ~TraceScope() {
+        tracer_.record(tracer_.clock_now(), cat_, TracePhase::End, name_,
+                       tid_);
+    }
+
+private:
+    Tracer& tracer_;
+    const char* name_;
+    std::uint32_t tid_;
+    TraceCategory cat_;
+};
+
+}  // namespace mcs::telemetry

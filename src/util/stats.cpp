@@ -83,6 +83,22 @@ double Histogram::bin_hi(std::size_t i) const {
     return bin_lo(i) + width_;
 }
 
+bool Histogram::same_layout(const Histogram& other) const noexcept {
+    return lo_ == other.lo_ && width_ == other.width_ &&
+           counts_.size() == other.counts_.size();
+}
+
+void Histogram::merge(const Histogram& other) {
+    MCS_REQUIRE(same_layout(other),
+                "cannot merge histograms with different layouts");
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        counts_[i] += other.counts_[i];
+    }
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
 void SampleSet::ensure_sorted() const {
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());

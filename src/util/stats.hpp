@@ -52,6 +52,15 @@ public:
     std::uint64_t overflow() const noexcept { return overflow_; }
     std::uint64_t total() const noexcept { return total_; }
 
+    /// Whether `other` has the identical bucket layout (lo, width, bins).
+    bool same_layout(const Histogram& other) const noexcept;
+
+    /// Bin-wise merge of another histogram with the same layout
+    /// (associative and commutative; throws RequireError on a layout
+    /// mismatch). The deterministic aggregation primitive for per-replica
+    /// telemetry.
+    void merge(const Histogram& other);
+
 private:
     double lo_;
     double width_;

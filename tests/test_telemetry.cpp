@@ -1,0 +1,236 @@
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/tracer.hpp"
+#include "util/require.hpp"
+
+namespace mcs::telemetry {
+namespace {
+
+std::string registry_json(const MetricsRegistry& r) {
+    std::ostringstream out;
+    JsonWriter w(out);
+    r.write_json(w);
+    return out.str();
+}
+
+std::string chrome_json(const Tracer& t) {
+    std::ostringstream out;
+    t.write_chrome_json(out);
+    return out.str();
+}
+
+TEST(JsonNumber, RoundTripsExactly) {
+    for (double v : {0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 1e-300, 1e300,
+                     3.141592653589793, 0.503, 65.0 / 3.0}) {
+        const std::string text = json_number(v);
+        EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+    }
+    EXPECT_EQ(json_number(std::nan("")), "null");
+    EXPECT_EQ(json_number(INFINITY), "null");
+}
+
+TEST(JsonWriter, EscapesAndNests) {
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.begin_object();
+    w.field("s", "a\"b\\c\n");
+    w.key("arr");
+    w.begin_array();
+    w.value(std::int64_t{-3});
+    w.value(true);
+    w.null();
+    w.end_array();
+    w.end_object();
+    EXPECT_EQ(out.str(), R"({"s":"a\"b\\c\n","arr":[-3,true,null]})");
+    const JsonValue v = parse_json(out.str());
+    EXPECT_EQ(v.at("s").string, "a\"b\\c\n");
+    EXPECT_EQ(v.at("arr").array.size(), 3u);
+}
+
+TEST(MetricsRegistry, CreateOnFirstUseWithStableReferences) {
+    MetricsRegistry r;
+    Counter& c = r.counter("system.tests_completed");
+    c.inc();
+    Counter& again = r.counter("system.tests_completed");
+    EXPECT_EQ(&c, &again);
+    again.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+
+    Gauge& g = r.gauge("system.peak_temp_c");
+    g.set(71.5);
+    g.add(0.5);
+    EXPECT_DOUBLE_EQ(r.gauge("system.peak_temp_c").value(), 72.0);
+
+    EXPECT_EQ(r.find_counter("system.tests_completed"), &c);
+    EXPECT_EQ(r.find_counter("no.such.metric"), nullptr);
+    EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(MetricsRegistry, HistogramLayoutIsFixedAtFirstRegistration) {
+    MetricsRegistry r;
+    Histogram& h = r.histogram("system.app_latency_ms", 0.0, 100.0, 10);
+    h.add(42.0);
+    EXPECT_EQ(&r.histogram("system.app_latency_ms", 0.0, 100.0, 10), &h);
+    EXPECT_THROW(r.histogram("system.app_latency_ms", 0.0, 50.0, 10),
+                 RequireError);
+}
+
+TEST(MetricsRegistry, ExportIsSortedByName) {
+    MetricsRegistry r;
+    r.counter("zeta").inc();
+    r.counter("alpha").inc(2);
+    const std::string json = registry_json(r);
+    EXPECT_LT(json.find("alpha"), json.find("zeta"));
+    const JsonValue v = parse_json(json);
+    EXPECT_DOUBLE_EQ(v.at("counters").at("alpha").number, 2.0);
+}
+
+TEST(MetricsRegistry, MergeIsAssociative) {
+    auto fill = [](MetricsRegistry& r, std::uint64_t c, double g,
+                   double sample) {
+        r.counter("events").inc(c);
+        r.gauge("energy_j").add(g);
+        r.histogram("latency", 0.0, 10.0, 5).add(sample);
+    };
+    MetricsRegistry a, b, c;
+    fill(a, 1, 0.5, 1.0);
+    fill(b, 10, 1.25, 4.5);
+    fill(c, 100, 2.0, 9.9);
+    // Extra metric present only in one operand must survive the merge.
+    b.counter("only_in_b").inc(7);
+
+    MetricsRegistry left_first, right_first;
+    fill(left_first, 1, 0.5, 1.0);   // == a
+    fill(right_first, 10, 1.25, 4.5);  // == b
+    right_first.counter("only_in_b").inc(7);
+    left_first.merge(b);
+    left_first.merge(c);
+    right_first.merge(c);
+    MetricsRegistry a2;
+    fill(a2, 1, 0.5, 1.0);
+    a2.merge(right_first);
+
+    EXPECT_EQ(registry_json(left_first), registry_json(a2));
+    EXPECT_EQ(left_first.counter("events").value(), 111u);
+    EXPECT_EQ(left_first.counter("only_in_b").value(), 7u);
+    EXPECT_DOUBLE_EQ(left_first.gauge("energy_j").value(), 3.75);
+    EXPECT_EQ(left_first.histogram("latency", 0.0, 10.0, 5).total(), 3u);
+}
+
+TEST(Tracer, RingBufferWrapsAndCountsDrops) {
+    Tracer t(4);
+    for (int i = 0; i < 10; ++i) {
+        t.record(static_cast<SimTime>(i), TraceCategory::Sim,
+                 TracePhase::Instant, "tick", 0, i);
+    }
+    EXPECT_EQ(t.capacity(), 4u);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.dropped(), 6u);
+    std::vector<std::int64_t> seen;
+    t.for_each([&](const TraceEvent& e) { seen.push_back(e.a); });
+    EXPECT_EQ(seen, (std::vector<std::int64_t>{6, 7, 8, 9}));
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+    Tracer t(8);
+    t.set_enabled(false);
+    t.record(1, TraceCategory::Power, TracePhase::Instant, "cap_actuate");
+    t.instant(TraceCategory::Power, "cap_actuate");
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, ScopeEmitsBeginEndWithClock) {
+    Tracer t(8);
+    SimTime now = 100;
+    t.set_clock([&now] { return now; });
+    {
+        TraceScope scope(t, TraceCategory::Session, "test_session", 3, 2);
+        now = 250;
+    }
+    std::vector<TraceEvent> events;
+    t.for_each([&](const TraceEvent& e) { events.push_back(e); });
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].phase, TracePhase::Begin);
+    EXPECT_EQ(events[0].time, 100u);
+    EXPECT_EQ(events[0].tid, 3u);
+    EXPECT_EQ(events[0].a, 2);
+    EXPECT_EQ(events[1].phase, TracePhase::End);
+    EXPECT_EQ(events[1].time, 250u);
+}
+
+TEST(Tracer, ChromeJsonIsByteDeterministicAndParses) {
+    auto feed = [](Tracer& t) {
+        t.record(1'000, TraceCategory::Session, TracePhase::Begin,
+                 "test_session", 5, 2);
+        t.record(2'500, TraceCategory::Dvfs, TracePhase::Instant, "vf_change",
+                 5, 3, 1);
+        t.record(4'000, TraceCategory::Session, TracePhase::End,
+                 "test_session", 5);
+    };
+    Tracer t1(16), t2(16);
+    feed(t1);
+    feed(t2);
+    const std::string json = chrome_json(t1);
+    EXPECT_EQ(json, chrome_json(t2));
+
+    const JsonValue v = parse_json(json);
+    const auto& events = v.at("traceEvents").array;
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].at("ph").string, "B");
+    EXPECT_EQ(events[0].at("cat").string, "session");
+    EXPECT_DOUBLE_EQ(events[0].at("ts").number, 1.0);  // ns -> us
+    EXPECT_EQ(events[1].at("ph").string, "i");
+
+    std::ostringstream jsonl;
+    t1.write_jsonl(jsonl);
+    std::istringstream lines(jsonl.str());
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(lines, line)) {
+        EXPECT_TRUE(parse_json(line).is_object()) << line;
+        ++n;
+    }
+    EXPECT_EQ(n, 3u);
+}
+
+TEST(RunReport, RoundTripsThroughParserDeterministically) {
+    RunMetrics m;
+    m.sim_time = 2 * kSecond;
+    m.tests_completed = 42;
+    m.mean_power_w = 65.0 / 3.0;
+    MetricsRegistry reg;
+    reg.counter("system.tests_completed").inc(42);
+    reg.gauge("system.mean_power_w").set(65.0 / 3.0);
+    reg.histogram("system.app_latency_ms", 0.0, 500.0, 50).add(12.0);
+
+    std::ostringstream out1, out2;
+    write_run_report(m, &reg, out1);
+    write_run_report(m, &reg, out2);
+    EXPECT_EQ(out1.str(), out2.str());
+
+    const JsonValue v = parse_json(out1.str());
+    EXPECT_EQ(v.at("schema").string, "mcs.run_report.v1");
+    EXPECT_DOUBLE_EQ(v.at("metrics").at("tests_completed").number, 42.0);
+    EXPECT_DOUBLE_EQ(v.at("metrics").at("mean_power_w").number, 65.0 / 3.0);
+    EXPECT_DOUBLE_EQ(
+        v.at("registry").at("counters").at("system.tests_completed").number,
+        42.0);
+    // Reports must stay wall-clock-free to be byte-reproducible.
+    EXPECT_FALSE(v.has("wall_s"));
+}
+
+}  // namespace
+}  // namespace mcs::telemetry

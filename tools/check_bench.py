@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the bench suite.
+
+Compares freshly generated BENCH_<name>.json reports (schema
+mcs.bench_report.v1, produced by every bench binary via bench_common's
+BenchReport) against the committed baselines in bench/baselines/.
+
+Two classes of checks:
+
+  * Headline metrics: the simulator is deterministic for a fixed seed, so
+    metric values must match the baseline up to a small relative tolerance
+    (covering libm / compiler differences across CI images). A larger drift
+    means the simulation changed behaviour -- that must be an intentional
+    baseline update, not an accident.
+
+  * Wall time: machines differ in absolute speed, so per-bench wall-time
+    ratios (new/baseline) are normalized by the median ratio across all
+    benches (the machine-speed factor). A bench whose normalized ratio
+    exceeds 1 + --wall-tolerance regressed relative to its peers.
+
+Exit code 0 if everything passes, 1 on any failure, 2 on usage errors.
+
+Usage:
+  tools/check_bench.py --baseline-dir bench/baselines --new-dir build/out
+  tools/check_bench.py ... --update   # rewrite baselines from --new-dir
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import shutil
+import sys
+
+SCHEMA = "mcs.bench_report.v1"
+
+
+def load_reports(directory):
+    reports = {}
+    for path in sorted(pathlib.Path(directory).glob("BENCH_*.json")):
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+        if data.get("schema") != SCHEMA:
+            raise ValueError(f"{path}: unexpected schema {data.get('schema')!r}")
+        reports[data["bench"]] = (path, data)
+    return reports
+
+
+def rel_diff(new, base):
+    if new == base:
+        return 0.0
+    denom = max(abs(new), abs(base))
+    if denom == 0.0:
+        return 0.0
+    return abs(new - base) / denom
+
+
+def check_metrics(name, base, new, tol, failures):
+    base_m = base.get("metrics", {})
+    new_m = new.get("metrics", {})
+    for key in sorted(set(base_m) | set(new_m)):
+        if key not in new_m:
+            failures.append(f"{name}: metric '{key}' disappeared")
+            continue
+        if key not in base_m:
+            failures.append(
+                f"{name}: new metric '{key}' has no baseline "
+                f"(run with --update to accept)"
+            )
+            continue
+        b, n = base_m[key], new_m[key]
+        if not (
+            isinstance(b, (int, float)) and isinstance(n, (int, float))
+        ) or isinstance(b, bool) or isinstance(n, bool):
+            if b != n:
+                failures.append(f"{name}: metric '{key}' changed {b!r} -> {n!r}")
+            continue
+        if math.isnan(b) and math.isnan(n):
+            continue
+        d = rel_diff(n, b)
+        if d > tol:
+            failures.append(
+                f"{name}: metric '{key}' drifted {b:.6g} -> {n:.6g} "
+                f"(rel {d:.2%} > {tol:.2%})"
+            )
+
+
+def check_wall(pairs, tolerance, failures):
+    ratios = {}
+    for name, (base, new) in pairs.items():
+        b = base.get("wall_s", 0.0)
+        n = new.get("wall_s", 0.0)
+        if b > 0 and n > 0:
+            ratios[name] = n / b
+    if len(ratios) < 3:
+        # Too few samples to estimate the machine-speed factor reliably;
+        # skip the wall-time gate (metrics still guard correctness).
+        print(f"wall-time gate skipped ({len(ratios)} comparable benches < 3)")
+        return
+    speed = sorted(ratios.values())[len(ratios) // 2]
+    print(f"machine-speed factor (median wall ratio): {speed:.3f}")
+    for name, ratio in sorted(ratios.items()):
+        normalized = ratio / speed
+        marker = "FAIL" if normalized > 1.0 + tolerance else "ok"
+        print(f"  {name:28s} ratio {ratio:6.3f}  normalized {normalized:6.3f}  {marker}")
+        if normalized > 1.0 + tolerance:
+            failures.append(
+                f"{name}: wall time regressed {normalized - 1.0:.1%} vs peers "
+                f"(> {tolerance:.0%})"
+            )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--new-dir", default="build/out")
+    ap.add_argument(
+        "--metric-tolerance",
+        type=float,
+        default=1e-6,
+        help="max relative drift for headline metrics (default 1e-6)",
+    )
+    ap.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=0.15,
+        help="max normalized wall-time regression (default 0.15 = 15%%)",
+    )
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="copy new reports over the baselines instead of comparing",
+    )
+    args = ap.parse_args()
+
+    new = load_reports(args.new_dir)
+    if not new:
+        print(f"error: no BENCH_*.json reports in {args.new_dir}", file=sys.stderr)
+        return 2
+
+    baseline_dir = pathlib.Path(args.baseline_dir)
+    if args.update:
+        baseline_dir.mkdir(parents=True, exist_ok=True)
+        for name, (path, _) in sorted(new.items()):
+            shutil.copy(path, baseline_dir / path.name)
+            print(f"updated baseline {baseline_dir / path.name}")
+        return 0
+
+    base = load_reports(baseline_dir)
+    if not base:
+        print(f"error: no baselines in {baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in sorted(set(base) | set(new)):
+        if name not in new:
+            failures.append(f"{name}: report missing from {args.new_dir}")
+        elif name not in base:
+            failures.append(
+                f"{name}: no baseline (run with --update to accept)"
+            )
+    pairs = {
+        name: (base[name][1], new[name][1]) for name in sorted(set(base) & set(new))
+    }
+    for name, (b, n) in pairs.items():
+        check_metrics(name, b, n, args.metric_tolerance, failures)
+    check_wall(pairs, args.wall_tolerance, failures)
+
+    if failures:
+        print(f"\n{len(failures)} bench gate failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench gate passed: {len(pairs)} benches vs baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

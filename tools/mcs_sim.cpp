@@ -5,10 +5,16 @@
 //   mcs_sim config=run.cfg [key=value overrides ...]
 //
 // Keys: see core/config_bridge.hpp. Driver-specific keys:
-//   seconds=<double>   simulation horizon (default 10)
-//   out=<path>         write a (metric,value) CSV report
-//   trace=<path>       write the 5 ms power/state trace as CSV
-//   quiet=true         suppress the human-readable summary
+//   seconds=<double>    simulation horizon (default 10)
+//   out=<path>          write a (metric,value) CSV report
+//   report=<path>       write the RunReport JSON (metrics + registry)
+//   trace=<path>        write the event trace (*.jsonl -> JSONL, anything
+//                       else -> Chrome-trace JSON for chrome://tracing)
+//   trace_capacity=<n>  event-trace ring capacity (default 65536)
+//   power_trace=<path>  write the 5 ms power/state trace as CSV
+//   out_dir=<dir>       directory for relative output paths (default
+//                       build/out; created on demand; "" or "." = cwd)
+//   quiet=true          suppress the human-readable summary
 //
 // Campaign usage (runner/sweep_spec.hpp format; any run config is a valid
 // single-cell spec):
@@ -19,15 +25,19 @@
 //   jobs=<int>             worker threads (0 = hardware concurrency)
 //   out=<path>             aggregate CSV (mean/stddev/ci95 per cell)
 //   replica_out=<path>     per-replica CSV
-// The aggregate CSV is bit-identical for every --jobs value. Exit status is
-// nonzero if any replica failed.
+//   report=<path>          aggregate campaign report JSON
+// The aggregate CSV/JSON bytes are bit-identical for every --jobs value.
+// Exit status is nonzero if any replica failed.
 //
 // Examples:
 //   mcs_sim occupancy=0.9 scheduler=power-aware seconds=20 out=run.csv
+//   mcs_sim occupancy=0.9 --trace run.trace.json --report run.report.json
 //   mcs_sim --sweep examples/configs/e1_sweep.cfg --jobs 8 out=sweep.csv
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -38,19 +48,26 @@
 #include "core/system_factory.hpp"
 #include "runner/campaign_runner.hpp"
 #include "runner/result_sink.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/tracer.hpp"
 #include "util/csv.hpp"
+#include "util/require.hpp"
 
 using namespace mcs;
 
 namespace {
 
-/// Rewrites "--sweep X" / "--jobs N" flag pairs into the key=value form the
-/// Config parser consumes; all other tokens pass through untouched.
+/// Rewrites "--flag value" pairs into the key=value form the Config parser
+/// consumes; all other tokens pass through untouched.
 std::vector<std::string> normalize_args(int argc, char** argv) {
     std::vector<std::string> out;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if ((arg == "--sweep" || arg == "--jobs") && i + 1 < argc) {
+        if (arg == "--out-dir" && i + 1 < argc) {
+            out.push_back(std::string("out_dir=") + argv[++i]);
+        } else if ((arg == "--sweep" || arg == "--jobs" || arg == "--trace" ||
+                    arg == "--report" || arg == "--out") &&
+                   i + 1 < argc) {
             out.push_back(arg.substr(2) + "=" + argv[++i]);
         } else {
             out.push_back(arg);
@@ -59,19 +76,53 @@ std::vector<std::string> normalize_args(int argc, char** argv) {
     return out;
 }
 
+/// Routes a relative output path through out_dir (creating it on demand);
+/// absolute paths and empty paths pass through untouched.
+std::string resolve_out(const std::string& out_dir, const std::string& path) {
+    if (path.empty() || out_dir.empty() || out_dir == ".") {
+        return path;
+    }
+    const std::filesystem::path p(path);
+    if (p.is_absolute()) {
+        return path;
+    }
+    std::filesystem::create_directories(out_dir);
+    return (std::filesystem::path(out_dir) / p).string();
+}
+
+/// Writes the event trace; the format follows the file extension
+/// (*.jsonl -> JSONL, anything else -> Chrome-trace JSON).
+void write_trace_file(const telemetry::Tracer& tracer,
+                      const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    MCS_REQUIRE(out.is_open(), "cannot open trace file: " + path);
+    if (path.size() >= 6 && path.ends_with(".jsonl")) {
+        tracer.write_jsonl(out);
+    } else {
+        tracer.write_chrome_json(out);
+    }
+    MCS_REQUIRE(out.good(), "write failed: " + path);
+}
+
 int run_sweep(const Config& args) {
     const std::string spec_path = args.get_string("sweep", "");
     Config merged = Config::from_file(spec_path);
     merged.merge(args);  // command line wins
     const int jobs = static_cast<int>(merged.get_int("jobs", 0));
-    const std::string out = merged.get_string("out", "");
-    const std::string replica_out = merged.get_string("replica_out", "");
+    const std::string out_dir = merged.get_string("out_dir", "build/out");
+    const std::string out = resolve_out(out_dir, merged.get_string("out", ""));
+    const std::string replica_out =
+        resolve_out(out_dir, merged.get_string("replica_out", ""));
+    const std::string report =
+        resolve_out(out_dir, merged.get_string("report", ""));
     const bool quiet = merged.get_bool("quiet", false);
     // CLI-only keys the replica config must not see.
     Config spec_cfg;
     for (const auto& [key, value] : merged.entries()) {
         if (key != "out" && key != "replica_out" && key != "trace" &&
-            key != "quiet" && key != "config") {
+            key != "trace_capacity" && key != "power_trace" &&
+            key != "report" && key != "out_dir" && key != "quiet" &&
+            key != "config") {
             spec_cfg.set(key, value);
         }
     }
@@ -111,13 +162,28 @@ int run_sweep(const Config& args) {
             std::printf("replica CSV written to %s\n", replica_out.c_str());
         }
     }
+    if (!report.empty()) {
+        write_campaign_report_json(result, report);
+        if (!quiet) {
+            std::printf("campaign report written to %s\n", report.c_str());
+        }
+    }
     return result.failed_count() == 0 ? 0 : 1;
 }
 
 int run_single(const Config& args) {
     const double seconds = args.get_double("seconds", 10.0);
-    const std::string out = args.get_string("out", "");
-    const std::string trace = args.get_string("trace", "");
+    const std::string out_dir = args.get_string("out_dir", "build/out");
+    const std::string out = resolve_out(out_dir, args.get_string("out", ""));
+    const std::string trace =
+        resolve_out(out_dir, args.get_string("trace", ""));
+    const std::string report =
+        resolve_out(out_dir, args.get_string("report", ""));
+    const std::string power_trace =
+        resolve_out(out_dir, args.get_string("power_trace", ""));
+    const auto trace_capacity = static_cast<std::size_t>(args.get_int(
+        "trace_capacity",
+        static_cast<std::int64_t>(telemetry::Tracer::kDefaultCapacity)));
     const bool quiet = args.get_bool("quiet", false);
 
     const SystemConfig cfg = system_config_from(args);
@@ -130,10 +196,15 @@ int run_single(const Config& args) {
     }
 
     ManycoreSystem sys(cfg);
-    std::optional<CsvWriter> trace_csv;
+    std::optional<telemetry::Tracer> tracer;
     if (!trace.empty()) {
+        tracer.emplace(trace_capacity);
+        sys.set_tracer(&*tracer);
+    }
+    std::optional<CsvWriter> trace_csv;
+    if (!power_trace.empty()) {
         trace_csv.emplace(
-            trace,
+            power_trace,
             std::vector<std::string>{"t_s", "workload_w", "test_w",
                                      "other_w", "total_w", "tdp_w",
                                      "busy", "testing", "dark",
@@ -158,9 +229,24 @@ int run_single(const Config& args) {
             std::printf("\nmetrics written to %s\n", out.c_str());
         }
     }
+    if (!report.empty()) {
+        telemetry::write_run_report_file(m, &sys.registry(), report);
+        if (!quiet) {
+            std::printf("run report written to %s\n", report.c_str());
+        }
+    }
+    if (tracer) {
+        write_trace_file(*tracer, trace);
+        if (!quiet) {
+            std::printf("event trace written to %s (%zu events, %llu "
+                        "dropped)\n",
+                        trace.c_str(), tracer->size(),
+                        static_cast<unsigned long long>(tracer->dropped()));
+        }
+    }
     if (trace_csv && !quiet) {
-        std::printf("trace written to %s (%zu samples)\n", trace.c_str(),
-                    trace_csv->rows_written());
+        std::printf("power trace written to %s (%zu samples)\n",
+                    power_trace.c_str(), trace_csv->rows_written());
     }
     return 0;
 }
