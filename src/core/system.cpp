@@ -935,9 +935,11 @@ RunMetrics ManycoreSystem::finalize() {
     m.dvfs_boost_steps = power_mgr_.boost_steps();
 
     scheduler_->export_telemetry(registry_);
-    registry_.gauge("system.peak_temp_c").set(peak_temp_c_);
-    registry_.gauge("system.mean_power_w").set(m.mean_power_w);
-    registry_.gauge("system.mean_chip_utilization")
+    registry_.gauge("system.peak_temp_c", telemetry::GaugeMerge::Max)
+        .set(peak_temp_c_);
+    registry_.gauge("system.mean_power_w", telemetry::GaugeMerge::Mean)
+        .set(m.mean_power_w);
+    registry_.gauge("system.mean_chip_utilization", telemetry::GaugeMerge::Mean)
         .set(m.mean_chip_utilization);
     return m;
 }

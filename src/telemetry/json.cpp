@@ -1,9 +1,10 @@
 #include "telemetry/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <system_error>
 
 #include "util/require.hpp"
 
@@ -13,17 +14,13 @@ std::string json_number(double v) {
     if (!std::isfinite(v)) {
         return "null";  // JSON has no NaN/inf literal
     }
+    // std::to_chars emits the shortest decimal that round-trips and is
+    // locale-independent (snprintf honours LC_NUMERIC, which would break
+    // the byte-determinism contract inside a setlocale()d host process).
     char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    // Prefer the shortest representation that round-trips.
-    for (int precision = 1; precision < 17; ++precision) {
-        char candidate[32];
-        std::snprintf(candidate, sizeof candidate, "%.*g", precision, v);
-        if (std::strtod(candidate, nullptr) == v) {
-            return candidate;
-        }
-    }
-    return buf;
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    MCS_REQUIRE(res.ec == std::errc{}, "json_number: to_chars failed");
+    return std::string(buf, res.ptr);
 }
 
 std::string json_escape(std::string_view s) {
@@ -297,10 +294,13 @@ private:
     JsonValue parse_number() {
         skip_ws();
         const char* begin = text_.data() + pos_;
-        char* end = nullptr;
-        const double d = std::strtod(begin, &end);
-        MCS_REQUIRE(end != begin, "malformed JSON number");
-        pos_ += static_cast<std::size_t>(end - begin);
+        const char* end = text_.data() + text_.size();
+        double d = 0.0;
+        // std::from_chars is locale-independent, unlike strtod, which
+        // would misparse "1.5" under a comma-decimal LC_NUMERIC.
+        const auto res = std::from_chars(begin, end, d);
+        MCS_REQUIRE(res.ec == std::errc{}, "malformed JSON number");
+        pos_ += static_cast<std::size_t>(res.ptr - begin);
         JsonValue v;
         v.kind = JsonValue::Kind::Number;
         v.number = d;

@@ -1,8 +1,35 @@
 #include "telemetry/metrics_registry.hpp"
 
+#include <algorithm>
+
 #include "util/require.hpp"
 
 namespace mcs::telemetry {
+
+void Gauge::merge(const Gauge& other) {
+    MCS_REQUIRE(merge_ == other.merge_,
+                "cannot merge gauges with different merge policies");
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    switch (merge_) {
+        case GaugeMerge::Sum:
+        case GaugeMerge::Mean:
+            value_ += other.value_;
+            break;
+        case GaugeMerge::Max:
+            value_ = std::max(value_, other.value_);
+            break;
+        case GaugeMerge::Min:
+            value_ = std::min(value_, other.value_);
+            break;
+    }
+    count_ += other.count_;
+}
 
 Counter& MetricsRegistry::counter(std::string_view name) {
     const auto it = counters_.find(name);
@@ -12,12 +39,15 @@ Counter& MetricsRegistry::counter(std::string_view name) {
     return counters_.emplace(std::string(name), Counter{}).first->second;
 }
 
-Gauge& MetricsRegistry::gauge(std::string_view name) {
+Gauge& MetricsRegistry::gauge(std::string_view name, GaugeMerge merge) {
     const auto it = gauges_.find(name);
     if (it != gauges_.end()) {
+        MCS_REQUIRE(it->second.merge_policy() == merge,
+                    "gauge re-registered with a different merge policy: " +
+                        std::string(name));
         return it->second;
     }
-    return gauges_.emplace(std::string(name), Gauge{}).first->second;
+    return gauges_.emplace(std::string(name), Gauge{merge}).first->second;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
@@ -54,7 +84,7 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
         counter(name).inc(c.value());
     }
     for (const auto& [name, g] : other.gauges_) {
-        gauge(name).add(g.value());
+        gauge(name, g.merge_policy()).merge(g);
     }
     for (const auto& [name, h] : other.histograms_) {
         const auto it = histograms_.find(name);

@@ -6,9 +6,10 @@
 // a plain increment -- no name lookup, no locking, no allocation.
 //
 // Determinism contract: iteration and JSON export are sorted by name, and
-// merge() is associative and commutative (counters and gauges add,
-// histograms add bin-wise), so aggregating per-replica registries yields
-// the same bytes regardless of merge order or worker count.
+// merge() is associative and commutative (counters add, gauges combine
+// per their declared GaugeMerge policy, histograms add bin-wise), so
+// aggregating per-replica registries yields the same bytes regardless of
+// merge order or worker count.
 
 #include <cstdint>
 #include <map>
@@ -30,15 +31,50 @@ private:
     std::uint64_t value_ = 0;
 };
 
-/// Last-written scalar (plus an add() for merge-friendly accumulation).
+/// How a gauge combines across registries (campaign aggregation). Every
+/// policy is associative and commutative, so the merged value is
+/// independent of merge order and worker count. Last-value gauges must
+/// declare Max/Min/Mean -- blindly summing a peak temperature or a mean
+/// power across replicas would be meaningless.
+enum class GaugeMerge {
+    Sum,   ///< accumulations (energy, time shares): merge adds
+    Max,   ///< peaks (e.g. system.peak_temp_c): merge takes the max
+    Min,   ///< troughs: merge takes the min
+    Mean,  ///< per-run averages (e.g. system.mean_power_w): merge yields
+           ///< the observation-count-weighted mean
+};
+
+/// Last-written scalar (plus an add() for accumulation) with a merge
+/// policy fixed at construction.
 class Gauge {
 public:
-    void set(double v) noexcept { value_ = v; }
-    void add(double v) noexcept { value_ += v; }
-    double value() const noexcept { return value_; }
+    explicit Gauge(GaugeMerge merge = GaugeMerge::Sum) noexcept
+        : merge_(merge) {}
+    /// Replaces the value (last write wins within one run).
+    void set(double v) noexcept {
+        value_ = v;
+        count_ = 1;
+    }
+    /// Accumulates into the current value.
+    void add(double v) noexcept {
+        value_ += v;
+        count_ = count_ == 0 ? 1 : count_;
+    }
+    double value() const noexcept {
+        if (merge_ == GaugeMerge::Mean && count_ > 1) {
+            return value_ / static_cast<double>(count_);
+        }
+        return value_;
+    }
+    GaugeMerge merge_policy() const noexcept { return merge_; }
+    /// Policy-directed merge; a never-written gauge is the identity
+    /// element for every policy.
+    void merge(const Gauge& other);
 
 private:
-    double value_ = 0.0;
+    GaugeMerge merge_ = GaugeMerge::Sum;
+    double value_ = 0.0;          ///< Mean policy: running sum
+    std::uint64_t count_ = 0;     ///< observations folded into value_
 };
 
 /// Name-addressed metric store. Metric names use dotted lowercase paths
@@ -53,7 +89,9 @@ public:
     /// Returns the metric with this name, creating it on first use. The
     /// reference stays valid for the registry's lifetime.
     Counter& counter(std::string_view name);
-    Gauge& gauge(std::string_view name);
+    /// A gauge's merge policy is fixed at first registration;
+    /// re-registering with a different policy throws RequireError.
+    Gauge& gauge(std::string_view name, GaugeMerge merge = GaugeMerge::Sum);
     /// Histogram layout (lo, hi, bins) is fixed at first registration;
     /// re-registering with a different layout throws RequireError.
     Histogram& histogram(std::string_view name, double lo, double hi,
@@ -67,9 +105,10 @@ public:
         return counters_.size() + gauges_.size() + histograms_.size();
     }
 
-    /// Deterministic merge: counters and gauges add, histograms merge
-    /// bin-wise (layouts must match). Metrics present only in `other` are
-    /// created here.
+    /// Deterministic merge: counters add, gauges combine per their
+    /// declared policy (policies must match), histograms merge bin-wise
+    /// (layouts must match). Metrics present only in `other` are created
+    /// here.
     void merge(const MetricsRegistry& other);
 
     /// Emits {"counters":{...},"gauges":{...},"histograms":{...}} sorted

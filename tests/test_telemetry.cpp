@@ -1,3 +1,4 @@
+#include <clocale>
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
@@ -36,6 +37,18 @@ TEST(JsonNumber, RoundTripsExactly) {
     }
     EXPECT_EQ(json_number(std::nan("")), "null");
     EXPECT_EQ(json_number(INFINITY), "null");
+}
+
+TEST(JsonNumber, IsLocaleIndependent) {
+    // snprintf/strtod honour LC_NUMERIC; charconv must not.
+    if (std::setlocale(LC_NUMERIC, "de_DE.UTF-8") == nullptr) {
+        GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+    }
+    const std::string text = json_number(0.5);
+    const double parsed = parse_json("1.25e2").number;
+    std::setlocale(LC_NUMERIC, "C");
+    EXPECT_EQ(text, "0.5");
+    EXPECT_DOUBLE_EQ(parsed, 125.0);
 }
 
 TEST(JsonWriter, EscapesAndNests) {
@@ -124,6 +137,50 @@ TEST(MetricsRegistry, MergeIsAssociative) {
     EXPECT_EQ(left_first.counter("only_in_b").value(), 7u);
     EXPECT_DOUBLE_EQ(left_first.gauge("energy_j").value(), 3.75);
     EXPECT_EQ(left_first.histogram("latency", 0.0, 10.0, 5).total(), 3u);
+}
+
+TEST(Gauge, MergeFollowsDeclaredPolicy) {
+    Gauge max_a(GaugeMerge::Max), max_b(GaugeMerge::Max);
+    max_a.set(71.5);
+    max_b.set(68.0);
+    max_a.merge(max_b);
+    EXPECT_DOUBLE_EQ(max_a.value(), 71.5);
+
+    Gauge mean_a(GaugeMerge::Mean), mean_b(GaugeMerge::Mean);
+    Gauge mean_c(GaugeMerge::Mean);
+    mean_a.set(10.0);
+    mean_b.set(20.0);
+    mean_c.set(60.0);
+    mean_b.merge(mean_c);  // mean(20, 60), weight 2
+    mean_a.merge(mean_b);  // mean(10, 20, 60)
+    EXPECT_DOUBLE_EQ(mean_a.value(), 30.0);
+
+    Gauge min_a(GaugeMerge::Min), unset(GaugeMerge::Min);
+    min_a.set(-3.0);
+    min_a.merge(unset);  // a never-written gauge is the identity
+    EXPECT_DOUBLE_EQ(min_a.value(), -3.0);
+    unset.merge(min_a);
+    EXPECT_DOUBLE_EQ(unset.value(), -3.0);
+
+    Gauge sum(GaugeMerge::Sum);
+    EXPECT_THROW(sum.merge(min_a), RequireError);
+}
+
+TEST(MetricsRegistry, GaugePolicyIsFixedAtFirstRegistration) {
+    MetricsRegistry r;
+    r.gauge("system.peak_temp_c", GaugeMerge::Max).set(70.0);
+    EXPECT_THROW(r.gauge("system.peak_temp_c"), RequireError);  // Sum != Max
+
+    // Replica aggregation: peaks max, per-run means average.
+    MetricsRegistry other;
+    other.gauge("system.peak_temp_c", GaugeMerge::Max).set(75.0);
+    other.gauge("system.mean_power_w", GaugeMerge::Mean).set(40.0);
+    r.gauge("system.mean_power_w", GaugeMerge::Mean).set(60.0);
+    r.merge(other);
+    EXPECT_DOUBLE_EQ(r.gauge("system.peak_temp_c", GaugeMerge::Max).value(),
+                     75.0);
+    EXPECT_DOUBLE_EQ(r.gauge("system.mean_power_w", GaugeMerge::Mean).value(),
+                     50.0);
 }
 
 TEST(Tracer, RingBufferWrapsAndCountsDrops) {

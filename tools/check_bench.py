@@ -16,7 +16,10 @@ Two classes of checks:
   * Wall time: machines differ in absolute speed, so per-bench wall-time
     ratios (new/baseline) are normalized by the median ratio across all
     benches (the machine-speed factor). A bench whose normalized ratio
-    exceeds 1 + --wall-tolerance regressed relative to its peers.
+    exceeds 1 + --wall-tolerance regressed relative to its peers. Because
+    sub-second --quick runs on shared runners are noisy, this check is
+    advisory by default (--wall-mode warn); pass --wall-mode gate to make
+    it blocking for longer local runs.
 
 Exit code 0 if everything passes, 1 on any failure, 2 on usage errors.
 
@@ -41,7 +44,15 @@ def load_reports(directory):
         with open(path, "r", encoding="utf-8") as f:
             data = json.load(f)
         if data.get("schema") != SCHEMA:
-            raise ValueError(f"{path}: unexpected schema {data.get('schema')!r}")
+            # Other tools drop JSON in the same directory (e.g. google
+            # benchmark's --benchmark_out); skip anything that is not a
+            # bench report rather than crashing the gate.
+            print(
+                f"warning: skipping {path}: schema "
+                f"{data.get('schema')!r} != {SCHEMA!r}",
+                file=sys.stderr,
+            )
+            continue
         reports[data["bench"]] = (path, data)
     return reports
 
@@ -85,7 +96,10 @@ def check_metrics(name, base, new, tol, failures):
             )
 
 
-def check_wall(pairs, tolerance, failures):
+def check_wall(pairs, tolerance, mode, failures):
+    if mode == "off":
+        print("wall-time check disabled (--wall-mode off)")
+        return
     ratios = {}
     for name, (base, new) in pairs.items():
         b = base.get("wall_s", 0.0)
@@ -99,15 +113,21 @@ def check_wall(pairs, tolerance, failures):
         return
     speed = sorted(ratios.values())[len(ratios) // 2]
     print(f"machine-speed factor (median wall ratio): {speed:.3f}")
+    blocking = mode == "gate"
     for name, ratio in sorted(ratios.items()):
         normalized = ratio / speed
-        marker = "FAIL" if normalized > 1.0 + tolerance else "ok"
+        slow = normalized > 1.0 + tolerance
+        marker = ("FAIL" if blocking else "WARN") if slow else "ok"
         print(f"  {name:28s} ratio {ratio:6.3f}  normalized {normalized:6.3f}  {marker}")
-        if normalized > 1.0 + tolerance:
-            failures.append(
+        if slow:
+            msg = (
                 f"{name}: wall time regressed {normalized - 1.0:.1%} vs peers "
                 f"(> {tolerance:.0%})"
             )
+            if blocking:
+                failures.append(msg)
+            else:
+                print(f"warning: {msg}", file=sys.stderr)
 
 
 def main():
@@ -125,6 +145,14 @@ def main():
         type=float,
         default=0.15,
         help="max normalized wall-time regression (default 0.15 = 15%%)",
+    )
+    ap.add_argument(
+        "--wall-mode",
+        choices=["gate", "warn", "off"],
+        default="warn",
+        help="wall-time check: 'gate' fails the run, 'warn' (default) only "
+        "prints -- sub-second --quick runs on shared CI runners are too "
+        "noisy for a blocking 15%% gate -- 'off' skips it entirely",
     )
     ap.add_argument(
         "--update",
@@ -164,7 +192,7 @@ def main():
     }
     for name, (b, n) in pairs.items():
         check_metrics(name, b, n, args.metric_tolerance, failures)
-    check_wall(pairs, args.wall_tolerance, failures)
+    check_wall(pairs, args.wall_tolerance, args.wall_mode, failures)
 
     if failures:
         print(f"\n{len(failures)} bench gate failure(s):", file=sys.stderr)

@@ -26,8 +26,13 @@
 //   out=<path>             aggregate CSV (mean/stddev/ci95 per cell)
 //   replica_out=<path>     per-replica CSV
 //   report=<path>          aggregate campaign report JSON
+//   out_dir=<dir>          as in single-run mode (default build/out)
 // The aggregate CSV/JSON bytes are bit-identical for every --jobs value.
 // Exit status is nonzero if any replica failed.
+//
+// NOTE: in both modes, RELATIVE output paths land under out_dir -- by
+// default `out=sweep.csv` writes build/out/sweep.csv, not ./sweep.csv.
+// Pass out_dir=. (or --out-dir .) to write into the current directory.
 //
 // Examples:
 //   mcs_sim occupancy=0.9 scheduler=power-aware seconds=20 out=run.csv
