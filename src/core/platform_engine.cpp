@@ -1,0 +1,216 @@
+#include "core/platform_engine.hpp"
+
+#include <algorithm>
+
+#include "core/system.hpp"
+#include "core/test_engine.hpp"
+#include "util/require.hpp"
+
+namespace mcs {
+
+namespace {
+
+ActivityFactors activity_with_suite(ActivityFactors base,
+                                    const TestSuite& suite) {
+    // Keep the power model's test activity consistent with the SBST library
+    // actually executed.
+    base.test = suite.mean_activity();
+    return base;
+}
+
+}  // namespace
+
+PlatformEngine::PlatformEngine(SystemContext& ctx)
+    : ctx_(ctx),
+      power_model_(ctx.chip.tech(), ctx.chip.vf_table(),
+                   activity_with_suite(ctx.cfg.activity, ctx.suite)),
+      power_mgr_(ctx.chip, power_model_, ctx.budget, ctx.cfg.power),
+      thermal_(ctx.cfg.width, ctx.cfg.height, ctx.cfg.thermal),
+      aging_(ctx.chip.core_count(), ctx.cfg.aging),
+      crit_eval_(ctx.cfg.criticality) {
+    if (ctx_.cfg.enable_fault_injection) {
+        faults_.emplace(ctx_.chip.core_count(), ctx_.cfg.faults,
+                        ctx_.cfg.seed ^ 0x94d049bb133111ebULL);
+    }
+    crit_buf_.assign(ctx_.chip.core_count(), 0.0);
+    power_mgr_.set_telemetry(nullptr, &ctx_.registry);
+    ctx_.power_model = &power_model_;
+    ctx_.power_mgr = &power_mgr_;
+    ctx_.thermal = &thermal_;
+    ctx_.aging = &aging_;
+    ctx_.crit_eval = &crit_eval_;
+    ctx_.faults = faults_ ? &*faults_ : nullptr;
+    ctx_.platform = this;
+}
+
+const std::vector<double>& PlatformEngine::refresh_criticality(SimTime now) {
+    crit_buf_ = crit_eval_.evaluate_chip(ctx_.chip, now, aging_.damage_all());
+    return crit_buf_;
+}
+
+double PlatformEngine::core_power_now(const Core& core) const {
+    return power_model_.core_power_w(core.state(), core.vf_level(),
+                                     thermal_.temp_c(core.id()));
+}
+
+double PlatformEngine::noc_power_w() const {
+    return ctx_.noc.routers_idle_power_w() +
+           static_cast<double>(ctx_.test->link_tests_running()) *
+               ctx_.cfg.noc_test.test_power_w;
+}
+
+void PlatformEngine::accumulate_energy(SimTime now) {
+    MCS_REQUIRE(now >= energy_clock_, "energy clock going backwards");
+    const double dt_s = to_seconds(now - energy_clock_);
+    energy_clock_ = now;
+    if (dt_s <= 0.0) {
+        return;
+    }
+    link_test_energy_j_ +=
+        static_cast<double>(ctx_.test->link_tests_running()) *
+        ctx_.cfg.noc_test.test_power_w * dt_s;
+    for (const Core& c : ctx_.chip.cores()) {
+        const double p = core_power_now(c);
+        switch (c.state()) {
+            case CoreState::Busy:
+                ctx_.metrics.energy_busy_j += p * dt_s;
+                break;
+            case CoreState::Testing:
+                ctx_.metrics.energy_test_j += p * dt_s;
+                break;
+            default:
+                ctx_.metrics.energy_idle_j += p * dt_s;
+                break;
+        }
+    }
+}
+
+void PlatformEngine::power_epoch() {
+    accumulate_energy(ctx_.sim.now());
+    ctx_.noc.roll_window();
+    power_mgr_.control_epoch(ctx_.sim.now(), thermal_.temps_c(),
+                             noc_power_w());
+}
+
+void PlatformEngine::thermal_epoch() {
+    power_buf_.resize(ctx_.chip.core_count());
+    for (const Core& c : ctx_.chip.cores()) {
+        power_buf_[c.id()] = core_power_now(c);
+    }
+    thermal_.step(power_buf_, to_seconds(ctx_.cfg.thermal_epoch));
+    peak_temp_c_ = std::max(peak_temp_c_, thermal_.max_temp_c());
+}
+
+void PlatformEngine::wear_epoch() {
+    const SimTime now = ctx_.sim.now();
+    ctx_.chip.checkpoint_all(now);
+    for (const Core& c : ctx_.chip.cores()) {
+        ++state_samples_;
+        dark_samples_ += c.state() == CoreState::Dark ? 1 : 0;
+        testing_samples_ += c.state() == CoreState::Testing ? 1 : 0;
+        reserved_samples_ += c.reserved() ? 1 : 0;
+    }
+    aging_.update(now, ctx_.chip, thermal_.temps_c());
+    if (faults_) {
+        accel_buf_.resize(ctx_.chip.core_count());
+        for (std::size_t i = 0; i < accel_buf_.size(); ++i) {
+            accel_buf_[i] =
+                aging_.fault_acceleration(static_cast<CoreId>(i));
+        }
+        const auto fresh = faults_->step(
+            now, to_seconds(ctx_.cfg.wear_epoch), ctx_.chip, accel_buf_);
+        // A new fault invalidates any partial segmented-suite progress on
+        // the core: those routines ran on a then-healthy core.
+        for (CoreId id : fresh) {
+            ctx_.test->invalidate_progress(id);
+        }
+    }
+    ctx_.test->wear_step(now, to_seconds(ctx_.cfg.wear_epoch));
+}
+
+void PlatformEngine::trace_epoch() {
+    if (!ctx_.observers.wants_trace_samples()) {
+        return;
+    }
+    TraceSample s;
+    s.time = ctx_.sim.now();
+    s.tdp_w = ctx_.budget.tdp_w();
+    for (const Core& c : ctx_.chip.cores()) {
+        const double p = core_power_now(c);
+        s.total_power_w += p;
+        switch (c.state()) {
+            case CoreState::Busy:
+                s.workload_power_w += p;
+                ++s.cores_busy;
+                break;
+            case CoreState::Testing:
+                s.test_power_w += p;
+                ++s.cores_testing;
+                break;
+            case CoreState::Dark:
+                s.other_power_w += p;
+                ++s.cores_dark;
+                break;
+            default:
+                s.other_power_w += p;
+                break;
+        }
+    }
+    const double noc_now = noc_power_w();
+    s.total_power_w += noc_now;
+    s.other_power_w += noc_now;
+    s.max_temp_c = thermal_.max_temp_c();
+    ctx_.observers.trace_sample(s);
+}
+
+void PlatformEngine::finalize_into(RunMetrics& m, SimTime end) {
+    const double secs = to_seconds(end);
+    if (state_samples_ > 0) {
+        m.mean_dark_fraction = static_cast<double>(dark_samples_) /
+                               static_cast<double>(state_samples_);
+        m.mean_testing_fraction = static_cast<double>(testing_samples_) /
+                                  static_cast<double>(state_samples_);
+        m.mean_reserved_fraction = static_cast<double>(reserved_samples_) /
+                                   static_cast<double>(state_samples_);
+    }
+
+    m.tdp_w = ctx_.budget.tdp_w();
+    m.mean_power_w = ctx_.budget.power_stats().mean();
+    m.max_power_w = ctx_.budget.power_stats().max();
+    m.power_samples = ctx_.budget.samples();
+    m.tdp_violations = ctx_.budget.violations();
+    m.tdp_violation_rate = ctx_.budget.violation_rate();
+    m.worst_overshoot_w = ctx_.budget.worst_overshoot_w();
+
+    m.energy_noc_j = ctx_.noc.total_energy_j() +
+                     ctx_.noc.routers_idle_power_w() * secs +
+                     link_test_energy_j_;
+    m.energy_total_j = m.energy_busy_j + m.energy_test_j + m.energy_idle_j +
+                       m.energy_noc_j;
+    m.test_energy_share =
+        m.energy_total_j > 0.0 ? m.energy_test_j / m.energy_total_j : 0.0;
+
+    if (faults_) {
+        m.faults_injected = faults_->injected_count();
+        m.faults_detected = faults_->detected_count();
+        m.test_escapes = faults_->escaped_tests();
+        m.corrupted_tasks = faults_->corrupted_tasks();
+    }
+
+    m.noc_mean_utilization = ctx_.noc.mean_utilization();
+    m.noc_peak_utilization = ctx_.noc.peak_utilization();
+    m.noc_messages = ctx_.noc.messages_sent();
+
+    m.peak_temp_c = peak_temp_c_;
+    m.mean_damage = aging_.mean_damage();
+    m.max_damage = aging_.max_damage();
+    m.damage_imbalance =
+        m.mean_damage > 0.0
+            ? (m.max_damage - aging_.min_damage()) / m.mean_damage
+            : 0.0;
+
+    m.dvfs_throttle_steps = power_mgr_.throttle_steps();
+    m.dvfs_boost_steps = power_mgr_.boost_steps();
+}
+
+}  // namespace mcs

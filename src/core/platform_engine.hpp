@@ -1,0 +1,90 @@
+#pragma once
+
+// PlatformEngine: the power-managed substrate (ICCD'14 companion). Owns
+// the power model + PID capping manager, thermal and aging models, the
+// criticality evaluator, and the optional fault injector; drives the
+// periodic power / thermal / wear / trace epochs and the run's energy and
+// state-residency accounting. Policies (mapping, test scheduling) live in
+// the sibling engines and see this substrate only through SystemContext.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "aging/aging_model.hpp"
+#include "aging/criticality.hpp"
+#include "core/system_context.hpp"
+#include "power/power_manager.hpp"
+#include "power/power_model.hpp"
+#include "sbst/fault_model.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace mcs {
+
+class PlatformEngine {
+public:
+    /// Builds the substrate components from `ctx.cfg` and registers them
+    /// (power model/manager, thermal, aging, criticality, faults) in `ctx`.
+    explicit PlatformEngine(SystemContext& ctx);
+    PlatformEngine(const PlatformEngine&) = delete;
+    PlatformEngine& operator=(const PlatformEngine&) = delete;
+
+    // --- periodic controller epochs (wired to Simulator::every by the
+    //     façade, in its canonical registration order) ---
+    void power_epoch();
+    void thermal_epoch();
+    void wear_epoch();
+    void trace_epoch();
+
+    // --- substrate services for the sibling engines ---
+    /// Re-evaluates per-core test criticality at `now` and returns the
+    /// shared buffer (valid until the next refresh).
+    const std::vector<double>& refresh_criticality(SimTime now);
+    const std::vector<double>& criticality() const noexcept {
+        return crit_buf_;
+    }
+    /// Current power draw of one core through the power model.
+    double core_power_now(const Core& core) const;
+    /// NoC static power plus in-flight link-test power.
+    double noc_power_w() const;
+    /// Integrates the per-state energy split up to `now`.
+    void accumulate_energy(SimTime now);
+
+    PowerManager& power_manager() noexcept { return power_mgr_; }
+    ThermalModel& thermal() noexcept { return thermal_; }
+    const AgingTracker& aging_tracker() const noexcept { return aging_; }
+    const FaultInjector* fault_injector() const noexcept {
+        return faults_ ? &*faults_ : nullptr;
+    }
+    double peak_temp_c() const noexcept { return peak_temp_c_; }
+
+    /// Writes the platform-owned slice of the end-of-run metrics
+    /// (state-residency fractions, power/energy, thermal, aging, faults,
+    /// DVFS actuation counts).
+    void finalize_into(RunMetrics& m, SimTime end);
+
+private:
+    SystemContext& ctx_;
+    PowerModel power_model_;
+    PowerManager power_mgr_;
+    ThermalModel thermal_;
+    AgingTracker aging_;
+    CriticalityEvaluator crit_eval_;
+    std::optional<FaultInjector> faults_;
+
+    // scratch buffers (reused across periodic epochs)
+    std::vector<double> power_buf_;
+    std::vector<double> accel_buf_;
+    std::vector<double> crit_buf_;
+
+    // accumulators
+    std::uint64_t state_samples_ = 0;
+    std::uint64_t dark_samples_ = 0;
+    std::uint64_t testing_samples_ = 0;
+    std::uint64_t reserved_samples_ = 0;
+    SimTime energy_clock_ = 0;
+    double link_test_energy_j_ = 0.0;
+    double peak_temp_c_ = 0.0;
+};
+
+}  // namespace mcs

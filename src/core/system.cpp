@@ -1,8 +1,10 @@
 #include "core/system.hpp"
 
-#include <algorithm>
-#include <cmath>
-
+#include "core/platform_engine.hpp"
+#include "core/system_context.hpp"
+#include "core/test_engine.hpp"
+#include "core/workload_engine.hpp"
+#include "telemetry/observer_adapter.hpp"
 #include "util/require.hpp"
 
 namespace mcs {
@@ -29,919 +31,137 @@ const char* to_string(MapperKind kind) {
     return "?";
 }
 
-namespace {
-
-std::unique_ptr<Mapper> make_mapper(const SystemConfig& cfg) {
-    if (cfg.mapper_factory) {
-        auto mapper = cfg.mapper_factory();
-        MCS_REQUIRE(mapper != nullptr, "mapper factory returned null");
-        return mapper;
-    }
-    switch (cfg.mapper) {
-        case MapperKind::TestAware:
-            return std::make_unique<ContiguousMapper>(
-                ContiguousMapper::test_aware());
-        case MapperKind::ThermalAware:
-            return std::make_unique<ContiguousMapper>(
-                ContiguousMapper::thermal_aware());
-        case MapperKind::UtilizationOriented:
-            return std::make_unique<ContiguousMapper>(
-                ContiguousMapper::utilization_oriented());
-        case MapperKind::Contiguous:
-            return std::make_unique<ContiguousMapper>(
-                ContiguousMapper::plain());
-        case MapperKind::Random:
-            return std::make_unique<RandomMapper>();
-        case MapperKind::FirstFit:
-            return std::make_unique<FirstFitMapper>();
-    }
-    MCS_REQUIRE(false, "unknown mapper kind");
-    return nullptr;
-}
-
-std::unique_ptr<TestScheduler> make_scheduler(const SystemConfig& cfg) {
-    if (cfg.scheduler_factory) {
-        auto scheduler = cfg.scheduler_factory();
-        MCS_REQUIRE(scheduler != nullptr, "scheduler factory returned null");
-        return scheduler;
-    }
-    switch (cfg.scheduler) {
-        case SchedulerKind::PowerAware:
-            return std::make_unique<PowerAwareTestScheduler>(cfg.power_aware);
-        case SchedulerKind::Periodic:
-            return std::make_unique<PeriodicTestScheduler>(
-                cfg.periodic_test_period);
-        case SchedulerKind::Greedy:
-            return std::make_unique<GreedyTestScheduler>();
-        case SchedulerKind::None:
-            return std::make_unique<NullTestScheduler>();
-    }
-    MCS_REQUIRE(false, "unknown scheduler kind");
-    return nullptr;
-}
-
-ActivityFactors activity_with_suite(ActivityFactors base,
-                                    const TestSuite& suite) {
-    // Keep the power model's test activity consistent with the SBST library
-    // actually executed.
-    base.test = suite.mean_activity();
-    return base;
-}
-
-NocParams noc_synced(NocParams noc, SimDuration power_epoch) {
-    // The utilization window rolls at the power epoch.
-    noc.util_window = power_epoch;
-    return noc;
-}
-
-TechnologyParams scaled_tech(TechNode node, double tdp_scale) {
-    MCS_REQUIRE(tdp_scale > 0.0, "tdp_scale must be positive");
-    TechnologyParams t = technology(node);
-    t.tdp_fraction *= tdp_scale;
-    return t;
-}
-
-}  // namespace
-
+// Composition order matters: the context owns the substrate, the platform
+// engine registers the power/thermal/aging components the other two
+// engines resolve through the context, and the telemetry adapter joins the
+// observer hub last (it is the first -- and usually only -- observer).
 ManycoreSystem::ManycoreSystem(SystemConfig cfg)
     : cfg_(std::move(cfg)),
-      chip_(cfg_.width, cfg_.height, scaled_tech(cfg_.node, cfg_.tdp_scale)),
-      noc_(cfg_.width, cfg_.height, noc_synced(cfg_.noc, cfg_.power_epoch)),
-      suite_(cfg_.suite ? *cfg_.suite : TestSuite::standard()),
-      power_model_(chip_.tech(), chip_.vf_table(),
-                   activity_with_suite(cfg_.activity, suite_)),
-      budget_(chip_.tdp_w()),
-      power_mgr_(chip_, power_model_, budget_, cfg_.power),
-      thermal_(cfg_.width, cfg_.height, cfg_.thermal),
-      aging_(chip_.core_count(), cfg_.aging),
-      crit_eval_(cfg_.criticality),
-      mapper_(make_mapper(cfg_)),
-      scheduler_(make_scheduler(cfg_)),
-      idle_predictor_(chip_.core_count()),
-      map_rng_(cfg_.seed ^ 0xa02bdbf7bb3c0a7ULL) {
-    if (cfg_.enable_fault_injection) {
-        faults_.emplace(chip_.core_count(), cfg_.faults,
-                        cfg_.seed ^ 0x94d049bb133111ebULL);
-    }
-    if (cfg_.enable_noc_testing) {
-        link_tester_.emplace(noc_.topology().link_count(), cfg_.noc_test,
-                             cfg_.seed ^ 0xd1b54a32d192ed03ULL);
-        last_link_test_.assign(noc_.topology().link_count(), 0);
-        link_test_active_.assign(noc_.topology().link_count(), 0);
-    }
-    power_mgr_.set_vf_change_listener(
-        [this](CoreId core, int old_level, int new_level) {
-            on_vf_change(core, old_level, new_level);
-        });
-    power_mgr_.set_priority_lookup([this](CoreId core) {
-        const CoreExec& ex = core_exec_[core];
-        return ex.active && !priority_blind_
-                   ? static_cast<int>(apps_[ex.app_index].spec.qos)
-                   : 0;
-    });
-    core_exec_.resize(chip_.core_count());
-    test_exec_.resize(chip_.core_count());
-    last_test_done_.assign(chip_.core_count(), 0);
-    last_test_abort_.assign(chip_.core_count(), 0);
-    test_progress_.assign(chip_.core_count(), 0);
-    alloc_buf_.assign(chip_.core_count(), 0);
-    testing_buf_.assign(chip_.core_count(), 0);
-    util_buf_.assign(chip_.core_count(), 0.0);
-    crit_buf_.assign(chip_.core_count(), 0.0);
-    metrics_.tests_per_vf_level.assign(chip_.vf_level_count(), 0);
-    metrics_.apps_completed_by_class.assign(kQosClassCount, 0);
-    metrics_.deadlines_met_by_class.assign(kQosClassCount, 0);
-    metrics_.deadlines_missed_by_class.assign(kQosClassCount, 0);
-    for (const Core& c : chip_.cores()) {
-        idle_predictor_.notify_available(c.id(), 0);
-    }
-    // Resolve hot-path metrics once; the references are stable for the
-    // registry's lifetime.
-    c_tests_started_ = &registry_.counter("system.test_sessions_started");
-    c_tests_completed_ = &registry_.counter("system.tests_completed");
-    c_tests_aborted_ = &registry_.counter("system.tests_aborted");
-    c_apps_mapped_ = &registry_.counter("system.apps_mapped");
-    c_apps_completed_ = &registry_.counter("system.apps_completed");
-    h_app_latency_ms_ =
-        &registry_.histogram("system.app_latency_ms", 0.0, 500.0, 50);
-    power_mgr_.set_telemetry(nullptr, &registry_);
+      ctx_(std::make_unique<SystemContext>(cfg_)),
+      platform_(std::make_unique<PlatformEngine>(*ctx_)),
+      workload_(std::make_unique<WorkloadEngine>(*ctx_)),
+      test_(std::make_unique<TestEngine>(*ctx_)),
+      telemetry_obs_(std::make_unique<telemetry::TelemetryObserver>(
+          ctx_->registry)) {
+    ctx_->observers.add(telemetry_obs_.get());
+}
+
+ManycoreSystem::~ManycoreSystem() = default;
+
+void ManycoreSystem::set_trace_sink(TraceSink sink) {
+    telemetry_obs_->set_trace_sink(std::move(sink));
 }
 
 void ManycoreSystem::set_tracer(telemetry::Tracer* tracer) {
     MCS_REQUIRE(!ran_, "set_tracer must precede run()");
-    tracer_ = tracer;
-    sim_.set_tracer(tracer);
-    power_mgr_.set_telemetry(tracer, &registry_);
+    ctx_->tracer = tracer;
+    ctx_->sim.set_tracer(tracer);
+    ctx_->power_mgr->set_telemetry(tracer, &ctx_->registry);
+    telemetry_obs_->set_tracer(tracer);
+}
+
+void ManycoreSystem::add_observer(SystemObserver* observer) {
+    ctx_->observers.add(observer);
+}
+
+void ManycoreSystem::remove_observer(SystemObserver* observer) {
+    ctx_->observers.remove(observer);
+}
+
+telemetry::MetricsRegistry& ManycoreSystem::registry() noexcept {
+    return ctx_->registry;
+}
+
+const telemetry::MetricsRegistry& ManycoreSystem::registry() const noexcept {
+    return ctx_->registry;
+}
+
+void ManycoreSystem::set_priority_blind(bool blind) {
+    MCS_REQUIRE(!ran_, "set_priority_blind must precede run()");
+    ctx_->priority_blind = blind;
 }
 
 RunMetrics ManycoreSystem::run(SimDuration horizon) {
     MCS_REQUIRE(!ran_, "ManycoreSystem::run may only be called once");
     MCS_REQUIRE(horizon > 0, "run horizon must be positive");
     ran_ = true;
-    prepare(horizon);
-    sim_.run_until(horizon);
+    workload_->admit_workload(horizon);
+    // Epoch registration order is part of the behavioral contract: at a
+    // shared timestamp the event queue breaks ties by insertion order.
+    ctx_->sim.every(cfg_.power_epoch,
+                    [this](SimTime) { platform_->power_epoch(); });
+    ctx_->sim.every(cfg_.thermal_epoch,
+                    [this](SimTime) { platform_->thermal_epoch(); });
+    ctx_->sim.every(cfg_.test_epoch,
+                    [this](SimTime) { test_->test_epoch(); });
+    ctx_->sim.every(cfg_.wear_epoch,
+                    [this](SimTime) { platform_->wear_epoch(); });
+    ctx_->sim.every(cfg_.trace_epoch,
+                    [this](SimTime) { platform_->trace_epoch(); });
+    ctx_->sim.run_until(horizon);
     return finalize();
 }
 
-void ManycoreSystem::prepare(SimDuration horizon) {
-    WorkloadGenerator wg(cfg_.workload, cfg_.seed ^ 0xbf58476d1ce4e5b9ULL);
-    auto specs = wg.generate(horizon);
-    apps_.reserve(specs.size());
-    for (auto& spec : specs) {
-        const std::size_t index = apps_.size();
-        const SimTime arrival = spec.arrival;
-        apps_.emplace_back(std::move(spec));
-        sim_.schedule_at(arrival, [this, index] { on_arrival(index); });
-    }
-    metrics_.apps_arrived = apps_.size();
-
-    sim_.every(cfg_.power_epoch, [this](SimTime) { power_epoch_fn(); });
-    sim_.every(cfg_.thermal_epoch, [this](SimTime) { thermal_epoch_fn(); });
-    sim_.every(cfg_.test_epoch, [this](SimTime) { test_epoch_fn(); });
-    sim_.every(cfg_.wear_epoch, [this](SimTime) { wear_epoch_fn(); });
-    sim_.every(cfg_.trace_epoch, [this](SimTime) { trace_epoch_fn(); });
-}
-
-// ---------------------------------------------------------------- workload
-
-void ManycoreSystem::set_priority_blind(bool blind) {
-    MCS_REQUIRE(!ran_, "set_priority_blind must precede run()");
-    priority_blind_ = blind;
-}
-
-void ManycoreSystem::on_arrival(std::size_t app_index) {
-    if (tracer_ != nullptr) {
-        tracer_->record(sim_.now(), telemetry::TraceCategory::Workload,
-                        telemetry::TracePhase::Instant, "app_arrival",
-                        0, static_cast<std::int64_t>(app_index),
-                        static_cast<std::int64_t>(
-                            apps_[app_index].spec.graph.size()));
-    }
-    const auto cls =
-        priority_blind_
-            ? std::size_t{0}
-            : static_cast<std::size_t>(apps_[app_index].spec.qos);
-    pending_[cls].push_back(app_index);
-    ++pending_total_;
-    try_map_pending();
-}
-
-PlatformView ManycoreSystem::build_view() {
-    const SimTime now = sim_.now();
-    for (const Core& c : chip_.cores()) {
-        bool ok = !c.reserved();
-        switch (c.state()) {
-            case CoreState::Idle:
-            case CoreState::Dark:
-                break;
-            case CoreState::Testing:
-                ok = ok && cfg_.abort_tests_for_mapping;
-                break;
-            case CoreState::Busy:
-            case CoreState::Faulty:
-                ok = false;
-                break;
-        }
-        alloc_buf_[c.id()] = ok ? 1 : 0;
-        testing_buf_[c.id()] = c.is_testing() ? 1 : 0;
-        util_buf_[c.id()] = c.busy_fraction(now);
-    }
-    refresh_criticality();
-    PlatformView view;
-    view.width = cfg_.width;
-    view.height = cfg_.height;
-    view.allocatable = alloc_buf_;
-    view.utilization = util_buf_;
-    view.criticality = crit_buf_;
-    view.testing = testing_buf_;
-    view.temperature_c = thermal_.temps_c();
-    return view;
-}
-
-void ManycoreSystem::refresh_criticality() {
-    crit_buf_ = crit_eval_.evaluate_chip(chip_, sim_.now(),
-                                         aging_.damage_all());
-}
-
-void ManycoreSystem::try_map_pending() {
-    if (mapping_in_progress_) {
-        return;
-    }
-    mapping_in_progress_ = true;
-    // Serve classes in priority order (hard RT first). Within a class the
-    // queue is FIFO with head-of-line blocking; a blocked head of a higher
-    // class does not stall lower classes (work-conserving).
-    for (std::size_t cls = kQosClassCount; cls-- > 0;) {
-        auto& queue = pending_[cls];
-        while (!queue.empty()) {
-            const std::size_t index = queue.front();
-            AppRun& app = apps_[index];
-            const PlatformView view = build_view();
-            MapRequest request{app.spec.id, app.spec.graph.size()};
-            const auto result = mapper_->map(request, view, map_rng_);
-            if (!result) {
-                break;
-            }
-            metrics_.mapping_dispersion_hops.add(
-                mapping_dispersion(view, result->cores));
-            queue.pop_front();
-            --pending_total_;
-            commit_mapping(index, *result);
-        }
-    }
-    mapping_in_progress_ = false;
-}
-
-void ManycoreSystem::commit_mapping(std::size_t app_index,
-                                    const MappingResult& result) {
-    const SimTime now = sim_.now();
-    AppRun& app = apps_[app_index];
-    MCS_REQUIRE(result.cores.size() == app.spec.graph.size(),
-                "mapping result size mismatch");
-    for (CoreId id : result.cores) {
-        Core& c = chip_.core(id);
-        if (c.is_testing()) {
-            // Testing cores are only allocatable when aborts are allowed;
-            // a mapper handing one over otherwise broke its contract.
-            MCS_REQUIRE(cfg_.abort_tests_for_mapping,
-                        "mapper claimed a testing core with aborts disabled");
-            abort_test(id);
-        }
-        if (c.state() == CoreState::Dark) {
-            power_mgr_.wake_core(now, id, thermal_.temp_c(id));
-        }
-        MCS_REQUIRE(c.is_idle() && !c.reserved(),
-                    "mapper selected an unavailable core");
-        c.set_reserved(true);
-        idle_predictor_.notify_unavailable(id, now);
-        power_mgr_.touch(now, id);
-    }
-    if (tracer_ != nullptr) {
-        tracer_->record(now, telemetry::TraceCategory::Workload,
-                        telemetry::TracePhase::Instant, "app_mapped",
-                        result.cores.empty() ? 0 : result.cores.front(),
-                        static_cast<std::int64_t>(app_index),
-                        static_cast<std::int64_t>(result.cores.size()));
-    }
-    if (c_apps_mapped_ != nullptr) {
-        c_apps_mapped_->inc();
-    }
-    app.task_core = result.cores;
-    const auto n = static_cast<TaskIndex>(app.spec.graph.size());
-    app.waiting.resize(n);
-    for (TaskIndex t = 0; t < n; ++t) {
-        app.waiting[t] = app.spec.graph.pred_count(t);
-    }
-    metrics_.app_queue_wait_ms.add(to_milliseconds(now - app.spec.arrival));
-    for (TaskIndex t : app.spec.graph.sources()) {
-        start_task(app_index, t);
-    }
-}
-
-void ManycoreSystem::start_task(std::size_t app_index, TaskIndex task) {
-    const SimTime now = sim_.now();
-    AppRun& app = apps_[app_index];
-    const CoreId id = app.task_core[task];
-    Core& c = chip_.core(id);
-    MCS_REQUIRE(c.is_idle() && c.reserved(), "task core not ready");
-    c.set_vf_level(now,
-                   power_mgr_.grant_task_level(id, thermal_.temp_c(id)));
-    c.start_task(now);
-    CoreExec& ex = core_exec_[id];
-    MCS_REQUIRE(!ex.active, "core already executing a task");
-    ex.active = true;
-    ex.app_index = app_index;
-    ex.task = task;
-    ex.remaining_cycles =
-        static_cast<double>(app.spec.graph.task(task).cycles);
-    ex.last_progress = now;
-    const SimDuration dur = std::max<SimDuration>(
-        1, duration_for_cycles(app.spec.graph.task(task).cycles, c.freq_hz()));
-    ex.completion = sim_.schedule_in(dur, [this, id] {
-        on_task_complete(id);
-    });
-}
-
-void ManycoreSystem::on_task_complete(CoreId core) {
-    const SimTime now = sim_.now();
-    CoreExec& ex = core_exec_[core];
-    MCS_REQUIRE(ex.active, "completion for inactive core");
-    const std::size_t app_index = ex.app_index;
-    const TaskIndex task = ex.task;
-    ex.active = false;
-    Core& c = chip_.core(core);
-    c.finish_task(now);
-    ++metrics_.tasks_completed;
-
-    AppRun& app = apps_[app_index];
-    if (faults_ && faults_->roll_task_corruption(core)) {
-        app.corrupted = true;
-    }
-    for (const TaskEdge& e : app.spec.graph.task(task).successors) {
-        const CoreId dst_core = app.task_core[e.dst];
-        const Transfer t = noc_.send(core, dst_core, e.bytes);
-        if (link_tester_) {
-            for (LinkId link : noc_.last_route()) {
-                if (link_tester_->roll_message_corruption(link)) {
-                    app.corrupted = true;
-                    break;
-                }
-            }
-        }
-        const TaskIndex dst = e.dst;
-        sim_.schedule_in(std::max<SimDuration>(1, t.latency),
-                         [this, app_index, dst] {
-                             deliver_edge(app_index, dst);
-                         });
-    }
-    ++app.tasks_done;
-    if (app.tasks_done == app.spec.graph.size()) {
-        release_app(app_index);
-    }
-}
-
-void ManycoreSystem::deliver_edge(std::size_t app_index, TaskIndex dst) {
-    AppRun& app = apps_[app_index];
-    MCS_REQUIRE(app.waiting[dst] > 0, "duplicate edge delivery");
-    if (--app.waiting[dst] == 0) {
-        start_task(app_index, dst);
-    }
-}
-
-void ManycoreSystem::release_app(std::size_t app_index) {
-    const SimTime now = sim_.now();
-    AppRun& app = apps_[app_index];
-    MCS_REQUIRE(!app.done, "double app release");
-    app.done = true;
-    for (CoreId id : app.task_core) {
-        Core& c = chip_.core(id);
-        c.set_reserved(false);
-        idle_predictor_.notify_available(id, now);
-        power_mgr_.touch(now, id);
-    }
-    ++metrics_.apps_completed;
-    if (app.corrupted) {
-        ++metrics_.corrupted_apps;
-    }
-    if (tracer_ != nullptr) {
-        tracer_->record(now, telemetry::TraceCategory::Workload,
-                        telemetry::TracePhase::Instant, "app_complete", 0,
-                        static_cast<std::int64_t>(app_index),
-                        app.corrupted ? 1 : 0);
-    }
-    c_apps_completed_->inc();
-    const double latency_ms = to_milliseconds(now - app.spec.arrival);
-    h_app_latency_ms_->add(latency_ms);
-    metrics_.app_latency_ms.add(latency_ms);
-    const auto cls = static_cast<std::size_t>(app.spec.qos);
-    ++metrics_.apps_completed_by_class[cls];
-    if (app.spec.relative_deadline > 0) {
-        const bool met =
-            now - app.spec.arrival <= app.spec.relative_deadline;
-        if (met) {
-            ++metrics_.deadlines_met_by_class[cls];
-        } else {
-            ++metrics_.deadlines_missed_by_class[cls];
-        }
-    }
-    try_map_pending();
-}
-
-void ManycoreSystem::on_vf_change(CoreId core, int old_level, int new_level) {
-    CoreExec& ex = core_exec_[core];
-    if (!ex.active) {
-        return;
-    }
-    const SimTime now = sim_.now();
-    const double old_freq =
-        chip_.vf_table()[static_cast<std::size_t>(old_level)].freq_hz;
-    const double new_freq =
-        chip_.vf_table()[static_cast<std::size_t>(new_level)].freq_hz;
-    const SimDuration elapsed = now - ex.last_progress;
-    ex.remaining_cycles -= to_seconds(elapsed) * old_freq;
-    ex.remaining_cycles = std::max(0.0, ex.remaining_cycles);
-    ex.last_progress = now;
-    sim_.cancel(ex.completion);
-    const auto cycles = static_cast<std::uint64_t>(
-        std::ceil(ex.remaining_cycles));
-    const SimDuration dur =
-        std::max<SimDuration>(1, duration_for_cycles(cycles, new_freq));
-    ex.completion = sim_.schedule_in(dur, [this, core] {
-        on_task_complete(core);
-    });
-}
-
-// ----------------------------------------------------------------- testing
-
-void ManycoreSystem::test_epoch_fn() {
-    refresh_criticality();
-    SchedulerContext ctx;
-    ctx.now = sim_.now();
-    ctx.tdp_w = budget_.tdp_w();
-    ctx.power_slack_w = power_mgr_.headroom_w();
-    ctx.tests_running = tests_running_;
-    ctx.vf_table = &chip_.vf_table();
-    for (const Core& c : chip_.cores()) {
-        if (c.reserved()) {
-            continue;
-        }
-        if (c.state() == CoreState::Idle || c.state() == CoreState::Dark) {
-            if (last_test_abort_[c.id()] != 0 &&
-                ctx.now - last_test_abort_[c.id()] <
-                    cfg_.test_retry_backoff) {
-                continue;  // cool down after an aborted session
-            }
-            ctx.candidates.push_back(
-                TestCandidate{c.id(), crit_buf_[c.id()],
-                              c.state() == CoreState::Dark,
-                              ctx.now - c.last_state_change(),
-                              thermal_.temp_c(c.id()),
-                              idle_predictor_.predict_remaining(c.id(),
-                                                                ctx.now)});
-        }
-    }
-    ctx.test_power_w = [this](CoreId core, int level) {
-        const Core& c = chip_.core(core);
-        const double temp = thermal_.temp_c(core);
-        const double now_w =
-            power_model_.core_power_w(c.state(), c.vf_level(), temp);
-        return std::max(
-            0.0, power_model_.test_power_w(level, temp) - now_w);
-    };
-    ctx.test_duration = [this](int level) {
-        return duration_for_cycles(
-            suite_.total_cycles(),
-            chip_.vf_table()[static_cast<std::size_t>(level)].freq_hz);
-    };
-    ctx.start_test = [this](CoreId core, int level) {
-        start_test_session(core, level);
-    };
-    ctx.tracer = tracer_;
-    scheduler_->epoch(ctx);
-    if (link_tester_) {
-        schedule_link_tests(ctx.now);
-    }
-}
-
-void ManycoreSystem::schedule_link_tests(SimTime now) {
-    const NocTestParams& p = cfg_.noc_test;
-    // Rank overdue links by how far past their target period they are.
-    std::vector<std::pair<double, LinkId>> overdue;
-    const std::size_t links = noc_.topology().link_count();
-    for (std::size_t l = 0; l < links; ++l) {
-        if (link_test_active_[l]) {
-            continue;
-        }
-        if (noc_.link_utilization(static_cast<LinkId>(l)) >
-            p.max_test_utilization) {
-            continue;  // busy link: testing would congest real traffic
-        }
-        const double crit =
-            static_cast<double>(now - last_link_test_[l]) /
-            static_cast<double>(p.test_period_target);
-        if (crit >= 1.0) {
-            overdue.push_back({crit, static_cast<LinkId>(l)});
-        }
-    }
-    std::sort(overdue.begin(), overdue.end(),
-              [](const auto& a, const auto& b) {
-                  if (a.first != b.first) {
-                      return a.first > b.first;
-                  }
-                  return a.second < b.second;
-              });
-    for (const auto& [crit, link] : overdue) {
-        if (link_tests_running_ >= p.max_concurrent_tests) {
-            break;
-        }
-        if (power_mgr_.headroom_w() < p.test_power_w) {
-            break;  // link tests ride the same budget as core tests
-        }
-        power_mgr_.reserve_power(p.test_power_w);
-        noc_.inject_link_load(link, p.test_bytes);
-        link_test_active_[link] = 1;
-        ++link_tests_running_;
-        const SimDuration dur = std::max<SimDuration>(
-            1, noc_.link_transfer_time(p.test_bytes));
-        const LinkId id = link;
-        sim_.schedule_in(dur, [this, id] { on_link_test_complete(id); });
-    }
-}
-
-void ManycoreSystem::on_link_test_complete(LinkId link) {
-    const SimTime now = sim_.now();
-    link_test_active_[link] = 0;
-    --link_tests_running_;
-    last_link_test_[link] = now;
-    ++metrics_.link_tests_completed;
-    if (auto detected = link_tester_->attempt_detection(link, now)) {
-        metrics_.link_detection_latency_s.add(
-            to_seconds(now - detected->injected));
-    }
-}
-
-void ManycoreSystem::start_test_session(CoreId core, int vf_level) {
-    const SimTime now = sim_.now();
-    Core& c = chip_.core(core);
-    MCS_REQUIRE(!c.reserved(), "cannot test a reserved core");
-    if (c.state() == CoreState::Dark) {
-        power_mgr_.wake_core(now, core, thermal_.temp_c(core));
-    }
-    MCS_REQUIRE(c.is_idle(), "test target must be idle");
-    // Charge the test's power increment (over the idle power the core was
-    // already burning) to the power ledger.
-    const double temp = thermal_.temp_c(core);
-    const double idle_before =
-        power_model_.core_power_w(c.state(), c.vf_level(), temp);
-    c.set_vf_level(now, vf_level);
-    c.start_test(now);
-    power_mgr_.reserve_power(std::max(
-        0.0, power_model_.test_power_w(vf_level, temp) - idle_before));
-    power_mgr_.touch(now, core);
-    TestExec& ex = test_exec_[core];
-    MCS_REQUIRE(!ex.active, "test already running on core");
-    ex.active = true;
-    ex.vf_level = vf_level;
-    ++tests_running_;
-    c_tests_started_->inc();
-    if (tracer_ != nullptr) {
-        // Begin/End pairs keyed on the core id render as per-core test
-        // spans in the Chrome trace viewer.
-        tracer_->record(now, telemetry::TraceCategory::Session,
-                        telemetry::TracePhase::Begin, "test_session", core,
-                        vf_level);
-    }
-    if (cfg_.segmented_tests) {
-        const auto& routine = suite_.routines()[test_progress_[core]];
-        const SimDuration dur = std::max<SimDuration>(
-            1, duration_for_cycles(routine.cycles, c.freq_hz()));
-        ex.completion = sim_.schedule_in(dur, [this, core] {
-            on_routine_complete(core);
-        });
-    } else {
-        const SimDuration dur = std::max<SimDuration>(
-            1, duration_for_cycles(suite_.total_cycles(), c.freq_hz()));
-        ex.completion = sim_.schedule_in(dur, [this, core] {
-            on_test_complete(core);
-        });
-    }
-}
-
-void ManycoreSystem::on_routine_complete(CoreId core) {
-    TestExec& ex = test_exec_[core];
-    MCS_REQUIRE(ex.active, "routine completion for inactive core");
-    if (++test_progress_[core] == suite_.routine_count()) {
-        test_progress_[core] = 0;
-        on_test_complete(core);
-        return;
-    }
-    const auto& routine = suite_.routines()[test_progress_[core]];
-    const SimDuration dur = std::max<SimDuration>(
-        1, duration_for_cycles(routine.cycles,
-                               chip_.core(core).freq_hz()));
-    ex.completion = sim_.schedule_in(dur, [this, core] {
-        on_routine_complete(core);
-    });
-}
-
-void ManycoreSystem::on_test_complete(CoreId core) {
-    const SimTime now = sim_.now();
-    TestExec& ex = test_exec_[core];
-    MCS_REQUIRE(ex.active, "test completion for inactive core");
-    ex.active = false;
-    --tests_running_;
-    Core& c = chip_.core(core);
-    c.finish_test(now, /*completed=*/true);
-    // Return to the frugal idle point; a task grant or the capping loop
-    // decides the next operating level.
-    c.set_vf_level(now, 0);
-    power_mgr_.touch(now, core);
-    ++metrics_.tests_completed;
-    c_tests_completed_->inc();
-    if (tracer_ != nullptr) {
-        tracer_->record(now, telemetry::TraceCategory::Session,
-                        telemetry::TracePhase::End, "test_session", core,
-                        ex.vf_level);
-    }
-    // The histogram counts *completed* suites per level (aborted sessions
-    // are tracked separately via tests_aborted).
-    ++metrics_.tests_per_vf_level[static_cast<std::size_t>(ex.vf_level)];
-    // Only closed test-to-test gaps enter the interval statistic (the
-    // boot-to-first-test gap is a different quantity; the worst open gap
-    // is reported separately as max_open_test_gap_s).
-    if (last_test_done_[core] != 0) {
-        metrics_.test_interval_s.add(
-            to_seconds(now - last_test_done_[core]));
-    }
-    last_test_done_[core] = now;
-
-    if (faults_) {
-        // Approximation: a segmented suite assembled across several
-        // sessions rolls detection at the level of its final session.
-        if (auto detected = faults_->attempt_detection(
-                core, now, suite_, ex.vf_level,
-                static_cast<int>(chip_.vf_level_count()))) {
-            c.mark_faulty(now);
-            idle_predictor_.notify_unavailable(core, now);
-            const double latency_s = to_seconds(now - detected->injected);
-            metrics_.detection_latency_s.add(latency_s);
-            metrics_.detection_latency_samples.add(latency_s);
-        }
-    }
-    try_map_pending();
-}
-
-void ManycoreSystem::abort_test(CoreId core) {
-    const SimTime now = sim_.now();
-    TestExec& ex = test_exec_[core];
-    MCS_REQUIRE(ex.active, "abort for inactive test");
-    sim_.cancel(ex.completion);
-    ex.active = false;
-    --tests_running_;
-    Core& c = chip_.core(core);
-    c.finish_test(now, /*completed=*/false);
-    c.set_vf_level(now, 0);  // frugal idle until reassigned
-    last_test_abort_[core] = now;
-    ++metrics_.tests_aborted;
-    c_tests_aborted_->inc();
-    if (tracer_ != nullptr) {
-        // Close the session span and mark the abort distinctly.
-        tracer_->record(now, telemetry::TraceCategory::Session,
-                        telemetry::TracePhase::End, "test_session", core,
-                        ex.vf_level);
-        tracer_->record(now, telemetry::TraceCategory::Session,
-                        telemetry::TracePhase::Instant, "test_abort", core,
-                        ex.vf_level);
-    }
-}
-
-// -------------------------------------------------------------- controllers
-
-double ManycoreSystem::core_power_now(const Core& core) const {
-    return power_model_.core_power_w(core.state(), core.vf_level(),
-                                     thermal_.temp_c(core.id()));
-}
-
-void ManycoreSystem::accumulate_energy(SimTime now) {
-    MCS_REQUIRE(now >= energy_clock_, "energy clock going backwards");
-    const double dt_s = to_seconds(now - energy_clock_);
-    energy_clock_ = now;
-    if (dt_s <= 0.0) {
-        return;
-    }
-    link_test_energy_j_ += static_cast<double>(link_tests_running_) *
-                           cfg_.noc_test.test_power_w * dt_s;
-    for (const Core& c : chip_.cores()) {
-        const double p = core_power_now(c);
-        switch (c.state()) {
-            case CoreState::Busy:
-                metrics_.energy_busy_j += p * dt_s;
-                break;
-            case CoreState::Testing:
-                metrics_.energy_test_j += p * dt_s;
-                break;
-            default:
-                metrics_.energy_idle_j += p * dt_s;
-                break;
-        }
-    }
-}
-
-double ManycoreSystem::noc_power_w() const {
-    return noc_.routers_idle_power_w() +
-           static_cast<double>(link_tests_running_) *
-               cfg_.noc_test.test_power_w;
-}
-
-void ManycoreSystem::power_epoch_fn() {
-    accumulate_energy(sim_.now());
-    noc_.roll_window();
-    power_mgr_.control_epoch(sim_.now(), thermal_.temps_c(), noc_power_w());
-}
-
-void ManycoreSystem::thermal_epoch_fn() {
-    power_buf_.resize(chip_.core_count());
-    for (const Core& c : chip_.cores()) {
-        power_buf_[c.id()] = core_power_now(c);
-    }
-    thermal_.step(power_buf_, to_seconds(cfg_.thermal_epoch));
-    peak_temp_c_ = std::max(peak_temp_c_, thermal_.max_temp_c());
-}
-
-void ManycoreSystem::wear_epoch_fn() {
-    const SimTime now = sim_.now();
-    chip_.checkpoint_all(now);
-    for (const Core& c : chip_.cores()) {
-        ++state_samples_;
-        dark_samples_ += c.state() == CoreState::Dark ? 1 : 0;
-        testing_samples_ += c.state() == CoreState::Testing ? 1 : 0;
-        reserved_samples_ += c.reserved() ? 1 : 0;
-    }
-    aging_.update(now, chip_, thermal_.temps_c());
-    if (faults_) {
-        accel_buf_.resize(chip_.core_count());
-        for (std::size_t i = 0; i < accel_buf_.size(); ++i) {
-            accel_buf_[i] =
-                aging_.fault_acceleration(static_cast<CoreId>(i));
-        }
-        const auto fresh = faults_->step(now, to_seconds(cfg_.wear_epoch),
-                                         chip_, accel_buf_);
-        // A new fault invalidates any partial segmented-suite progress on
-        // the core: those routines ran on a then-healthy core.
-        for (CoreId id : fresh) {
-            test_progress_[id] = 0;
-        }
-    }
-    if (link_tester_) {
-        link_tester_->step(now, to_seconds(cfg_.wear_epoch));
-    }
-}
-
-void ManycoreSystem::trace_epoch_fn() {
-    if (!trace_sink_) {
-        return;
-    }
-    TraceSample s;
-    s.time = sim_.now();
-    s.tdp_w = budget_.tdp_w();
-    for (const Core& c : chip_.cores()) {
-        const double p = core_power_now(c);
-        s.total_power_w += p;
-        switch (c.state()) {
-            case CoreState::Busy:
-                s.workload_power_w += p;
-                ++s.cores_busy;
-                break;
-            case CoreState::Testing:
-                s.test_power_w += p;
-                ++s.cores_testing;
-                break;
-            case CoreState::Dark:
-                s.other_power_w += p;
-                ++s.cores_dark;
-                break;
-            default:
-                s.other_power_w += p;
-                break;
-        }
-    }
-    const double noc_now = noc_power_w();
-    s.total_power_w += noc_now;
-    s.other_power_w += noc_now;
-    s.max_temp_c = thermal_.max_temp_c();
-    trace_sink_(s);
-}
-
-// ----------------------------------------------------------------- results
-
 RunMetrics ManycoreSystem::finalize() {
-    const SimTime end = sim_.now();
-    chip_.checkpoint_all(end);
-    accumulate_energy(end);
+    const SimTime end = ctx_->sim.now();
+    ctx_->chip.checkpoint_all(end);
+    platform_->accumulate_energy(end);
 
-    RunMetrics& m = metrics_;
+    RunMetrics& m = ctx_->metrics;
     m.sim_time = end;
-    m.core_count = chip_.core_count();
-    const double secs = to_seconds(end);
-    MCS_REQUIRE(secs > 0.0, "finalize before any simulated time");
+    m.core_count = ctx_->chip.core_count();
+    MCS_REQUIRE(to_seconds(end) > 0.0, "finalize before any simulated time");
 
-    m.apps_rejected = pending_total_;
-    m.throughput_tasks_per_s =
-        static_cast<double>(m.tasks_completed) / secs;
-    m.throughput_apps_per_s =
-        static_cast<double>(m.apps_completed) / secs;
+    workload_->finalize_into(m, end);
+    test_->finalize_into(m, end);
+    platform_->finalize_into(m, end);
 
-    std::uint64_t busy_cycles = 0;
-    double util_sum = 0.0;
-    std::size_t untested = 0;
-    double max_open_gap = 0.0;
-    for (const Core& c : chip_.cores()) {
-        busy_cycles += c.total_busy_cycles();
-        util_sum += c.busy_fraction(end);
-        if (c.state() == CoreState::Faulty) {
-            continue;  // decommissioned: no longer a test target
-        }
-        if (c.tests_completed() == 0) {
-            ++untested;
-        }
-        max_open_gap = std::max(
-            max_open_gap, to_seconds(end - last_test_done_[c.id()]));
-    }
-    m.work_cycles_per_s = static_cast<double>(busy_cycles) / secs;
-    m.mean_chip_utilization =
-        util_sum / static_cast<double>(chip_.core_count());
-    if (state_samples_ > 0) {
-        m.mean_dark_fraction = static_cast<double>(dark_samples_) /
-                               static_cast<double>(state_samples_);
-        m.mean_testing_fraction = static_cast<double>(testing_samples_) /
-                                  static_cast<double>(state_samples_);
-        m.mean_reserved_fraction = static_cast<double>(reserved_samples_) /
-                                   static_cast<double>(state_samples_);
-    }
-    m.untested_core_fraction = static_cast<double>(untested) /
-                               static_cast<double>(chip_.core_count());
-    m.max_open_test_gap_s = max_open_gap;
-    m.tests_per_core_per_s = static_cast<double>(m.tests_completed) /
-                             static_cast<double>(chip_.core_count()) / secs;
-
-    m.tdp_w = budget_.tdp_w();
-    m.mean_power_w = budget_.power_stats().mean();
-    m.max_power_w = budget_.power_stats().max();
-    m.power_samples = budget_.samples();
-    m.tdp_violations = budget_.violations();
-    m.tdp_violation_rate = budget_.violation_rate();
-    m.worst_overshoot_w = budget_.worst_overshoot_w();
-
-    m.energy_noc_j = noc_.total_energy_j() +
-                     noc_.routers_idle_power_w() * secs +
-                     link_test_energy_j_;
-    m.energy_total_j = m.energy_busy_j + m.energy_test_j + m.energy_idle_j +
-                       m.energy_noc_j;
-    m.test_energy_share =
-        m.energy_total_j > 0.0 ? m.energy_test_j / m.energy_total_j : 0.0;
-
-    if (faults_) {
-        m.faults_injected = faults_->injected_count();
-        m.faults_detected = faults_->detected_count();
-        m.test_escapes = faults_->escaped_tests();
-        m.corrupted_tasks = faults_->corrupted_tasks();
-    }
-
-    if (link_tester_) {
-        m.link_faults_injected = link_tester_->injected_count();
-        m.link_faults_detected = link_tester_->detected_count();
-        m.link_test_escapes = link_tester_->escaped_tests();
-        m.corrupted_messages = link_tester_->corrupted_messages();
-        double max_gap = 0.0;
-        for (SimTime t : last_link_test_) {
-            max_gap = std::max(max_gap, to_seconds(end - t));
-        }
-        m.max_open_link_test_gap_s = max_gap;
-    }
-
-    m.noc_mean_utilization = noc_.mean_utilization();
-    m.noc_peak_utilization = noc_.peak_utilization();
-    m.noc_messages = noc_.messages_sent();
-
-    m.peak_temp_c = peak_temp_c_;
-    m.mean_damage = aging_.mean_damage();
-    m.max_damage = aging_.max_damage();
-    m.damage_imbalance =
-        m.mean_damage > 0.0
-            ? (m.max_damage - aging_.min_damage()) / m.mean_damage
-            : 0.0;
-
-    m.dvfs_throttle_steps = power_mgr_.throttle_steps();
-    m.dvfs_boost_steps = power_mgr_.boost_steps();
-
-    scheduler_->export_telemetry(registry_);
-    registry_.gauge("system.peak_temp_c", telemetry::GaugeMerge::Max)
-        .set(peak_temp_c_);
-    registry_.gauge("system.mean_power_w", telemetry::GaugeMerge::Mean)
+    ctx_->registry.gauge("system.peak_temp_c", telemetry::GaugeMerge::Max)
+        .set(platform_->peak_temp_c());
+    ctx_->registry.gauge("system.mean_power_w", telemetry::GaugeMerge::Mean)
         .set(m.mean_power_w);
-    registry_.gauge("system.mean_chip_utilization", telemetry::GaugeMerge::Mean)
+    ctx_->registry
+        .gauge("system.mean_chip_utilization", telemetry::GaugeMerge::Mean)
         .set(m.mean_chip_utilization);
     return m;
+}
+
+// --------------------------------------------------------- introspection
+
+Chip& ManycoreSystem::chip() noexcept { return ctx_->chip; }
+const Chip& ManycoreSystem::chip() const noexcept { return ctx_->chip; }
+Simulator& ManycoreSystem::simulator() noexcept { return ctx_->sim; }
+const Network& ManycoreSystem::network() const noexcept { return ctx_->noc; }
+const PowerBudget& ManycoreSystem::budget() const noexcept {
+    return ctx_->budget;
+}
+const FaultInjector* ManycoreSystem::fault_injector() const noexcept {
+    return platform_->fault_injector();
+}
+const LinkTester* ManycoreSystem::link_tester() const noexcept {
+    return test_->link_tester();
+}
+const AgingTracker& ManycoreSystem::aging() const noexcept {
+    return platform_->aging_tracker();
+}
+const TestSuite& ManycoreSystem::suite() const noexcept {
+    return ctx_->suite;
+}
+const TestScheduler& ManycoreSystem::scheduler() const noexcept {
+    return test_->scheduler();
+}
+const Mapper& ManycoreSystem::mapper() const noexcept {
+    return workload_->mapper();
+}
+int ManycoreSystem::tests_running() const noexcept {
+    return test_->tests_running();
+}
+WorkloadEngine& ManycoreSystem::workload_engine() noexcept {
+    return *workload_;
+}
+TestEngine& ManycoreSystem::test_engine() noexcept { return *test_; }
+PlatformEngine& ManycoreSystem::platform_engine() noexcept {
+    return *platform_;
 }
 
 double rate_for_occupancy(double target_occupancy,

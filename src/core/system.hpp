@@ -1,34 +1,38 @@
 #pragma once
 
-#include <array>
-#include <deque>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
-#include <vector>
 
 #include "aging/aging_model.hpp"
 #include "aging/criticality.hpp"
 #include "app/workload.hpp"
-#include "arch/chip.hpp"
-#include "core/idle_predictor.hpp"
+#include "arch/technology.hpp"
 #include "core/metrics.hpp"
 #include "core/schedulers.hpp"
-#include "core/test_scheduler.hpp"
-#include "mapping/contiguous_mapper.hpp"
-#include "mapping/mapper.hpp"
 #include "noc/link_test.hpp"
 #include "noc/network.hpp"
-#include "power/power_budget.hpp"
 #include "power/power_manager.hpp"
 #include "power/power_model.hpp"
 #include "sbst/fault_model.hpp"
 #include "sbst/test_suite.hpp"
-#include "sim/simulator.hpp"
-#include "telemetry/metrics_registry.hpp"
-#include "telemetry/tracer.hpp"
+#include "sim/time.hpp"
 #include "thermal/thermal_model.hpp"
 
 namespace mcs {
+
+class Mapper;
+class Simulator;
+class SystemObserver;
+struct SystemContext;
+class PlatformEngine;
+class WorkloadEngine;
+class TestEngine;
+
+namespace telemetry {
+class TelemetryObserver;
+}  // namespace telemetry
 
 enum class SchedulerKind { PowerAware, Periodic, Greedy, None };
 enum class MapperKind {
@@ -109,12 +113,21 @@ struct SystemConfig {
 /// mapping, task execution over the NoC, PID power capping with DVFS and
 /// power gating, thermal and aging tracking, and online test scheduling.
 ///
+/// Structurally this is a façade: construction builds a SystemContext (the
+/// shared substrate -- chip, NoC, clock, budget, RNG streams, observer
+/// hub) and composes three engines over it -- PlatformEngine (power /
+/// thermal / wear / trace epochs), WorkloadEngine (admission, mapping,
+/// task execution) and TestEngine (core/link test sessions). run() wires
+/// the engines onto the simulator and finalizes the metrics. See
+/// docs/architecture.md for the layering.
+///
 /// Typical use:
 ///     ManycoreSystem sys(cfg);
 ///     RunMetrics m = sys.run(20 * kSecond);
 class ManycoreSystem {
 public:
     explicit ManycoreSystem(SystemConfig cfg);
+    ~ManycoreSystem();
     ManycoreSystem(const ManycoreSystem&) = delete;
     ManycoreSystem& operator=(const ManycoreSystem&) = delete;
 
@@ -123,7 +136,7 @@ public:
     RunMetrics run(SimDuration horizon);
 
     /// Streams power/state trace samples during run() (E2's figure).
-    void set_trace_sink(TraceSink sink) { trace_sink_ = std::move(sink); }
+    void set_trace_sink(TraceSink sink);
 
     /// Attaches an (optional, non-owning) event tracer recording the run's
     /// discrete events: app arrival/mapping/completion, test session
@@ -131,14 +144,18 @@ public:
     /// gating. Must be called before run(); pass nullptr to detach.
     void set_tracer(telemetry::Tracer* tracer);
 
+    /// Registers an additional (non-owning) SystemObserver on the hook
+    /// layer; it receives the run's typed events after the built-in
+    /// telemetry adapter. The observer must outlive the system.
+    void add_observer(SystemObserver* observer);
+    void remove_observer(SystemObserver* observer);
+
     /// Live metrics registry for this run: "power.*" counters are bumped by
     /// the power manager as it actuates, "system.*" counters/histograms by
     /// the workload and test paths, and "scheduler.*" counters are exported
     /// by the policy at finalize().
-    telemetry::MetricsRegistry& registry() noexcept { return registry_; }
-    const telemetry::MetricsRegistry& registry() const noexcept {
-        return registry_;
-    }
+    telemetry::MetricsRegistry& registry() noexcept;
+    const telemetry::MetricsRegistry& registry() const noexcept;
 
     /// Makes capping and admission ignore QoS classes (deadlines are still
     /// measured); the baseline for the mixed-criticality experiments. Must
@@ -147,153 +164,34 @@ public:
 
     // --- introspection (tests, examples) ---
     const SystemConfig& config() const noexcept { return cfg_; }
-    Chip& chip() noexcept { return chip_; }
-    const Chip& chip() const noexcept { return chip_; }
-    Simulator& simulator() noexcept { return sim_; }
-    const Network& network() const noexcept { return noc_; }
-    const PowerBudget& budget() const noexcept { return budget_; }
-    const FaultInjector* fault_injector() const noexcept {
-        return faults_ ? &*faults_ : nullptr;
-    }
-    const LinkTester* link_tester() const noexcept {
-        return link_tester_ ? &*link_tester_ : nullptr;
-    }
-    const AgingTracker& aging() const noexcept { return aging_; }
-    const TestSuite& suite() const noexcept { return suite_; }
-    const TestScheduler& scheduler() const noexcept { return *scheduler_; }
-    const Mapper& mapper() const noexcept { return *mapper_; }
-    int tests_running() const noexcept { return tests_running_; }
+    Chip& chip() noexcept;
+    const Chip& chip() const noexcept;
+    Simulator& simulator() noexcept;
+    const Network& network() const noexcept;
+    const PowerBudget& budget() const noexcept;
+    const FaultInjector* fault_injector() const noexcept;
+    const LinkTester* link_tester() const noexcept;
+    const AgingTracker& aging() const noexcept;
+    const TestSuite& suite() const noexcept;
+    const TestScheduler& scheduler() const noexcept;
+    const Mapper& mapper() const noexcept;
+    int tests_running() const noexcept;
+
+    // --- engine access (unit tests, scenario scripting) ---
+    WorkloadEngine& workload_engine() noexcept;
+    TestEngine& test_engine() noexcept;
+    PlatformEngine& platform_engine() noexcept;
 
 private:
-    // --- lifecycle of one application ---
-    struct AppRun {
-        explicit AppRun(ApplicationSpec s) : spec(std::move(s)) {}
-
-        ApplicationSpec spec;
-        bool done = false;
-        bool corrupted = false;  ///< any task or message silently corrupted
-        std::vector<CoreId> task_core;         ///< core of task i
-        std::vector<std::uint32_t> waiting;    ///< undelivered preds of task i
-        std::size_t tasks_done = 0;
-    };
-
-    /// Execution state of the task currently on a core.
-    struct CoreExec {
-        bool active = false;
-        std::size_t app_index = 0;
-        TaskIndex task = 0;
-        double remaining_cycles = 0.0;
-        SimTime last_progress = 0;
-        EventId completion{};
-    };
-
-    /// State of a test session running on a core. In segmented mode the
-    /// suite position lives in test_progress_ (it persists across aborted
-    /// sessions).
-    struct TestExec {
-        bool active = false;
-        int vf_level = 0;
-        EventId completion{};
-    };
-
-    void prepare(SimDuration horizon);
     RunMetrics finalize();
 
-    void on_arrival(std::size_t app_index);
-    void try_map_pending();
-    void commit_mapping(std::size_t app_index, const MappingResult& result);
-    PlatformView build_view();
-    void refresh_criticality();
-
-    void start_task(std::size_t app_index, TaskIndex task);
-    void on_task_complete(CoreId core);
-    void deliver_edge(std::size_t app_index, TaskIndex dst);
-    void release_app(std::size_t app_index);
-    void on_vf_change(CoreId core, int old_level, int new_level);
-
-    void test_epoch_fn();
-    void schedule_link_tests(SimTime now);
-    void on_link_test_complete(LinkId link);
-    void start_test_session(CoreId core, int vf_level);
-    void on_test_complete(CoreId core);
-    void on_routine_complete(CoreId core);
-    void abort_test(CoreId core);
-    /// Remembers per-core suite progress across aborted segmented sessions.
-    std::vector<std::size_t> test_progress_;
-
-    void power_epoch_fn();
-    void thermal_epoch_fn();
-    void wear_epoch_fn();
-    void trace_epoch_fn();
-    void accumulate_energy(SimTime now);
-    double core_power_now(const Core& core) const;
-    /// NoC static power plus in-flight link-test power.
-    double noc_power_w() const;
-
     SystemConfig cfg_;
-    Simulator sim_;
-    Chip chip_;
-    Network noc_;
-    TestSuite suite_;
-    PowerModel power_model_;
-    PowerBudget budget_;
-    PowerManager power_mgr_;
-    ThermalModel thermal_;
-    AgingTracker aging_;
-    CriticalityEvaluator crit_eval_;
-    std::optional<FaultInjector> faults_;
-    std::optional<LinkTester> link_tester_;
-    std::vector<SimTime> last_link_test_;
-    std::vector<std::uint8_t> link_test_active_;
-    int link_tests_running_ = 0;
-    std::unique_ptr<Mapper> mapper_;
-    std::unique_ptr<TestScheduler> scheduler_;
-    IdlePredictor idle_predictor_;
-    Rng map_rng_;
-
-    std::vector<AppRun> apps_;
-    /// One FIFO admission queue per QoS class; higher classes are served
-    /// first each mapping round (work-conserving: a blocked high-class head
-    /// does not stall lower classes).
-    std::array<std::deque<std::size_t>, kQosClassCount> pending_;
-    std::size_t pending_total_ = 0;
-    std::vector<CoreExec> core_exec_;
-    std::vector<TestExec> test_exec_;
-    int tests_running_ = 0;
+    std::unique_ptr<SystemContext> ctx_;
+    std::unique_ptr<PlatformEngine> platform_;
+    std::unique_ptr<WorkloadEngine> workload_;
+    std::unique_ptr<TestEngine> test_;
+    std::unique_ptr<telemetry::TelemetryObserver> telemetry_obs_;
     bool ran_ = false;
-    bool mapping_in_progress_ = false;
-    bool priority_blind_ = false;
-
-    // scratch buffers (reused across periodic epochs)
-    std::vector<double> power_buf_;
-    std::vector<double> accel_buf_;
-    std::vector<std::uint8_t> alloc_buf_;
-    std::vector<std::uint8_t> testing_buf_;
-    std::vector<double> util_buf_;
-    std::vector<double> crit_buf_;
-
-    // metrics accumulators
-    RunMetrics metrics_;
-    std::vector<SimTime> last_test_done_;
-    std::vector<SimTime> last_test_abort_;
-    std::uint64_t state_samples_ = 0;
-    std::uint64_t dark_samples_ = 0;
-    std::uint64_t testing_samples_ = 0;
-    std::uint64_t reserved_samples_ = 0;
-    SimTime energy_clock_ = 0;
-    double link_test_energy_j_ = 0.0;
-    double peak_temp_c_ = 0.0;
-    TraceSink trace_sink_;
-
-    // telemetry (registry is owned; tracer is optional and non-owning)
-    telemetry::MetricsRegistry registry_;
-    telemetry::Tracer* tracer_ = nullptr;
-    telemetry::Counter* c_tests_started_ = nullptr;
-    telemetry::Counter* c_tests_completed_ = nullptr;
-    telemetry::Counter* c_tests_aborted_ = nullptr;
-    telemetry::Counter* c_apps_mapped_ = nullptr;
-    telemetry::Counter* c_apps_completed_ = nullptr;
-    Histogram* h_app_latency_ms_ = nullptr;
 };
 
 /// Convenience: translate a target *occupancy* (fraction of core-time

@@ -1,0 +1,322 @@
+#include "core/test_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/idle_predictor.hpp"
+#include "core/platform_engine.hpp"
+#include "core/schedulers.hpp"
+#include "core/system.hpp"
+#include "core/workload_engine.hpp"
+#include "power/power_manager.hpp"
+#include "power/power_model.hpp"
+#include "thermal/thermal_model.hpp"
+#include "util/require.hpp"
+
+namespace mcs {
+
+namespace {
+
+std::unique_ptr<TestScheduler> make_scheduler(const SystemConfig& cfg) {
+    if (cfg.scheduler_factory) {
+        auto scheduler = cfg.scheduler_factory();
+        MCS_REQUIRE(scheduler != nullptr, "scheduler factory returned null");
+        return scheduler;
+    }
+    switch (cfg.scheduler) {
+        case SchedulerKind::PowerAware:
+            return std::make_unique<PowerAwareTestScheduler>(cfg.power_aware);
+        case SchedulerKind::Periodic:
+            return std::make_unique<PeriodicTestScheduler>(
+                cfg.periodic_test_period);
+        case SchedulerKind::Greedy:
+            return std::make_unique<GreedyTestScheduler>();
+        case SchedulerKind::None:
+            return std::make_unique<NullTestScheduler>();
+    }
+    MCS_REQUIRE(false, "unknown scheduler kind");
+    return nullptr;
+}
+
+}  // namespace
+
+TestEngine::TestEngine(SystemContext& ctx)
+    : ctx_(ctx), scheduler_(make_scheduler(ctx.cfg)) {
+    if (ctx_.cfg.enable_noc_testing) {
+        link_tester_.emplace(ctx_.noc.link_count(), ctx_.cfg.noc_test,
+                             ctx_.cfg.seed ^ 0xd1b54a32d192ed03ULL);
+        last_link_test_.assign(ctx_.noc.link_count(), 0);
+        link_test_active_.assign(ctx_.noc.link_count(), 0);
+    }
+    test_exec_.resize(ctx_.chip.core_count());
+    test_progress_.assign(ctx_.chip.core_count(), 0);
+    last_test_done_.assign(ctx_.chip.core_count(), 0);
+    last_test_abort_.assign(ctx_.chip.core_count(), 0);
+    ctx_.link_tester = link_tester_ ? &*link_tester_ : nullptr;
+    ctx_.test = this;
+}
+
+void TestEngine::test_epoch() {
+    const SimTime now = ctx_.sim.now();
+    const std::vector<double>& crit =
+        ctx_.platform->refresh_criticality(now);
+    SchedulerContext sctx;
+    sctx.now = now;
+    sctx.tdp_w = ctx_.budget.tdp_w();
+    sctx.power_slack_w = ctx_.power_mgr->headroom_w();
+    sctx.tests_running = tests_running_;
+    sctx.vf_table = &ctx_.chip.vf_table();
+    for (const Core& c : ctx_.chip.cores()) {
+        if (c.reserved()) {
+            continue;
+        }
+        if (c.state() == CoreState::Idle || c.state() == CoreState::Dark) {
+            if (last_test_abort_[c.id()] != 0 &&
+                now - last_test_abort_[c.id()] <
+                    ctx_.cfg.test_retry_backoff) {
+                continue;  // cool down after an aborted session
+            }
+            sctx.candidates.push_back(TestCandidate{
+                c.id(), crit[c.id()], c.state() == CoreState::Dark,
+                now - c.last_state_change(), ctx_.thermal->temp_c(c.id()),
+                ctx_.idle_predictor->predict_remaining(c.id(), now)});
+        }
+    }
+    sctx.test_power_w = [this](CoreId core, int level) {
+        const Core& c = ctx_.chip.core(core);
+        const double temp = ctx_.thermal->temp_c(core);
+        const double now_w =
+            ctx_.power_model->core_power_w(c.state(), c.vf_level(), temp);
+        return std::max(
+            0.0, ctx_.power_model->test_power_w(level, temp) - now_w);
+    };
+    sctx.test_duration = [this](int level) {
+        return duration_for_cycles(
+            ctx_.suite.total_cycles(),
+            ctx_.chip.vf_table()[static_cast<std::size_t>(level)].freq_hz);
+    };
+    sctx.start_test = [this](CoreId core, int level) {
+        start_test_session(core, level);
+    };
+    sctx.tracer = ctx_.tracer;
+    scheduler_->epoch(sctx);
+    if (link_tester_) {
+        schedule_link_tests(now);
+    }
+}
+
+void TestEngine::schedule_link_tests(SimTime now) {
+    const NocTestParams& p = ctx_.cfg.noc_test;
+    // Rank overdue links by how far past their target period they are.
+    std::vector<std::pair<double, LinkId>> overdue;
+    const std::size_t links = ctx_.noc.link_count();
+    for (std::size_t l = 0; l < links; ++l) {
+        if (link_test_active_[l]) {
+            continue;
+        }
+        if (ctx_.noc.link_utilization(static_cast<LinkId>(l)) >
+            p.max_test_utilization) {
+            continue;  // busy link: testing would congest real traffic
+        }
+        const double crit =
+            static_cast<double>(now - last_link_test_[l]) /
+            static_cast<double>(p.test_period_target);
+        if (crit >= 1.0) {
+            overdue.push_back({crit, static_cast<LinkId>(l)});
+        }
+    }
+    std::sort(overdue.begin(), overdue.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.first != b.first) {
+                      return a.first > b.first;
+                  }
+                  return a.second < b.second;
+              });
+    for (const auto& [crit, link] : overdue) {
+        if (link_tests_running_ >= p.max_concurrent_tests) {
+            break;
+        }
+        if (ctx_.power_mgr->headroom_w() < p.test_power_w) {
+            break;  // link tests ride the same budget as core tests
+        }
+        ctx_.power_mgr->reserve_power(p.test_power_w);
+        ctx_.noc.inject_link_load(link, p.test_bytes);
+        link_test_active_[link] = 1;
+        ++link_tests_running_;
+        const SimDuration dur = std::max<SimDuration>(
+            1, ctx_.noc.link_transfer_time(p.test_bytes));
+        const LinkId id = link;
+        ctx_.sim.schedule_in(dur, [this, id] { on_link_test_complete(id); });
+    }
+}
+
+void TestEngine::on_link_test_complete(LinkId link) {
+    const SimTime now = ctx_.sim.now();
+    link_test_active_[link] = 0;
+    --link_tests_running_;
+    last_link_test_[link] = now;
+    ++ctx_.metrics.link_tests_completed;
+    if (auto detected = link_tester_->attempt_detection(link, now)) {
+        ctx_.metrics.link_detection_latency_s.add(
+            to_seconds(now - detected->injected));
+    }
+}
+
+void TestEngine::start_test_session(CoreId core, int vf_level) {
+    const SimTime now = ctx_.sim.now();
+    Core& c = ctx_.chip.core(core);
+    MCS_REQUIRE(!c.reserved(), "cannot test a reserved core");
+    if (c.state() == CoreState::Dark) {
+        ctx_.power_mgr->wake_core(now, core, ctx_.thermal->temp_c(core));
+    }
+    MCS_REQUIRE(c.is_idle(), "test target must be idle");
+    // Charge the test's power increment (over the idle power the core was
+    // already burning) to the power ledger.
+    const double temp = ctx_.thermal->temp_c(core);
+    const double idle_before =
+        ctx_.power_model->core_power_w(c.state(), c.vf_level(), temp);
+    c.set_vf_level(now, vf_level);
+    c.start_test(now);
+    ctx_.power_mgr->reserve_power(std::max(
+        0.0, ctx_.power_model->test_power_w(vf_level, temp) - idle_before));
+    ctx_.power_mgr->touch(now, core);
+    TestExec& ex = test_exec_[core];
+    MCS_REQUIRE(!ex.active, "test already running on core");
+    ex.active = true;
+    ex.vf_level = vf_level;
+    ++tests_running_;
+    ctx_.observers.test_session_begin(now, core, vf_level);
+    if (ctx_.cfg.segmented_tests) {
+        const auto& routine = ctx_.suite.routines()[test_progress_[core]];
+        const SimDuration dur = std::max<SimDuration>(
+            1, duration_for_cycles(routine.cycles, c.freq_hz()));
+        ex.completion = ctx_.sim.schedule_in(dur, [this, core] {
+            on_routine_complete(core);
+        });
+    } else {
+        const SimDuration dur = std::max<SimDuration>(
+            1, duration_for_cycles(ctx_.suite.total_cycles(), c.freq_hz()));
+        ex.completion = ctx_.sim.schedule_in(dur, [this, core] {
+            on_test_complete(core);
+        });
+    }
+}
+
+void TestEngine::on_routine_complete(CoreId core) {
+    TestExec& ex = test_exec_[core];
+    MCS_REQUIRE(ex.active, "routine completion for inactive core");
+    if (++test_progress_[core] == ctx_.suite.routine_count()) {
+        test_progress_[core] = 0;
+        on_test_complete(core);
+        return;
+    }
+    const auto& routine = ctx_.suite.routines()[test_progress_[core]];
+    const SimDuration dur = std::max<SimDuration>(
+        1, duration_for_cycles(routine.cycles,
+                               ctx_.chip.core(core).freq_hz()));
+    ex.completion = ctx_.sim.schedule_in(dur, [this, core] {
+        on_routine_complete(core);
+    });
+}
+
+void TestEngine::on_test_complete(CoreId core) {
+    const SimTime now = ctx_.sim.now();
+    TestExec& ex = test_exec_[core];
+    MCS_REQUIRE(ex.active, "test completion for inactive core");
+    ex.active = false;
+    --tests_running_;
+    Core& c = ctx_.chip.core(core);
+    c.finish_test(now, /*completed=*/true);
+    // Return to the frugal idle point; a task grant or the capping loop
+    // decides the next operating level.
+    c.set_vf_level(now, 0);
+    ctx_.power_mgr->touch(now, core);
+    ++ctx_.metrics.tests_completed;
+    ctx_.observers.test_session_complete(now, core, ex.vf_level);
+    // The histogram counts *completed* suites per level (aborted sessions
+    // are tracked separately via tests_aborted).
+    ++ctx_.metrics
+          .tests_per_vf_level[static_cast<std::size_t>(ex.vf_level)];
+    // Only closed test-to-test gaps enter the interval statistic (the
+    // boot-to-first-test gap is a different quantity; the worst open gap
+    // is reported separately as max_open_test_gap_s).
+    if (last_test_done_[core] != 0) {
+        ctx_.metrics.test_interval_s.add(
+            to_seconds(now - last_test_done_[core]));
+    }
+    last_test_done_[core] = now;
+
+    if (ctx_.faults != nullptr) {
+        // Approximation: a segmented suite assembled across several
+        // sessions rolls detection at the level of its final session.
+        if (auto detected = ctx_.faults->attempt_detection(
+                core, now, ctx_.suite, ex.vf_level,
+                static_cast<int>(ctx_.chip.vf_level_count()))) {
+            c.mark_faulty(now);
+            ctx_.idle_predictor->notify_unavailable(core, now);
+            const double latency_s = to_seconds(now - detected->injected);
+            ctx_.metrics.detection_latency_s.add(latency_s);
+            ctx_.metrics.detection_latency_samples.add(latency_s);
+        }
+    }
+    ctx_.workload->try_map_pending();
+}
+
+void TestEngine::abort_test(CoreId core) {
+    const SimTime now = ctx_.sim.now();
+    TestExec& ex = test_exec_[core];
+    MCS_REQUIRE(ex.active, "abort for inactive test");
+    ctx_.sim.cancel(ex.completion);
+    ex.active = false;
+    --tests_running_;
+    Core& c = ctx_.chip.core(core);
+    c.finish_test(now, /*completed=*/false);
+    c.set_vf_level(now, 0);  // frugal idle until reassigned
+    last_test_abort_[core] = now;
+    ++ctx_.metrics.tests_aborted;
+    ctx_.observers.test_session_abort(now, core, ex.vf_level);
+}
+
+void TestEngine::wear_step(SimTime now, double dt_s) {
+    if (link_tester_) {
+        link_tester_->step(now, dt_s);
+    }
+}
+
+void TestEngine::finalize_into(RunMetrics& m, SimTime end) {
+    const double secs = to_seconds(end);
+    std::size_t untested = 0;
+    double max_open_gap = 0.0;
+    for (const Core& c : ctx_.chip.cores()) {
+        if (c.state() == CoreState::Faulty) {
+            continue;  // decommissioned: no longer a test target
+        }
+        if (c.tests_completed() == 0) {
+            ++untested;
+        }
+        max_open_gap = std::max(
+            max_open_gap, to_seconds(end - last_test_done_[c.id()]));
+    }
+    m.untested_core_fraction = static_cast<double>(untested) /
+                               static_cast<double>(ctx_.chip.core_count());
+    m.max_open_test_gap_s = max_open_gap;
+    m.tests_per_core_per_s = static_cast<double>(m.tests_completed) /
+                             static_cast<double>(ctx_.chip.core_count()) /
+                             secs;
+
+    if (link_tester_) {
+        m.link_faults_injected = link_tester_->injected_count();
+        m.link_faults_detected = link_tester_->detected_count();
+        m.link_test_escapes = link_tester_->escaped_tests();
+        m.corrupted_messages = link_tester_->corrupted_messages();
+        double max_gap = 0.0;
+        for (SimTime t : last_link_test_) {
+            max_gap = std::max(max_gap, to_seconds(end - t));
+        }
+        m.max_open_link_test_gap_s = max_gap;
+    }
+
+    scheduler_->export_telemetry(ctx_.registry);
+}
+
+}  // namespace mcs

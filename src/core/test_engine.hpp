@@ -1,0 +1,105 @@
+#pragma once
+
+// TestEngine: online testing of cores and NoC links. Owns the test
+// scheduler policy, the per-core session state (including segmented-suite
+// resume positions and abort backoff stamps) and the link tester; builds
+// the SchedulerContext each test epoch and executes the sessions the
+// policy starts. The power substrate and workload are reached through
+// SystemContext.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/system_context.hpp"
+#include "core/test_scheduler.hpp"
+#include "noc/link_test.hpp"
+
+namespace mcs {
+
+class TestEngine {
+public:
+    /// Builds the scheduler policy (and the link tester, when NoC testing
+    /// is on) from `ctx.cfg` and registers itself in `ctx`.
+    explicit TestEngine(SystemContext& ctx);
+    TestEngine(const TestEngine&) = delete;
+    TestEngine& operator=(const TestEngine&) = delete;
+
+    /// One test epoch: refresh criticality, assemble the SchedulerContext
+    /// (idle/dark candidates minus abort backoff), run the policy, then
+    /// schedule link tests on overdue idle links.
+    void test_epoch();
+
+    /// Starts an SBST session on `core` at `vf_level` (wakes a dark core,
+    /// charges the test power increment to the ledger). In segmented mode
+    /// the session resumes from the core's saved routine position.
+    void start_test_session(CoreId core, int vf_level);
+
+    /// Aborts the in-flight session on `core` (the mapper claimed it) and
+    /// stamps the retry backoff. Segmented progress is preserved.
+    void abort_test(CoreId core);
+
+    /// Drops any saved segmented-suite progress on `core` (a fresh fault
+    /// invalidates routines that ran on a then-healthy core).
+    void invalidate_progress(CoreId core) { test_progress_[core] = 0; }
+
+    /// Wear-epoch hook: advances link-fault arrivals (called by
+    /// PlatformEngine after core fault arrivals, preserving stream order).
+    void wear_step(SimTime now, double dt_s);
+
+    // --- introspection (tests, examples, scenario scripting) ---
+    int tests_running() const noexcept { return tests_running_; }
+    int link_tests_running() const noexcept { return link_tests_running_; }
+    bool test_active(CoreId core) const { return test_exec_[core].active; }
+    /// Completed routines of the (possibly paused) segmented suite.
+    std::size_t suite_progress(CoreId core) const {
+        return test_progress_[core];
+    }
+    SimTime last_abort(CoreId core) const { return last_test_abort_[core]; }
+    std::span<const SimTime> last_test_done() const noexcept {
+        return last_test_done_;
+    }
+    const TestScheduler& scheduler() const noexcept { return *scheduler_; }
+    TestScheduler& scheduler() noexcept { return *scheduler_; }
+    const LinkTester* link_tester() const noexcept {
+        return link_tester_ ? &*link_tester_ : nullptr;
+    }
+
+    /// Writes the test-owned slice of the end-of-run metrics (coverage
+    /// gaps, per-core test rates, link-test results) and exports the
+    /// scheduler's telemetry.
+    void finalize_into(RunMetrics& m, SimTime end);
+
+private:
+    /// State of a test session running on a core. In segmented mode the
+    /// suite position lives in test_progress_ (it persists across aborted
+    /// sessions).
+    struct TestExec {
+        bool active = false;
+        int vf_level = 0;
+        EventId completion{};
+    };
+
+    void schedule_link_tests(SimTime now);
+    void on_link_test_complete(LinkId link);
+    void on_routine_complete(CoreId core);
+    void on_test_complete(CoreId core);
+
+    SystemContext& ctx_;
+    std::unique_ptr<TestScheduler> scheduler_;
+    std::optional<LinkTester> link_tester_;
+    std::vector<SimTime> last_link_test_;
+    std::vector<std::uint8_t> link_test_active_;
+    int link_tests_running_ = 0;
+
+    std::vector<TestExec> test_exec_;
+    /// Remembers per-core suite progress across aborted segmented sessions.
+    std::vector<std::size_t> test_progress_;
+    std::vector<SimTime> last_test_done_;
+    std::vector<SimTime> last_test_abort_;
+    int tests_running_ = 0;
+};
+
+}  // namespace mcs

@@ -1,0 +1,372 @@
+#include "core/workload_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/platform_engine.hpp"
+#include "core/system.hpp"
+#include "core/test_engine.hpp"
+#include "thermal/thermal_model.hpp"
+#include "mapping/contiguous_mapper.hpp"
+#include "noc/link_test.hpp"
+#include "power/power_manager.hpp"
+#include "util/require.hpp"
+
+namespace mcs {
+
+namespace {
+
+std::unique_ptr<Mapper> make_mapper(const SystemConfig& cfg) {
+    if (cfg.mapper_factory) {
+        auto mapper = cfg.mapper_factory();
+        MCS_REQUIRE(mapper != nullptr, "mapper factory returned null");
+        return mapper;
+    }
+    switch (cfg.mapper) {
+        case MapperKind::TestAware:
+            return std::make_unique<ContiguousMapper>(
+                ContiguousMapper::test_aware());
+        case MapperKind::ThermalAware:
+            return std::make_unique<ContiguousMapper>(
+                ContiguousMapper::thermal_aware());
+        case MapperKind::UtilizationOriented:
+            return std::make_unique<ContiguousMapper>(
+                ContiguousMapper::utilization_oriented());
+        case MapperKind::Contiguous:
+            return std::make_unique<ContiguousMapper>(
+                ContiguousMapper::plain());
+        case MapperKind::Random:
+            return std::make_unique<RandomMapper>();
+        case MapperKind::FirstFit:
+            return std::make_unique<FirstFitMapper>();
+    }
+    MCS_REQUIRE(false, "unknown mapper kind");
+    return nullptr;
+}
+
+}  // namespace
+
+WorkloadEngine::WorkloadEngine(SystemContext& ctx)
+    : ctx_(ctx),
+      mapper_(make_mapper(ctx.cfg)),
+      idle_predictor_(ctx.chip.core_count()),
+      rebuild_([this](PlatformViewCache& cache) { rebuild_view(cache); }) {
+    core_exec_.resize(ctx_.chip.core_count());
+    view_cache_.reset(ctx_.cfg.width, ctx_.cfg.height,
+                      ctx_.chip.core_count());
+    for (const Core& c : ctx_.chip.cores()) {
+        idle_predictor_.notify_available(c.id(), 0);
+    }
+    ctx_.power_mgr->set_vf_change_listener(
+        [this](CoreId core, int old_level, int new_level) {
+            on_vf_change(core, old_level, new_level);
+        });
+    ctx_.power_mgr->set_priority_lookup(
+        [this](CoreId core) { return priority_of(core); });
+    ctx_.idle_predictor = &idle_predictor_;
+    ctx_.workload = this;
+}
+
+void WorkloadEngine::admit_workload(SimDuration horizon) {
+    WorkloadGenerator wg(ctx_.cfg.workload,
+                         ctx_.cfg.seed ^ 0xbf58476d1ce4e5b9ULL);
+    auto specs = wg.generate(horizon);
+    apps_.reserve(apps_.size() + specs.size());
+    for (auto& spec : specs) {
+        const std::size_t index = apps_.size();
+        const SimTime arrival = spec.arrival;
+        apps_.emplace_back(std::move(spec));
+        ctx_.sim.schedule_at(arrival, [this, index] { on_arrival(index); });
+    }
+    ctx_.metrics.apps_arrived = apps_.size();
+}
+
+std::size_t WorkloadEngine::inject(ApplicationSpec spec) {
+    const std::size_t index = apps_.size();
+    apps_.emplace_back(std::move(spec));
+    ctx_.metrics.apps_arrived = apps_.size();
+    return index;
+}
+
+bool WorkloadEngine::app_mapped(std::size_t app_index) const {
+    return !apps_[app_index].task_core.empty();
+}
+
+bool WorkloadEngine::app_done(std::size_t app_index) const {
+    return apps_[app_index].done;
+}
+
+std::size_t WorkloadEngine::pending_in_class(std::size_t cls) const {
+    return pending_[cls].size();
+}
+
+int WorkloadEngine::priority_of(CoreId core) const {
+    const CoreExec& ex = core_exec_[core];
+    return ex.active && !ctx_.priority_blind
+               ? static_cast<int>(apps_[ex.app_index].spec.qos)
+               : 0;
+}
+
+void WorkloadEngine::on_arrival(std::size_t app_index) {
+    ctx_.observers.app_arrival(ctx_.sim.now(), app_index,
+                               apps_[app_index].spec.graph.size());
+    const auto cls =
+        ctx_.priority_blind
+            ? std::size_t{0}
+            : static_cast<std::size_t>(apps_[app_index].spec.qos);
+    pending_[cls].push_back(app_index);
+    ++pending_total_;
+    try_map_pending();
+}
+
+void WorkloadEngine::rebuild_view(PlatformViewCache& cache) {
+    const SimTime now = ctx_.sim.now();
+    auto& alloc = cache.allocatable_buf();
+    auto& testing = cache.testing_buf();
+    auto& util = cache.utilization_buf();
+    for (const Core& c : ctx_.chip.cores()) {
+        bool ok = !c.reserved();
+        switch (c.state()) {
+            case CoreState::Idle:
+            case CoreState::Dark:
+                break;
+            case CoreState::Testing:
+                ok = ok && ctx_.cfg.abort_tests_for_mapping;
+                break;
+            case CoreState::Busy:
+            case CoreState::Faulty:
+                ok = false;
+                break;
+        }
+        alloc[c.id()] = ok ? 1 : 0;
+        testing[c.id()] = c.is_testing() ? 1 : 0;
+        util[c.id()] = c.busy_fraction(now);
+    }
+    PlatformView& view = cache.view();
+    view.criticality = ctx_.platform->refresh_criticality(now);
+    view.temperature_c = ctx_.thermal->temps_c();
+}
+
+void WorkloadEngine::try_map_pending() {
+    if (mapping_in_progress_) {
+        return;
+    }
+    mapping_in_progress_ = true;
+    // Chip state may have moved since the last round (this call sits behind
+    // a simulation event): force a fresh scan on first use.
+    view_cache_.invalidate();
+    const std::uint64_t scans_before = view_cache_.chip_scans();
+    // Serve classes in priority order (hard RT first). Within a class the
+    // queue is FIFO with head-of-line blocking; a blocked head of a higher
+    // class does not stall lower classes (work-conserving).
+    for (std::size_t cls = kQosClassCount; cls-- > 0;) {
+        auto& queue = pending_[cls];
+        while (!queue.empty()) {
+            const std::size_t index = queue.front();
+            AppRun& app = apps_[index];
+            const PlatformView& view = view_cache_.get(rebuild_);
+            ++mapping_attempts_;
+            MapRequest request{app.spec.id, app.spec.graph.size()};
+            const auto result = mapper_->map(request, view, ctx_.map_rng);
+            if (!result) {
+                break;
+            }
+            ctx_.metrics.mapping_dispersion_hops.add(
+                mapping_dispersion(view, result->cores));
+            queue.pop_front();
+            --pending_total_;
+            view_cache_.on_commit(result->cores);
+            commit_mapping(index, *result);
+        }
+    }
+    if (view_cache_.chip_scans() != scans_before) {
+        ++mapping_rounds_;
+    }
+    mapping_in_progress_ = false;
+}
+
+void WorkloadEngine::commit_mapping(std::size_t app_index,
+                                    const MappingResult& result) {
+    const SimTime now = ctx_.sim.now();
+    AppRun& app = apps_[app_index];
+    MCS_REQUIRE(result.cores.size() == app.spec.graph.size(),
+                "mapping result size mismatch");
+    for (CoreId id : result.cores) {
+        Core& c = ctx_.chip.core(id);
+        if (c.is_testing()) {
+            // Testing cores are only allocatable when aborts are allowed;
+            // a mapper handing one over otherwise broke its contract.
+            MCS_REQUIRE(ctx_.cfg.abort_tests_for_mapping,
+                        "mapper claimed a testing core with aborts disabled");
+            ctx_.test->abort_test(id);
+        }
+        if (c.state() == CoreState::Dark) {
+            ctx_.power_mgr->wake_core(now, id, ctx_.thermal->temp_c(id));
+        }
+        MCS_REQUIRE(c.is_idle() && !c.reserved(),
+                    "mapper selected an unavailable core");
+        c.set_reserved(true);
+        idle_predictor_.notify_unavailable(id, now);
+        ctx_.power_mgr->touch(now, id);
+    }
+    ctx_.observers.app_mapped(now, app_index,
+                              result.cores.empty() ? 0 : result.cores.front(),
+                              result.cores.size());
+    app.task_core = result.cores;
+    const auto n = static_cast<TaskIndex>(app.spec.graph.size());
+    app.waiting.resize(n);
+    for (TaskIndex t = 0; t < n; ++t) {
+        app.waiting[t] = app.spec.graph.pred_count(t);
+    }
+    ctx_.metrics.app_queue_wait_ms.add(
+        to_milliseconds(now - app.spec.arrival));
+    for (TaskIndex t : app.spec.graph.sources()) {
+        start_task(app_index, t);
+    }
+}
+
+void WorkloadEngine::start_task(std::size_t app_index, TaskIndex task) {
+    const SimTime now = ctx_.sim.now();
+    AppRun& app = apps_[app_index];
+    const CoreId id = app.task_core[task];
+    Core& c = ctx_.chip.core(id);
+    MCS_REQUIRE(c.is_idle() && c.reserved(), "task core not ready");
+    c.set_vf_level(
+        now, ctx_.power_mgr->grant_task_level(id, ctx_.thermal->temp_c(id)));
+    c.start_task(now);
+    CoreExec& ex = core_exec_[id];
+    MCS_REQUIRE(!ex.active, "core already executing a task");
+    ex.active = true;
+    ex.app_index = app_index;
+    ex.task = task;
+    ex.remaining_cycles =
+        static_cast<double>(app.spec.graph.task(task).cycles);
+    ex.last_progress = now;
+    const SimDuration dur = std::max<SimDuration>(
+        1, duration_for_cycles(app.spec.graph.task(task).cycles, c.freq_hz()));
+    ex.completion = ctx_.sim.schedule_in(dur, [this, id] {
+        on_task_complete(id);
+    });
+}
+
+void WorkloadEngine::on_task_complete(CoreId core) {
+    const SimTime now = ctx_.sim.now();
+    CoreExec& ex = core_exec_[core];
+    MCS_REQUIRE(ex.active, "completion for inactive core");
+    const std::size_t app_index = ex.app_index;
+    const TaskIndex task = ex.task;
+    ex.active = false;
+    Core& c = ctx_.chip.core(core);
+    c.finish_task(now);
+    ++ctx_.metrics.tasks_completed;
+
+    AppRun& app = apps_[app_index];
+    if (ctx_.faults != nullptr && ctx_.faults->roll_task_corruption(core)) {
+        app.corrupted = true;
+    }
+    for (const TaskEdge& e : app.spec.graph.task(task).successors) {
+        const CoreId dst_core = app.task_core[e.dst];
+        const Transfer t = ctx_.noc.send(core, dst_core, e.bytes);
+        if (ctx_.link_tester != nullptr) {
+            for (LinkId link : ctx_.noc.last_route()) {
+                if (ctx_.link_tester->roll_message_corruption(link)) {
+                    app.corrupted = true;
+                    break;
+                }
+            }
+        }
+        const TaskIndex dst = e.dst;
+        ctx_.sim.schedule_in(std::max<SimDuration>(1, t.latency),
+                             [this, app_index, dst] {
+                                 deliver_edge(app_index, dst);
+                             });
+    }
+    ++app.tasks_done;
+    if (app.tasks_done == app.spec.graph.size()) {
+        release_app(app_index);
+    }
+}
+
+void WorkloadEngine::deliver_edge(std::size_t app_index, TaskIndex dst) {
+    AppRun& app = apps_[app_index];
+    MCS_REQUIRE(app.waiting[dst] > 0, "duplicate edge delivery");
+    if (--app.waiting[dst] == 0) {
+        start_task(app_index, dst);
+    }
+}
+
+void WorkloadEngine::release_app(std::size_t app_index) {
+    const SimTime now = ctx_.sim.now();
+    AppRun& app = apps_[app_index];
+    MCS_REQUIRE(!app.done, "double app release");
+    app.done = true;
+    for (CoreId id : app.task_core) {
+        Core& c = ctx_.chip.core(id);
+        c.set_reserved(false);
+        idle_predictor_.notify_available(id, now);
+        ctx_.power_mgr->touch(now, id);
+    }
+    ++ctx_.metrics.apps_completed;
+    if (app.corrupted) {
+        ++ctx_.metrics.corrupted_apps;
+    }
+    const double latency_ms = to_milliseconds(now - app.spec.arrival);
+    ctx_.observers.app_complete(now, app_index, app.corrupted, latency_ms);
+    ctx_.metrics.app_latency_ms.add(latency_ms);
+    const auto cls = static_cast<std::size_t>(app.spec.qos);
+    ++ctx_.metrics.apps_completed_by_class[cls];
+    if (app.spec.relative_deadline > 0) {
+        const bool met =
+            now - app.spec.arrival <= app.spec.relative_deadline;
+        if (met) {
+            ++ctx_.metrics.deadlines_met_by_class[cls];
+        } else {
+            ++ctx_.metrics.deadlines_missed_by_class[cls];
+        }
+    }
+    try_map_pending();
+}
+
+void WorkloadEngine::on_vf_change(CoreId core, int old_level, int new_level) {
+    CoreExec& ex = core_exec_[core];
+    if (!ex.active) {
+        return;
+    }
+    const SimTime now = ctx_.sim.now();
+    const double old_freq =
+        ctx_.chip.vf_table()[static_cast<std::size_t>(old_level)].freq_hz;
+    const double new_freq =
+        ctx_.chip.vf_table()[static_cast<std::size_t>(new_level)].freq_hz;
+    const SimDuration elapsed = now - ex.last_progress;
+    ex.remaining_cycles -= to_seconds(elapsed) * old_freq;
+    ex.remaining_cycles = std::max(0.0, ex.remaining_cycles);
+    ex.last_progress = now;
+    ctx_.sim.cancel(ex.completion);
+    const auto cycles = static_cast<std::uint64_t>(
+        std::ceil(ex.remaining_cycles));
+    const SimDuration dur =
+        std::max<SimDuration>(1, duration_for_cycles(cycles, new_freq));
+    ex.completion = ctx_.sim.schedule_in(dur, [this, core] {
+        on_task_complete(core);
+    });
+}
+
+void WorkloadEngine::finalize_into(RunMetrics& m, SimTime end) {
+    const double secs = to_seconds(end);
+    m.apps_rejected = pending_total_;
+    m.throughput_tasks_per_s =
+        static_cast<double>(m.tasks_completed) / secs;
+    m.throughput_apps_per_s =
+        static_cast<double>(m.apps_completed) / secs;
+    std::uint64_t busy_cycles = 0;
+    double util_sum = 0.0;
+    for (const Core& c : ctx_.chip.cores()) {
+        busy_cycles += c.total_busy_cycles();
+        util_sum += c.busy_fraction(end);
+    }
+    m.work_cycles_per_s = static_cast<double>(busy_cycles) / secs;
+    m.mean_chip_utilization =
+        util_sum / static_cast<double>(ctx_.chip.core_count());
+}
+
+}  // namespace mcs

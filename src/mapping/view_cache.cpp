@@ -1,0 +1,47 @@
+#include "mapping/view_cache.hpp"
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+void PlatformViewCache::reset(int width, int height,
+                              std::size_t core_count) {
+    MCS_REQUIRE(width > 0 && height > 0, "view dimensions must be positive");
+    MCS_REQUIRE(static_cast<std::size_t>(width) *
+                        static_cast<std::size_t>(height) ==
+                    core_count,
+                "core count must match the mesh");
+    view_ = PlatformView{};
+    view_.width = width;
+    view_.height = height;
+    alloc_.assign(core_count, 0);
+    testing_.assign(core_count, 0);
+    util_.assign(core_count, 0.0);
+    valid_ = false;
+    chip_scans_ = 0;
+}
+
+const PlatformView& PlatformViewCache::get(const Rebuild& rebuild) {
+    if (!valid_) {
+        rebuild(*this);
+        view_.allocatable = alloc_;
+        view_.utilization = util_;
+        view_.testing = testing_;
+        ++chip_scans_;
+        valid_ = true;
+    }
+    return view_;
+}
+
+void PlatformViewCache::on_commit(std::span<const CoreId> cores) {
+    if (!valid_) {
+        return;
+    }
+    for (CoreId id : cores) {
+        MCS_REQUIRE(id < alloc_.size(), "committed core out of range");
+        alloc_[id] = 0;
+        testing_[id] = 0;
+    }
+}
+
+}  // namespace mcs

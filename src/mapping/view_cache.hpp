@@ -1,0 +1,72 @@
+#pragma once
+
+// PlatformViewCache: one full-chip PlatformView per *mapping round* instead
+// of one per queued application. The round loop asks get() for the view;
+// the first call scans the chip (via the caller-supplied rebuild functor),
+// later calls in the same round reuse the buffers. After a successful
+// mapping commit the caller calls on_commit(cores): within one simulation
+// event the only view inputs a commit can change are the committed cores'
+// allocatable/testing flags (reservation, wake-up, test abort), so the
+// cache patches exactly those entries in place:
+//
+//   * utilization: Core::busy_fraction(now) is unchanged at the same
+//     timestamp (a task started "now" has accrued zero busy time);
+//   * criticality: an aborted test does not reset stress counters or
+//     last_test_end, and aging damage only moves at wear epochs;
+//   * temperature: the thermal model only steps at thermal epochs.
+//
+// This makes the cached view byte-identical to a full rescan while doing
+// one O(cores) scan + criticality pass per round.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mapping/mapper.hpp"
+
+namespace mcs {
+
+class PlatformViewCache {
+public:
+    /// The rebuild functor fills the three owned buffers (sized
+    /// `core_count` after reset()) and binds the view's external spans
+    /// (criticality, temperature) before returning.
+    using Rebuild = std::function<void(PlatformViewCache&)>;
+
+    void reset(int width, int height, std::size_t core_count);
+
+    /// Returns the round's view, invoking `rebuild(*this)` only if no
+    /// scan has happened since the last invalidate().
+    const PlatformView& get(const Rebuild& rebuild);
+
+    /// Marks the cache stale; the next get() performs a fresh chip scan.
+    /// Call at round start (state moved between simulation events).
+    void invalidate() noexcept { valid_ = false; }
+    bool valid() const noexcept { return valid_; }
+
+    /// Patches the view after a mapping commit: the committed cores are no
+    /// longer allocatable and no longer testing (see header comment for
+    /// why the remaining fields stay exact).
+    void on_commit(std::span<const CoreId> cores);
+
+    /// Full chip scans performed (== mapping rounds that reached the
+    /// mapper since construction; the cacheability witness).
+    std::uint64_t chip_scans() const noexcept { return chip_scans_; }
+
+    // Buffers and view, exposed for the rebuild functor.
+    std::vector<std::uint8_t>& allocatable_buf() noexcept { return alloc_; }
+    std::vector<std::uint8_t>& testing_buf() noexcept { return testing_; }
+    std::vector<double>& utilization_buf() noexcept { return util_; }
+    PlatformView& view() noexcept { return view_; }
+
+private:
+    PlatformView view_;
+    std::vector<std::uint8_t> alloc_;
+    std::vector<std::uint8_t> testing_;
+    std::vector<double> util_;
+    bool valid_ = false;
+    std::uint64_t chip_scans_ = 0;
+};
+
+}  // namespace mcs

@@ -42,6 +42,8 @@ public:
     Network(int width, int height, NocParams params = {});
 
     const MeshTopology& topology() const noexcept { return topo_; }
+    /// Convenience for the common topology query (saves callers a hop).
+    std::size_t link_count() const noexcept { return topo_.link_count(); }
     const NocParams& params() const noexcept { return params_; }
 
     /// Plans a transfer of `bytes` from `src` to `dst`, charges the load to

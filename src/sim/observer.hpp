@@ -1,0 +1,59 @@
+#pragma once
+
+// Generic observer fan-out used by the hook layers above the simulator.
+// Observers are non-owning raw pointers; dispatch is a plain loop so a
+// single registered observer costs one indirect call per event and an
+// empty list costs one branch.
+
+#include <algorithm>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace mcs {
+
+template <typename Observer>
+class ObserverList {
+public:
+    void add(Observer* observer) {
+        MCS_REQUIRE(observer != nullptr, "observer must not be null");
+        MCS_REQUIRE(std::find(observers_.begin(), observers_.end(),
+                              observer) == observers_.end(),
+                    "observer already registered");
+        observers_.push_back(observer);
+    }
+
+    void remove(Observer* observer) {
+        observers_.erase(std::remove(observers_.begin(), observers_.end(),
+                                     observer),
+                         observers_.end());
+    }
+
+    bool empty() const noexcept { return observers_.empty(); }
+    std::size_t size() const noexcept { return observers_.size(); }
+
+    /// Invokes `fn(observer)` for every registered observer, in
+    /// registration order (deterministic dispatch).
+    template <typename Fn>
+    void notify(Fn&& fn) const {
+        for (Observer* o : observers_) {
+            fn(*o);
+        }
+    }
+
+    /// True if `fn(observer)` is true for any registered observer.
+    template <typename Fn>
+    bool any(Fn&& fn) const {
+        for (Observer* o : observers_) {
+            if (fn(*o)) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+private:
+    std::vector<Observer*> observers_;
+};
+
+}  // namespace mcs

@@ -1,0 +1,85 @@
+#include "telemetry/observer_adapter.hpp"
+
+namespace mcs::telemetry {
+
+TelemetryObserver::TelemetryObserver(MetricsRegistry& registry)
+    : tests_started_(registry.counter("system.test_sessions_started")),
+      tests_completed_(registry.counter("system.tests_completed")),
+      tests_aborted_(registry.counter("system.tests_aborted")),
+      apps_mapped_(registry.counter("system.apps_mapped")),
+      apps_completed_(registry.counter("system.apps_completed")),
+      app_latency_ms_(
+          registry.histogram("system.app_latency_ms", 0.0, 500.0, 50)) {}
+
+void TelemetryObserver::on_app_arrival(SimTime now, std::size_t app_index,
+                                       std::size_t tasks) {
+    if (tracer_ != nullptr) {
+        tracer_->record(now, TraceCategory::Workload, TracePhase::Instant,
+                        "app_arrival", 0,
+                        static_cast<std::int64_t>(app_index),
+                        static_cast<std::int64_t>(tasks));
+    }
+}
+
+void TelemetryObserver::on_app_mapped(SimTime now, std::size_t app_index,
+                                      CoreId first_core, std::size_t cores) {
+    if (tracer_ != nullptr) {
+        tracer_->record(now, TraceCategory::Workload, TracePhase::Instant,
+                        "app_mapped", cores == 0 ? 0 : first_core,
+                        static_cast<std::int64_t>(app_index),
+                        static_cast<std::int64_t>(cores));
+    }
+    apps_mapped_.inc();
+}
+
+void TelemetryObserver::on_app_complete(SimTime now, std::size_t app_index,
+                                        bool corrupted, double latency_ms) {
+    if (tracer_ != nullptr) {
+        tracer_->record(now, TraceCategory::Workload, TracePhase::Instant,
+                        "app_complete", 0,
+                        static_cast<std::int64_t>(app_index),
+                        corrupted ? 1 : 0);
+    }
+    apps_completed_.inc();
+    app_latency_ms_.add(latency_ms);
+}
+
+void TelemetryObserver::on_test_session_begin(SimTime now, CoreId core,
+                                              int vf_level) {
+    tests_started_.inc();
+    if (tracer_ != nullptr) {
+        // Begin/End pairs keyed on the core id render as per-core test
+        // spans in the Chrome trace viewer.
+        tracer_->record(now, TraceCategory::Session, TracePhase::Begin,
+                        "test_session", core, vf_level);
+    }
+}
+
+void TelemetryObserver::on_test_session_complete(SimTime now, CoreId core,
+                                                 int vf_level) {
+    tests_completed_.inc();
+    if (tracer_ != nullptr) {
+        tracer_->record(now, TraceCategory::Session, TracePhase::End,
+                        "test_session", core, vf_level);
+    }
+}
+
+void TelemetryObserver::on_test_session_abort(SimTime now, CoreId core,
+                                              int vf_level) {
+    tests_aborted_.inc();
+    if (tracer_ != nullptr) {
+        // Close the session span and mark the abort distinctly.
+        tracer_->record(now, TraceCategory::Session, TracePhase::End,
+                        "test_session", core, vf_level);
+        tracer_->record(now, TraceCategory::Session, TracePhase::Instant,
+                        "test_abort", core, vf_level);
+    }
+}
+
+void TelemetryObserver::on_trace_sample(const TraceSample& sample) {
+    if (sink_) {
+        sink_(sample);
+    }
+}
+
+}  // namespace mcs::telemetry

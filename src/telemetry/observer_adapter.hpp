@@ -1,0 +1,64 @@
+#pragma once
+
+// TelemetryObserver: the SystemObserver implementation that feeds the
+// telemetry backends. It owns the translation from typed system events to
+//
+//   * the (optional, non-owning) event Tracer — same event names, tracks
+//     and arguments as the pre-observer wiring, so traces stay
+//     byte-identical;
+//   * the MetricsRegistry "system.*" counters/histograms (references
+//     resolved once at construction; inc() on the hot path);
+//   * the user-facing TraceSink sample callback (E2's power trace).
+//
+// The ManycoreSystem façade installs one instance by default; additional
+// SystemObservers (user scenario hooks) ride the same hub without touching
+// telemetry.
+
+#include "core/metrics.hpp"
+#include "core/system_observer.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace mcs::telemetry {
+
+class TelemetryObserver final : public SystemObserver {
+public:
+    /// Registers the "system.*" metrics in `registry` (unconditionally, so
+    /// reports always carry them). The registry must outlive the adapter.
+    explicit TelemetryObserver(MetricsRegistry& registry);
+
+    /// Attaches / detaches the event tracer (may be null).
+    void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+
+    /// Attaches the periodic power/state sample sink (may be empty).
+    void set_trace_sink(TraceSink sink) { sink_ = std::move(sink); }
+
+    void on_app_arrival(SimTime now, std::size_t app_index,
+                        std::size_t tasks) override;
+    void on_app_mapped(SimTime now, std::size_t app_index, CoreId first_core,
+                       std::size_t cores) override;
+    void on_app_complete(SimTime now, std::size_t app_index, bool corrupted,
+                         double latency_ms) override;
+    void on_test_session_begin(SimTime now, CoreId core,
+                               int vf_level) override;
+    void on_test_session_complete(SimTime now, CoreId core,
+                                  int vf_level) override;
+    void on_test_session_abort(SimTime now, CoreId core,
+                               int vf_level) override;
+    void on_trace_sample(const TraceSample& sample) override;
+    bool wants_trace_samples() const override {
+        return static_cast<bool>(sink_);
+    }
+
+private:
+    Tracer* tracer_ = nullptr;
+    TraceSink sink_;
+    Counter& tests_started_;
+    Counter& tests_completed_;
+    Counter& tests_aborted_;
+    Counter& apps_mapped_;
+    Counter& apps_completed_;
+    Histogram& app_latency_ms_;
+};
+
+}  // namespace mcs::telemetry

@@ -1,0 +1,255 @@
+// Unit-level tests for the engine seams behind the ManycoreSystem façade:
+// the per-round platform-view cache (one chip scan per mapping round), the
+// segmented-test abort/resume path under mapping contention, the abort
+// backoff filter, and set_priority_blind's interaction with the QoS
+// admission queues. These drive WorkloadEngine/TestEngine directly --
+// no full-system run() needed except where app completion matters.
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "core/system_observer.hpp"
+#include "core/test_engine.hpp"
+#include "core/workload_engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcs {
+namespace {
+
+// 2x2 chip, no generated arrivals (the rate is vanishingly small), no
+// automatic test scheduling -- every event in these tests is injected.
+SystemConfig small_cfg() {
+    SystemConfig cfg;
+    cfg.width = 2;
+    cfg.height = 2;
+    cfg.scheduler = SchedulerKind::None;
+    cfg.mapper = MapperKind::FirstFit;
+    cfg.workload.arrival_rate_hz = 1e-6;
+    return cfg;
+}
+
+ApplicationSpec make_app(std::size_t tasks, std::uint64_t cycles,
+                         QosClass qos = QosClass::BestEffort) {
+    std::vector<Task> ts(tasks);
+    for (Task& t : ts) {
+        t.cycles = cycles;
+    }
+    return ApplicationSpec{0, 0, qos, 0, TaskGraph(std::move(ts))};
+}
+
+/// Records the order in which applications get mapped.
+struct MapOrderObserver final : SystemObserver {
+    std::vector<std::size_t> order;
+    void on_app_mapped(SimTime, std::size_t app, CoreId,
+                       std::size_t) override {
+        order.push_back(app);
+    }
+    bool wants_trace_samples() const override { return false; }
+};
+
+TEST(WorkloadEngineSeams, OneChipScanPerMappingRound) {
+    ManycoreSystem sys(small_cfg());
+    WorkloadEngine& we = sys.workload_engine();
+
+    // Round 1: an app the size of the chip maps immediately -- one scan.
+    const std::size_t a0 = we.inject(make_app(4, 1'000'000));
+    we.on_arrival(a0);
+    EXPECT_TRUE(we.app_mapped(a0));
+    EXPECT_EQ(we.chip_scans(), 1u);
+    EXPECT_EQ(we.mapping_attempts(), 1u);
+
+    // Rounds 2 and 3: chip is full, both apps stay queued (one failed
+    // attempt each, one scan each).
+    const std::size_t a1 = we.inject(make_app(2, 400'000));
+    we.on_arrival(a1);
+    const std::size_t a2 = we.inject(make_app(2, 400'000));
+    we.on_arrival(a2);
+    EXPECT_FALSE(we.app_mapped(a1));
+    EXPECT_FALSE(we.app_mapped(a2));
+    EXPECT_EQ(we.pending_total(), 2u);
+    EXPECT_EQ(we.chip_scans(), 3u);
+    EXPECT_EQ(we.mapping_attempts(), 3u);
+
+    // a0 finishes during the run; its release round maps BOTH queued apps
+    // off a single chip scan (the cache is patched per commit, not
+    // rebuilt). Their own completions find empty queues: no further scans.
+    sys.run(50 * kMillisecond);
+    EXPECT_TRUE(we.app_done(a0));
+    EXPECT_TRUE(we.app_done(a1));
+    EXPECT_TRUE(we.app_done(a2));
+    EXPECT_EQ(we.chip_scans(), 4u);
+    EXPECT_EQ(we.mapping_attempts(), 5u);
+
+    // The cacheability invariants the refactor is about: every round that
+    // reached the mapper cost exactly one scan, and multi-commit rounds
+    // made attempts outnumber scans (pre-refactor: attempts == scans).
+    EXPECT_EQ(we.chip_scans(), we.mapping_rounds());
+    EXPECT_GT(we.mapping_attempts(), we.chip_scans());
+}
+
+TEST(TestEngineSeams, SegmentedAbortResumeAcrossMappingContention) {
+    SystemConfig cfg = small_cfg();
+    cfg.segmented_tests = true;
+    ManycoreSystem sys(cfg);
+    TestEngine& te = sys.test_engine();
+    WorkloadEngine& we = sys.workload_engine();
+    Simulator& sim = sys.simulator();
+    const auto routines = sys.suite().routines();
+    ASSERT_GT(routines.size(), 2u);
+
+    // Start a segmented session and let exactly one routine finish.
+    te.start_test_session(0, 0);
+    EXPECT_TRUE(te.test_active(0));
+    EXPECT_EQ(te.suite_progress(0), 0u);
+    const double f0 = sys.chip().vf_table()[0].freq_hz;
+    sim.run_until(duration_for_cycles(routines[0].cycles, f0) + 1);
+    EXPECT_TRUE(te.test_active(0));
+    EXPECT_EQ(te.suite_progress(0), 1u);
+
+    // Mapping contention: a chip-sized app claims the testing core. The
+    // session aborts but the resume point survives.
+    const std::size_t a0 = we.inject(make_app(4, 1'000'000));
+    we.on_arrival(a0);
+    EXPECT_TRUE(we.app_mapped(a0));
+    EXPECT_FALSE(te.test_active(0));
+    EXPECT_EQ(te.suite_progress(0), 1u);
+    EXPECT_EQ(te.last_abort(0), sim.now());
+
+    // Drain the app, then restart the session: it must finish after only
+    // the REMAINING routines' cycles -- a restarted-from-scratch suite
+    // could not complete before routine 0's cycles have elapsed again.
+    sim.run_until(sim.now() + 20 * kMillisecond);
+    ASSERT_TRUE(we.app_done(a0));
+    te.start_test_session(0, 0);
+    EXPECT_EQ(te.suite_progress(0), 1u);
+    const SimTime resumed_at = sim.now();
+    SimDuration remaining = 0;
+    for (std::size_t r = 1; r < routines.size(); ++r) {
+        remaining += duration_for_cycles(routines[r].cycles, f0) + 1;
+    }
+    sim.run_until(resumed_at + remaining);
+    EXPECT_FALSE(te.test_active(0));   // completed: resumed, not restarted
+    EXPECT_EQ(te.suite_progress(0), 0u);  // wrapped for the next suite
+}
+
+TEST(TestEngineSeams, InvalidateProgressDropsResumePoint) {
+    SystemConfig cfg = small_cfg();
+    cfg.segmented_tests = true;
+    ManycoreSystem sys(cfg);
+    TestEngine& te = sys.test_engine();
+    Simulator& sim = sys.simulator();
+
+    te.start_test_session(1, 0);
+    const double f0 = sys.chip().vf_table()[0].freq_hz;
+    sim.run_until(
+        duration_for_cycles(sys.suite().routines()[0].cycles, f0) + 1);
+    te.abort_test(1);
+    EXPECT_EQ(te.suite_progress(1), 1u);
+
+    // A fresh fault on the core voids routines run while it was healthy.
+    te.invalidate_progress(1);
+    EXPECT_EQ(te.suite_progress(1), 0u);
+}
+
+TEST(TestEngineSeams, AbortBackoffFiltersCandidates) {
+    SystemConfig cfg = small_cfg();
+    // Records the candidate set each epoch; shared_ptr so the test keeps a
+    // handle while the engine owns a forwarding wrapper.
+    struct ProbeScheduler final : TestScheduler {
+        std::vector<CoreId> seen;
+        void epoch(SchedulerContext& sctx) override {
+            seen.clear();
+            for (const TestCandidate& c : sctx.candidates) {
+                seen.push_back(c.core);
+            }
+        }
+        std::string_view name() const override { return "probe"; }
+    };
+    auto probe = std::make_shared<ProbeScheduler>();
+    cfg.scheduler_factory = [probe]() {
+        struct Fwd final : TestScheduler {
+            std::shared_ptr<ProbeScheduler> inner;
+            explicit Fwd(std::shared_ptr<ProbeScheduler> p)
+                : inner(std::move(p)) {}
+            void epoch(SchedulerContext& sctx) override {
+                inner->epoch(sctx);
+            }
+            std::string_view name() const override { return inner->name(); }
+        };
+        return std::unique_ptr<TestScheduler>(new Fwd(probe));
+    };
+    ManycoreSystem sys(cfg);
+    TestEngine& te = sys.test_engine();
+    Simulator& sim = sys.simulator();
+
+    // Abort a session at t > 0 (t == 0 is the "never aborted" sentinel).
+    sim.schedule_at(1 * kMillisecond, [] {});
+    sim.run_until(1 * kMillisecond);
+    te.start_test_session(0, 0);
+    te.abort_test(0);
+    ASSERT_EQ(te.last_abort(0), sim.now());
+
+    // Within the backoff window core 0 is withheld from the scheduler.
+    te.test_epoch();
+    EXPECT_EQ(probe->seen, (std::vector<CoreId>{1, 2, 3}));
+
+    // Past the window it is offered again.
+    const SimTime past = 1 * kMillisecond + sys.config().test_retry_backoff;
+    sim.schedule_at(past + 1, [] {});
+    sim.run_until(past + 1);
+    te.test_epoch();
+    EXPECT_EQ(probe->seen, (std::vector<CoreId>{0, 1, 2, 3}));
+}
+
+TEST(WorkloadEngineSeams, QosQueuesServeHardRealTimeFirst) {
+    ManycoreSystem sys(small_cfg());
+    WorkloadEngine& we = sys.workload_engine();
+    MapOrderObserver order;
+    sys.add_observer(&order);
+
+    const std::size_t blocker = we.inject(make_app(4, 2'000'000));
+    we.on_arrival(blocker);
+    const std::size_t be = we.inject(make_app(4, 400'000));
+    we.on_arrival(be);
+    const std::size_t hr =
+        we.inject(make_app(4, 400'000, QosClass::HardRealTime));
+    we.on_arrival(hr);
+
+    // Separate class queues: best-effort and hard-RT each hold one app.
+    EXPECT_EQ(we.pending_in_class(0), 1u);
+    EXPECT_EQ(we.pending_in_class(2), 1u);
+
+    sys.run(50 * kMillisecond);
+    // Hard-RT jumped the earlier best-effort arrival at the release round.
+    EXPECT_EQ(order.order,
+              (std::vector<std::size_t>{blocker, hr, be}));
+    EXPECT_EQ(we.priority_of(0), 0);  // idle core carries no priority
+}
+
+TEST(WorkloadEngineSeams, PriorityBlindMergesQosQueues) {
+    ManycoreSystem sys(small_cfg());
+    sys.set_priority_blind(true);
+    WorkloadEngine& we = sys.workload_engine();
+    MapOrderObserver order;
+    sys.add_observer(&order);
+
+    const std::size_t blocker = we.inject(make_app(4, 2'000'000));
+    we.on_arrival(blocker);
+    const std::size_t be = we.inject(make_app(4, 400'000));
+    we.on_arrival(be);
+    const std::size_t hr =
+        we.inject(make_app(4, 400'000, QosClass::HardRealTime));
+    we.on_arrival(hr);
+
+    // Blind admission funnels every class into queue 0, FIFO.
+    EXPECT_EQ(we.pending_in_class(0), 2u);
+    EXPECT_EQ(we.pending_in_class(2), 0u);
+
+    sys.run(50 * kMillisecond);
+    // Arrival order wins: the earlier best-effort app maps first.
+    EXPECT_EQ(order.order,
+              (std::vector<std::size_t>{blocker, be, hr}));
+}
+
+}  // namespace
+}  // namespace mcs

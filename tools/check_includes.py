@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Guard the include surface of the public façade header.
+
+The god-object decomposition pruned src/core/system.hpp from 21 direct
+project includes down to 14: the engine, chip, simulator and mapper-impl
+headers moved behind forward declarations so façade consumers stop
+recompiling on every internal change. This check keeps that from silently
+regressing -- it fails when the header grows past the budget or when one of
+the deliberately-hidden headers reappears.
+
+Usage: check_includes.py [--root REPO_ROOT]
+Exit code 0 on success, 1 on violation (with a per-violation message).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+HEADER = "src/core/system.hpp"
+
+# Direct project includes allowed in the façade header. The budget has a
+# one-include headroom over the current count so a legitimately needed
+# value-type header does not require touching this file in the same PR.
+MAX_PROJECT_INCLUDES = 15
+
+# Headers the refactor intentionally removed from the façade: engines and
+# heavyweight internals are reachable only by forward declaration. If one of
+# these comes back, incomplete-type firewalls are broken -- fix the code,
+# do not widen this list.
+FORBIDDEN = (
+    "core/platform_engine.hpp",
+    "core/workload_engine.hpp",
+    "core/test_engine.hpp",
+    "core/system_context.hpp",
+    "core/system_observer.hpp",
+    "arch/chip.hpp",
+    "sim/simulator.hpp",
+    "mapping/mapper.hpp",
+    "mapping/view_cache.hpp",
+    "telemetry/observer_adapter.hpp",
+)
+
+PROJECT_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="repository root (default: parent of this script's directory)",
+    )
+    args = parser.parse_args()
+
+    header = args.root / HEADER
+    if not header.is_file():
+        print(f"check_includes: {header} not found", file=sys.stderr)
+        return 1
+
+    includes = [
+        m.group(1)
+        for line in header.read_text(encoding="utf-8").splitlines()
+        if (m := PROJECT_INCLUDE.match(line))
+    ]
+
+    errors = []
+    if len(includes) > MAX_PROJECT_INCLUDES:
+        listing = "\n".join(f"    {inc}" for inc in includes)
+        errors.append(
+            f"{HEADER} has {len(includes)} direct project includes "
+            f"(budget: {MAX_PROJECT_INCLUDES}). Prefer a forward declaration "
+            f"and an out-of-line accessor.\n{listing}"
+        )
+    for inc in includes:
+        if inc in FORBIDDEN:
+            errors.append(
+                f"{HEADER} includes {inc}, which the façade must only "
+                f"forward-declare (see docs/architecture.md)."
+            )
+
+    if errors:
+        for err in errors:
+            print(f"check_includes: {err}", file=sys.stderr)
+        return 1
+
+    print(
+        f"check_includes: {HEADER} OK "
+        f"({len(includes)}/{MAX_PROJECT_INCLUDES} project includes)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
