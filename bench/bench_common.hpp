@@ -16,6 +16,7 @@
 
 #include "core/system.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/schema.hpp"
 #include "util/config.hpp"
 #include "util/require.hpp"
 #include "util/table.hpp"
@@ -107,7 +108,7 @@ public:
         MCS_REQUIRE(out.is_open(), "cannot open bench report: " + path);
         telemetry::JsonWriter w(out);
         w.begin_object();
-        w.field("schema", "mcs.bench_report.v1");
+        w.field("schema", telemetry::schema_tag("mcs.bench_report"));
         w.field("bench", name_);
         w.field("quick", opt_.quick);
         w.key("metrics");

@@ -81,4 +81,14 @@ double AgingTracker::fault_acceleration(CoreId id) const {
     return 1.0 + 50.0 * d + 400.0 * d * d;
 }
 
+
+void AgingTracker::load_state(std::span<const double> damage,
+                              SimTime last_update, bool started) {
+    MCS_REQUIRE(damage.size() == damage_.size(),
+                "aging state: core count mismatch");
+    damage_.assign(damage.begin(), damage.end());
+    last_update_ = last_update;
+    started_ = started;
+}
+
 }  // namespace mcs

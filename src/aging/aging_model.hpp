@@ -50,6 +50,12 @@ public:
     /// exposed for tests and what-if analyses.
     double damage_rate_per_s(CoreState state, double temp_c) const;
 
+    // ---- snapshot support ----
+    SimTime last_update() const noexcept { return last_update_; }
+    bool started() const noexcept { return started_; }
+    void load_state(std::span<const double> damage, SimTime last_update,
+                    bool started);
+
 private:
     AgingParams params_;
     std::vector<double> damage_;

@@ -94,6 +94,49 @@ public:
     /// periodic observers (aging, metrics) see up-to-date counters.
     void checkpoint(SimTime now);
 
+    /// Complete mutable state for checkpoint/restore (identity and the
+    /// VF table stay with the constructed core).
+    struct PersistedState {
+        CoreState state = CoreState::Idle;
+        int vf_level = 0;
+        bool reserved = false;
+        SimTime last_checkpoint = 0;
+        std::uint64_t busy_cycles_since_test = 0;
+        std::uint64_t total_busy_cycles = 0;
+        SimDuration total_busy_time = 0;
+        SimDuration total_test_time = 0;
+        SimTime birth = 0;
+        SimTime last_state_change = 0;
+        SimTime last_test_end = 0;
+        std::uint64_t tests_completed = 0;
+        std::uint64_t tests_aborted = 0;
+        std::uint64_t tasks_executed = 0;
+    };
+    PersistedState save_state() const noexcept {
+        return {state_,           vf_level_,        reserved_,
+                last_checkpoint_, busy_cycles_since_test_,
+                total_busy_cycles_,                 total_busy_time_,
+                total_test_time_, birth_,           last_state_change_,
+                last_test_end_,   tests_completed_, tests_aborted_,
+                tasks_executed_};
+    }
+    void load_state(const PersistedState& s) noexcept {
+        state_ = s.state;
+        vf_level_ = s.vf_level;
+        reserved_ = s.reserved;
+        last_checkpoint_ = s.last_checkpoint;
+        busy_cycles_since_test_ = s.busy_cycles_since_test;
+        total_busy_cycles_ = s.total_busy_cycles;
+        total_busy_time_ = s.total_busy_time;
+        total_test_time_ = s.total_test_time;
+        birth_ = s.birth;
+        last_state_change_ = s.last_state_change;
+        last_test_end_ = s.last_test_end;
+        tests_completed_ = s.tests_completed;
+        tests_aborted_ = s.tests_aborted;
+        tasks_executed_ = s.tasks_executed;
+    }
+
 private:
     void transition(SimTime now, CoreState to);
 

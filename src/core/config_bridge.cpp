@@ -21,6 +21,8 @@ const std::set<std::string>& known_keys() {
         // can hold both.
         "seconds", "config", "out", "out_dir", "trace", "trace_capacity",
         "report", "power_trace", "quiet",
+        // Checkpoint / restore keys (consumed by the CLI and the factory).
+        "checkpoint", "checkpoint_at", "restore", "restore_relax",
     };
     return keys;
 }

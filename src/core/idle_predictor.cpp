@@ -55,4 +55,19 @@ SimDuration IdlePredictor::expected_period(CoreId core) const {
     return static_cast<SimDuration>(ewma_ns_[core]);
 }
 
+
+void IdlePredictor::load_state(std::vector<double> ewma_ns,
+                               std::vector<SimTime> period_start,
+                               std::vector<bool> in_period,
+                               std::uint64_t completed) {
+    MCS_REQUIRE(ewma_ns.size() == ewma_ns_.size() &&
+                    period_start.size() == period_start_.size() &&
+                    in_period.size() == in_period_.size(),
+                "idle predictor state: core count mismatch");
+    ewma_ns_ = std::move(ewma_ns);
+    period_start_ = std::move(period_start);
+    in_period_ = std::move(in_period);
+    completed_ = completed;
+}
+
 }  // namespace mcs

@@ -39,6 +39,16 @@ public:
 
     std::uint64_t completed_periods() const noexcept { return completed_; }
 
+    // ---- snapshot support ----
+    const std::vector<double>& ewma_ns() const noexcept { return ewma_ns_; }
+    const std::vector<SimTime>& period_start() const noexcept {
+        return period_start_;
+    }
+    const std::vector<bool>& in_period() const noexcept { return in_period_; }
+    void load_state(std::vector<double> ewma_ns,
+                    std::vector<SimTime> period_start,
+                    std::vector<bool> in_period, std::uint64_t completed);
+
 private:
     double alpha_;
     std::vector<double> ewma_ns_;

@@ -13,6 +13,7 @@
 
 #include "aging/aging_model.hpp"
 #include "aging/criticality.hpp"
+#include "core/snapshot.hpp"
 #include "core/system_context.hpp"
 #include "power/power_manager.hpp"
 #include "power/power_model.hpp"
@@ -62,6 +63,14 @@ public:
     /// (state-residency fractions, power/energy, thermal, aging, faults,
     /// DVFS actuation counts).
     void finalize_into(RunMetrics& m, SimTime end);
+
+    // ---- snapshot support ----
+    /// Complete substrate state as one JSON object (capping controller,
+    /// thermal field, wear, fault injector, energy accumulators). The
+    /// platform owns no pending simulator events: its epochs are periodic
+    /// and re-registered by the facade on restore.
+    void save_state(telemetry::JsonWriter& w) const;
+    void load_state(const telemetry::JsonValue& doc);
 
 private:
     SystemContext& ctx_;

@@ -1,12 +1,48 @@
 #include "core/schedulers.hpp"
 
 #include <algorithm>
+#include <vector>
 
+#include "telemetry/json.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/tracer.hpp"
 #include "util/require.hpp"
 
 namespace mcs {
+
+namespace {
+
+// Checkpoint helper: emits an unordered per-core map as a sorted array of
+// [core, value] pairs so the snapshot bytes are independent of hash order.
+template <typename V>
+void write_core_map(telemetry::JsonWriter& w, std::string_view key,
+                    const std::unordered_map<CoreId, V>& map) {
+    std::vector<std::pair<CoreId, V>> sorted(map.begin(), map.end());
+    std::sort(sorted.begin(), sorted.end());
+    w.key(key);
+    w.begin_array();
+    for (const auto& [core, value] : sorted) {
+        w.begin_array();
+        w.value(static_cast<std::uint64_t>(core));
+        w.value(static_cast<std::int64_t>(value));
+        w.end_array();
+    }
+    w.end_array();
+}
+
+template <typename V>
+void read_core_map(const telemetry::JsonValue& doc, const std::string& key,
+                   std::unordered_map<CoreId, V>& map) {
+    map.clear();
+    for (const telemetry::JsonValue& entry : doc.at(key).array) {
+        MCS_REQUIRE(entry.is_array() && entry.array.size() == 2,
+                    "scheduler state: malformed per-core entry");
+        map[static_cast<CoreId>(entry.array[0].u64())] =
+            static_cast<V>(entry.array[1].i64());
+    }
+}
+
+}  // namespace
 
 const char* to_string(TestVfPolicy policy) {
     switch (policy) {
@@ -124,6 +160,18 @@ void PowerAwareTestScheduler::export_telemetry(
     registry.counter("scheduler.tests_rejected_power").inc(rejected_power_);
 }
 
+void PowerAwareTestScheduler::save_state(telemetry::JsonWriter& w) const {
+    write_core_map(w, "rotation", rotation_);
+    w.field("admitted", admitted_);
+    w.field("rejected_power", rejected_power_);
+}
+
+void PowerAwareTestScheduler::load_state(const telemetry::JsonValue& doc) {
+    read_core_map(doc, "rotation", rotation_);
+    admitted_ = doc.at("admitted").u64();
+    rejected_power_ = doc.at("rejected_power").u64();
+}
+
 PeriodicTestScheduler::PeriodicTestScheduler(SimDuration period)
     : period_(period) {
     MCS_REQUIRE(period_ > 0, "test period must be positive");
@@ -145,6 +193,14 @@ void PeriodicTestScheduler::epoch(SchedulerContext& ctx) {
     }
 }
 
+void PeriodicTestScheduler::save_state(telemetry::JsonWriter& w) const {
+    write_core_map(w, "due", due_);
+}
+
+void PeriodicTestScheduler::load_state(const telemetry::JsonValue& doc) {
+    read_core_map(doc, "due", due_);
+}
+
 GreedyTestScheduler::GreedyTestScheduler(SimDuration min_gap)
     : min_gap_(min_gap) {}
 
@@ -158,6 +214,14 @@ void GreedyTestScheduler::epoch(SchedulerContext& ctx) {
         ctx.start_test(cand.core, top);
         last_start_[cand.core] = ctx.now;
     }
+}
+
+void GreedyTestScheduler::save_state(telemetry::JsonWriter& w) const {
+    write_core_map(w, "last_start", last_start_);
+}
+
+void GreedyTestScheduler::load_state(const telemetry::JsonValue& doc) {
+    read_core_map(doc, "last_start", last_start_);
 }
 
 }  // namespace mcs

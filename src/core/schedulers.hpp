@@ -44,6 +44,8 @@ public:
     std::string_view name() const override { return "power-aware"; }
     void export_telemetry(
         telemetry::MetricsRegistry& registry) const override;
+    void save_state(telemetry::JsonWriter& w) const override;
+    void load_state(const telemetry::JsonValue& doc) override;
 
     const PowerAwareParams& params() const noexcept { return params_; }
     std::uint64_t admitted() const noexcept { return admitted_; }
@@ -70,6 +72,8 @@ public:
 
     void epoch(SchedulerContext& ctx) override;
     std::string_view name() const override { return "periodic"; }
+    void save_state(telemetry::JsonWriter& w) const override;
+    void load_state(const telemetry::JsonValue& doc) override;
 
 private:
     SimDuration period_;
@@ -85,6 +89,8 @@ public:
 
     void epoch(SchedulerContext& ctx) override;
     std::string_view name() const override { return "greedy"; }
+    void save_state(telemetry::JsonWriter& w) const override;
+    void load_state(const telemetry::JsonValue& doc) override;
 
 private:
     SimDuration min_gap_;

@@ -1,0 +1,704 @@
+#include "core/snapshot.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <ostream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/platform_engine.hpp"
+#include "core/system.hpp"
+#include "core/system_context.hpp"
+#include "core/test_engine.hpp"
+#include "core/workload_engine.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/schema.hpp"
+#include "telemetry/tracer.hpp"
+#include "util/require.hpp"
+
+namespace mcs {
+
+namespace {
+
+// Manifest kinds of the five periodic epochs, indexed by the facade's
+// canonical registration slot (the order is part of the behavioral
+// contract -- see ManycoreSystem::run).
+constexpr std::array<std::string_view, 5> kEpochKinds = {
+    "power_epoch", "thermal_epoch", "test_epoch", "wear_epoch",
+    "trace_epoch"};
+
+// ------------------------------------------------------- fingerprinting
+
+/// FNV-1a over a canonical byte stream: integers little-endian, doubles by
+/// bit pattern (so the hash is exact, not round-trip-formatted), strings
+/// length-prefixed.
+class Fingerprint {
+public:
+    void u64(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            byte(static_cast<unsigned char>(v >> (8 * i)));
+        }
+    }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void boolean(bool v) { byte(v ? 1 : 0); }
+    void str(std::string_view s) {
+        u64(s.size());
+        for (char c : s) {
+            byte(static_cast<unsigned char>(c));
+        }
+    }
+
+    /// 16 lowercase hex digits.
+    std::string hex() const {
+        static constexpr char kDigits[] = "0123456789abcdef";
+        std::string out(16, '0');
+        for (int i = 0; i < 16; ++i) {
+            out[static_cast<std::size_t>(i)] =
+                kDigits[(h_ >> (60 - 4 * i)) & 0xF];
+        }
+        return out;
+    }
+
+private:
+    void byte(unsigned char b) {
+        h_ ^= b;
+        h_ *= 1099511628211ULL;
+    }
+
+    std::uint64_t h_ = 14695981039346656037ULL;
+};
+
+void hash_graph(Fingerprint& fp, const TaskGraph& g) {
+    fp.u64(g.size());
+    for (TaskIndex t = 0; t < static_cast<TaskIndex>(g.size()); ++t) {
+        const Task& task = g.task(t);
+        fp.u64(task.cycles);
+        fp.u64(task.successors.size());
+        for (const TaskEdge& e : task.successors) {
+            fp.u64(e.dst);
+            fp.u64(e.bytes);
+        }
+    }
+}
+
+// Structure-defining configuration: everything that fixes the *shape and
+// meaning* of the persisted state vectors (chip geometry, the workload
+// model the arrival trace regenerates from, the SBST suite, which optional
+// subsystems exist). Policy knobs stay out -- forked replicas vary them.
+void hash_structural(Fingerprint& fp, const SystemConfig& cfg) {
+    fp.i64(cfg.width);
+    fp.i64(cfg.height);
+    fp.i64(static_cast<int>(cfg.node));
+
+    const WorkloadParams& wl = cfg.workload;
+    fp.f64(wl.arrival_rate_hz);
+    const TaskGraphGenParams& g = wl.graphs;
+    fp.i64(g.min_tasks);
+    fp.i64(g.max_tasks);
+    fp.u64(g.min_cycles);
+    fp.u64(g.max_cycles);
+    fp.u64(g.min_edge_bytes);
+    fp.u64(g.max_edge_bytes);
+    fp.i64(g.max_fanin);
+    fp.u64(wl.graph_library.size());
+    for (const TaskGraph& graph : wl.graph_library) {
+        hash_graph(fp, graph);
+    }
+    fp.f64(wl.best_effort_weight);
+    fp.f64(wl.soft_rt_weight);
+    fp.f64(wl.hard_rt_weight);
+    fp.f64(wl.hard_deadline_factor);
+    fp.f64(wl.soft_deadline_factor);
+    fp.f64(wl.reference_freq_hz);
+
+    const TestSuite suite = cfg.suite ? *cfg.suite : TestSuite::standard();
+    fp.u64(suite.routine_count());
+    for (const TestRoutine& r : suite.routines()) {
+        fp.i64(static_cast<int>(r.unit));
+        fp.str(r.name);
+        fp.u64(r.cycles);
+        fp.f64(r.coverage);
+        fp.f64(r.activity);
+    }
+
+    fp.boolean(cfg.enable_fault_injection);
+    fp.boolean(cfg.enable_noc_testing);
+    fp.boolean(cfg.segmented_tests);
+}
+
+void hash_full(Fingerprint& fp, const SystemConfig& cfg) {
+    hash_structural(fp, cfg);
+    fp.u64(cfg.seed);
+    fp.f64(cfg.tdp_scale);
+
+    const NocParams& n = cfg.noc;
+    fp.f64(n.link_bandwidth_bytes_per_s);
+    fp.u64(n.router_latency);
+    fp.f64(n.energy_per_byte_hop_j);
+    fp.f64(n.router_idle_power_w);
+    fp.f64(n.util_ewma_alpha);
+    fp.u64(n.util_window);
+    fp.f64(n.max_effective_util);
+
+    const ActivityFactors& a = cfg.activity;
+    fp.f64(a.idle);
+    fp.f64(a.busy);
+    fp.f64(a.test);
+    fp.f64(a.gated_leak_fraction);
+
+    const PowerManagerParams& p = cfg.power;
+    fp.i64(static_cast<int>(p.mode));
+    fp.f64(p.pid.kp);
+    fp.f64(p.pid.ki);
+    fp.f64(p.pid.kd);
+    fp.f64(p.pid.out_min);
+    fp.f64(p.pid.out_max);
+    fp.f64(p.pid.integral_limit);
+    fp.f64(p.setpoint_fraction);
+    fp.f64(p.deadband);
+    fp.f64(p.boost_fraction);
+    fp.u64(p.gate_delay);
+    fp.boolean(p.enable_power_gating);
+
+    const ThermalParams& t = cfg.thermal;
+    fp.f64(t.ambient_c);
+    fp.f64(t.heat_capacity_j_per_k);
+    fp.f64(t.g_vertical_w_per_k);
+    fp.f64(t.g_lateral_w_per_k);
+    fp.f64(t.max_dt_s);
+
+    const AgingParams& ag = cfg.aging;
+    fp.f64(ag.nominal_lifetime_s);
+    fp.f64(ag.ref_temp_c);
+    fp.f64(ag.temp_accel_slope_c);
+    fp.f64(ag.stress_busy);
+    fp.f64(ag.stress_test);
+    fp.f64(ag.stress_idle);
+
+    const CriticalityParams& cr = cfg.criticality;
+    fp.i64(static_cast<int>(cr.mode));
+    fp.f64(cr.w_util);
+    fp.f64(cr.w_time);
+    fp.f64(cr.w_aging);
+    fp.f64(cr.util_ref_cycles);
+    fp.u64(cr.time_ref);
+    fp.f64(cr.saturation);
+    fp.f64(cr.threshold);
+
+    const FaultModelParams& fm = cfg.faults;
+    fp.f64(fm.base_rate_per_core_s);
+    fp.f64(fm.task_corruption_prob);
+    fp.f64(fm.stuck_at_weight);
+    fp.f64(fm.delay_weight);
+    fp.f64(fm.low_voltage_weight);
+    fp.i64(fm.delay_visible_levels);
+    fp.i64(fm.lowv_visible_levels);
+
+    fp.i64(static_cast<int>(cfg.scheduler));
+    const PowerAwareParams& pa = cfg.power_aware;
+    fp.f64(pa.guard_band_fraction);
+    fp.i64(pa.max_concurrent_tests);
+    fp.i64(static_cast<int>(pa.vf_policy));
+    fp.f64(pa.criticality_threshold);
+    fp.u64(pa.min_idle_age);
+    fp.f64(pa.max_test_temp_c);
+    fp.boolean(pa.require_predicted_idle);
+    fp.f64(pa.predicted_idle_margin);
+    fp.u64(cfg.periodic_test_period);
+    fp.boolean(static_cast<bool>(cfg.scheduler_factory));
+
+    fp.i64(static_cast<int>(cfg.mapper));
+    fp.boolean(static_cast<bool>(cfg.mapper_factory));
+    fp.boolean(cfg.abort_tests_for_mapping);
+    fp.u64(cfg.test_retry_backoff);
+
+    const NocTestParams& nt = cfg.noc_test;
+    fp.f64(nt.fault_rate_per_link_s);
+    fp.u64(nt.test_bytes);
+    fp.f64(nt.test_coverage);
+    fp.f64(nt.test_power_w);
+    fp.f64(nt.message_corruption_prob);
+    fp.u64(nt.test_period_target);
+    fp.f64(nt.max_test_utilization);
+    fp.i64(nt.max_concurrent_tests);
+
+    fp.u64(cfg.power_epoch);
+    fp.u64(cfg.thermal_epoch);
+    fp.u64(cfg.test_epoch);
+    fp.u64(cfg.wear_epoch);
+    fp.u64(cfg.trace_epoch);
+}
+
+// ------------------------------------------- stats / metrics round-trips
+
+void write_running_stats(telemetry::JsonWriter& w, const RunningStats& s) {
+    w.begin_object();
+    w.field("n", static_cast<std::uint64_t>(s.count()));
+    w.field("mean", s.mean());
+    w.field("m2", s.m2());
+    w.field("sum", s.sum());
+    w.field("min", s.min());
+    w.field("max", s.max());
+    w.end_object();
+}
+
+RunningStats read_running_stats(const telemetry::JsonValue& doc) {
+    RunningStats s;
+    s.restore(static_cast<std::size_t>(doc.at("n").u64()),
+              doc.at("mean").number, doc.at("m2").number,
+              doc.at("sum").number, doc.at("min").number,
+              doc.at("max").number);
+    return s;
+}
+
+void write_u64_array(telemetry::JsonWriter& w, std::string_view key,
+                     const std::vector<std::uint64_t>& values) {
+    w.key(key);
+    w.begin_array();
+    for (std::uint64_t v : values) {
+        w.value(v);
+    }
+    w.end_array();
+}
+
+void read_u64_array(const telemetry::JsonValue& doc, const std::string& key,
+                    std::vector<std::uint64_t>& out) {
+    const auto& arr = doc.at(key).array;
+    MCS_REQUIRE(arr.size() == out.size(),
+                "snapshot metrics: per-class/per-level array size mismatch");
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        out[i] = arr[i].u64();
+    }
+}
+
+// Only the fields that *accumulate during the run* ride in the snapshot;
+// everything finalize() derives (rates, fractions, component counters) is
+// recomputed identically at the restored run's end.
+void write_metrics(telemetry::JsonWriter& w, const RunMetrics& m) {
+    w.begin_object();
+    w.field("apps_arrived", m.apps_arrived);
+    w.field("apps_completed", m.apps_completed);
+    w.field("tasks_completed", m.tasks_completed);
+    w.field("corrupted_apps", m.corrupted_apps);
+    w.field("tests_completed", m.tests_completed);
+    w.field("tests_aborted", m.tests_aborted);
+    w.field("link_tests_completed", m.link_tests_completed);
+    w.key("app_latency_ms");
+    write_running_stats(w, m.app_latency_ms);
+    w.key("app_queue_wait_ms");
+    write_running_stats(w, m.app_queue_wait_ms);
+    w.key("mapping_dispersion_hops");
+    write_running_stats(w, m.mapping_dispersion_hops);
+    w.key("test_interval_s");
+    write_running_stats(w, m.test_interval_s);
+    w.key("detection_latency_s");
+    write_running_stats(w, m.detection_latency_s);
+    w.key("link_detection_latency_s");
+    write_running_stats(w, m.link_detection_latency_s);
+    write_u64_array(w, "apps_completed_by_class", m.apps_completed_by_class);
+    write_u64_array(w, "deadlines_met_by_class", m.deadlines_met_by_class);
+    write_u64_array(w, "deadlines_missed_by_class",
+                    m.deadlines_missed_by_class);
+    write_u64_array(w, "tests_per_vf_level", m.tests_per_vf_level);
+    w.key("detection_latency_samples");
+    w.begin_array();
+    for (double v : m.detection_latency_samples.samples()) {
+        w.value(v);
+    }
+    w.end_array();
+    w.field("energy_busy_j", m.energy_busy_j);
+    w.field("energy_test_j", m.energy_test_j);
+    w.field("energy_idle_j", m.energy_idle_j);
+    w.end_object();
+}
+
+void read_metrics(const telemetry::JsonValue& doc, RunMetrics& m) {
+    m.apps_arrived = doc.at("apps_arrived").u64();
+    m.apps_completed = doc.at("apps_completed").u64();
+    m.tasks_completed = doc.at("tasks_completed").u64();
+    m.corrupted_apps = doc.at("corrupted_apps").u64();
+    m.tests_completed = doc.at("tests_completed").u64();
+    m.tests_aborted = doc.at("tests_aborted").u64();
+    m.link_tests_completed = doc.at("link_tests_completed").u64();
+    m.app_latency_ms = read_running_stats(doc.at("app_latency_ms"));
+    m.app_queue_wait_ms = read_running_stats(doc.at("app_queue_wait_ms"));
+    m.mapping_dispersion_hops =
+        read_running_stats(doc.at("mapping_dispersion_hops"));
+    m.test_interval_s = read_running_stats(doc.at("test_interval_s"));
+    m.detection_latency_s = read_running_stats(doc.at("detection_latency_s"));
+    m.link_detection_latency_s =
+        read_running_stats(doc.at("link_detection_latency_s"));
+    read_u64_array(doc, "apps_completed_by_class", m.apps_completed_by_class);
+    read_u64_array(doc, "deadlines_met_by_class", m.deadlines_met_by_class);
+    read_u64_array(doc, "deadlines_missed_by_class",
+                   m.deadlines_missed_by_class);
+    read_u64_array(doc, "tests_per_vf_level", m.tests_per_vf_level);
+    SampleSet samples;
+    for (const auto& v : doc.at("detection_latency_samples").array) {
+        samples.add(v.number);
+    }
+    m.detection_latency_samples = samples;
+    m.energy_busy_j = doc.at("energy_busy_j").number;
+    m.energy_test_j = doc.at("energy_test_j").number;
+    m.energy_idle_j = doc.at("energy_idle_j").number;
+}
+
+}  // namespace
+
+std::string structural_fingerprint(const SystemConfig& cfg) {
+    Fingerprint fp;
+    hash_structural(fp, cfg);
+    return fp.hex();
+}
+
+std::string config_fingerprint(const SystemConfig& cfg) {
+    Fingerprint fp;
+    hash_full(fp, cfg);
+    return fp.hex();
+}
+
+// ------------------------------------------------ shared engine helpers
+
+namespace snapshot {
+
+void write_rng(telemetry::JsonWriter& w, std::string_view key,
+               const Rng& rng) {
+    w.key(key);
+    w.begin_array();
+    for (std::uint64_t word : rng.state()) {
+        w.value(word);
+    }
+    w.end_array();
+}
+
+Rng read_rng(const telemetry::JsonValue& doc, const std::string& key) {
+    const auto& words = doc.at(key).array;
+    MCS_REQUIRE(words.size() == 4, "snapshot: RNG state must have 4 words");
+    Rng rng;
+    rng.set_state({words[0].u64(), words[1].u64(), words[2].u64(),
+                   words[3].u64()});
+    return rng;
+}
+
+void write_latent_slots(
+    telemetry::JsonWriter& w, std::string_view key,
+    const std::vector<std::optional<std::size_t>>& slots) {
+    w.key(key);
+    w.begin_array();
+    for (const auto& slot : slots) {
+        if (slot) {
+            w.value(static_cast<std::uint64_t>(*slot));
+        } else {
+            w.value(std::int64_t{-1});
+        }
+    }
+    w.end_array();
+}
+
+std::vector<std::optional<std::size_t>> read_latent_slots(
+    const telemetry::JsonValue& doc, const std::string& key,
+    std::size_t history_size) {
+    std::vector<std::optional<std::size_t>> latent;
+    for (const auto& v : doc.at(key).array) {
+        const std::int64_t slot = v.i64();
+        if (slot < 0) {
+            latent.emplace_back(std::nullopt);
+        } else {
+            MCS_REQUIRE(static_cast<std::size_t>(slot) < history_size,
+                        "snapshot: latent slot out of history range");
+            latent.emplace_back(static_cast<std::size_t>(slot));
+        }
+    }
+    return latent;
+}
+
+}  // namespace snapshot
+
+// ----------------------------------------------------- capture (facade)
+
+void ManycoreSystem::write_snapshot(std::ostream& out,
+                                    SimDuration horizon) const {
+    Simulator& sim = ctx_->sim;
+    const SimTime now = sim.now();
+
+    // Assemble the typed event manifest first: its invariants double as
+    // capture-time checks that no pending event escaped serialization.
+    std::vector<SnapshotEvent> events;
+    for (std::size_t slot = 0; slot < epoch_ids_.size(); ++slot) {
+        MCS_REQUIRE(epoch_ids_[slot] != 0,
+                    "snapshot capture requires registered epochs");
+        const EventId id =
+            sim.periodic_event(Simulator::PeriodicHandle{epoch_ids_[slot]});
+        events.push_back({std::string(kEpochKinds[slot]), sim.event_time(id),
+                          id.seq, 0, 0});
+    }
+    workload_->append_event_manifest(events);
+    test_->append_event_manifest(events);
+    MCS_REQUIRE(events.size() == sim.pending_events(),
+                "snapshot manifest does not cover every pending event");
+    for (const SnapshotEvent& e : events) {
+        MCS_REQUIRE(e.when > now,
+                    "pending event at or before the capture point");
+    }
+    // Ascending original sequence = the captured scheduling order; restore
+    // replays in this order so ties at equal timestamps stay identical.
+    std::sort(events.begin(), events.end(),
+              [](const SnapshotEvent& a, const SnapshotEvent& b) {
+                  return a.seq < b.seq;
+              });
+
+    telemetry::JsonWriter w(out);
+    w.begin_object();
+    w.field("schema", telemetry::schema_tag("mcs.snapshot"));
+    w.field("config_fingerprint", config_fingerprint(cfg_));
+    w.field("structural_fingerprint", structural_fingerprint(cfg_));
+    w.field("seed", cfg_.seed);
+    w.field("scheduler", test_->scheduler().name());
+    w.field("horizon", horizon);
+    w.field("now", now);
+    w.field("executed", sim.events_executed());
+
+    w.key("budget");
+    w.begin_object();
+    w.field("last_power_w", ctx_->budget.last_power_w());
+    w.field("samples", ctx_->budget.samples());
+    w.field("violations", ctx_->budget.violations());
+    w.field("worst_overshoot_w", ctx_->budget.worst_overshoot_w());
+    w.key("stats");
+    write_running_stats(w, ctx_->budget.power_stats());
+    w.end_object();
+
+    snapshot::write_rng(w, "map_rng", ctx_->map_rng);
+
+    w.key("cores");
+    w.begin_array();
+    for (const Core& c : ctx_->chip.cores()) {
+        const Core::PersistedState s = c.save_state();
+        w.begin_array();
+        w.value(static_cast<std::uint64_t>(s.state));
+        w.value(static_cast<std::int64_t>(s.vf_level));
+        w.value(s.reserved);
+        w.value(s.last_checkpoint);
+        w.value(s.busy_cycles_since_test);
+        w.value(s.total_busy_cycles);
+        w.value(s.total_busy_time);
+        w.value(s.total_test_time);
+        w.value(s.birth);
+        w.value(s.last_state_change);
+        w.value(s.last_test_end);
+        w.value(s.tests_completed);
+        w.value(s.tests_aborted);
+        w.value(s.tasks_executed);
+        w.end_array();
+    }
+    w.end_array();
+
+    w.key("noc");
+    w.begin_object();
+    w.key("window_bytes");
+    w.begin_array();
+    for (double v : ctx_->noc.window_bytes()) {
+        w.value(v);
+    }
+    w.end_array();
+    w.key("util");
+    w.begin_array();
+    for (double v : ctx_->noc.smoothed_util()) {
+        w.value(v);
+    }
+    w.end_array();
+    w.field("energy", ctx_->noc.total_energy_j());
+    w.field("messages", ctx_->noc.messages_sent());
+    w.field("bytes", ctx_->noc.bytes_sent());
+    w.field("hop_bytes", ctx_->noc.total_hop_bytes());
+    w.end_object();
+
+    w.key("metrics");
+    write_metrics(w, ctx_->metrics);
+    w.key("registry");
+    ctx_->registry.save_state(w);
+    if (ctx_->tracer != nullptr) {
+        w.key("tracer");
+        ctx_->tracer->save_state(w);
+    }
+
+    w.key("workload");
+    workload_->save_state(w);
+    w.key("test");
+    test_->save_state(w);
+    w.key("platform");
+    platform_->save_state(w);
+
+    w.key("events");
+    w.begin_array();
+    for (const SnapshotEvent& e : events) {
+        w.begin_object();
+        w.field("kind", std::string_view(e.kind));
+        w.field("when", e.when);
+        w.field("seq", e.seq);
+        w.field("a", e.a);
+        w.field("b", e.b);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+// ----------------------------------------------------- restore (facade)
+
+void ManycoreSystem::restore(const telemetry::JsonValue& doc,
+                             RestoreOptions opts) {
+    telemetry::require_schema(doc, "mcs.snapshot");
+    MCS_REQUIRE(!ran_, "restore must precede run()");
+    MCS_REQUIRE(!restored_, "restore may only be called once");
+    MCS_REQUIRE(
+        doc.at("structural_fingerprint").string ==
+            structural_fingerprint(cfg_),
+        "snapshot structural fingerprint mismatch: chip geometry, workload "
+        "model, suite, or enabled subsystems differ from the capture");
+    if (!opts.relax_config) {
+        MCS_REQUIRE(doc.at("config_fingerprint").string ==
+                        config_fingerprint(cfg_),
+                    "snapshot config fingerprint mismatch (use relax_config "
+                    "to fork under different policy knobs)");
+    }
+
+    const SimTime now = doc.at("now").u64();
+    const std::uint64_t executed = doc.at("executed").u64();
+    restored_horizon_ = doc.at("horizon").u64();
+    MCS_REQUIRE(now > 0 && now < restored_horizon_,
+                "snapshot clock outside the captured run");
+
+    // 1. Regenerate the arrival trace under the *snapshot's* seed: the
+    //    per-app runtime state loaded below indexes into it, and a forked
+    //    replica must continue the captured workload, not invent a new one.
+    workload_->restore_workload(restored_horizon_, doc.at("seed").u64());
+
+    // 2. Substrate state.
+    const telemetry::JsonValue& budget = doc.at("budget");
+    ctx_->budget.load_state(
+        budget.at("last_power_w").number, budget.at("samples").u64(),
+        budget.at("violations").u64(), budget.at("worst_overshoot_w").number,
+        read_running_stats(budget.at("stats")));
+    ctx_->map_rng = snapshot::read_rng(doc, "map_rng");
+
+    const auto& cores = doc.at("cores").array;
+    MCS_REQUIRE(cores.size() == ctx_->chip.core_count(),
+                "snapshot core count mismatch");
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        const auto& f = cores[i].array;
+        MCS_REQUIRE(cores[i].is_array() && f.size() == 14,
+                    "snapshot: malformed core state record");
+        const std::uint64_t state = f[0].u64();
+        MCS_REQUIRE(state <= 4, "snapshot: core state out of range");
+        Core::PersistedState s;
+        s.state = static_cast<CoreState>(state);
+        s.vf_level = static_cast<int>(f[1].i64());
+        MCS_REQUIRE(s.vf_level >= 0 &&
+                        static_cast<std::size_t>(s.vf_level) <
+                            ctx_->chip.vf_level_count(),
+                    "snapshot: core DVFS level out of range");
+        s.reserved = f[2].boolean;
+        s.last_checkpoint = f[3].u64();
+        s.busy_cycles_since_test = f[4].u64();
+        s.total_busy_cycles = f[5].u64();
+        s.total_busy_time = f[6].u64();
+        s.total_test_time = f[7].u64();
+        s.birth = f[8].u64();
+        s.last_state_change = f[9].u64();
+        s.last_test_end = f[10].u64();
+        s.tests_completed = f[11].u64();
+        s.tests_aborted = f[12].u64();
+        s.tasks_executed = f[13].u64();
+        ctx_->chip.core(static_cast<CoreId>(i)).load_state(s);
+    }
+
+    const telemetry::JsonValue& noc = doc.at("noc");
+    std::vector<double> window_bytes;
+    for (const auto& v : noc.at("window_bytes").array) {
+        window_bytes.push_back(v.number);
+    }
+    std::vector<double> util;
+    for (const auto& v : noc.at("util").array) {
+        util.push_back(v.number);
+    }
+    MCS_REQUIRE(window_bytes.size() == ctx_->noc.link_count() &&
+                    util.size() == ctx_->noc.link_count(),
+                "snapshot NoC link count mismatch");
+    ctx_->noc.load_state(std::move(window_bytes), std::move(util),
+                         noc.at("energy").number, noc.at("messages").u64(),
+                         noc.at("bytes").u64(), noc.at("hop_bytes").u64());
+
+    read_metrics(doc.at("metrics"), ctx_->metrics);
+    ctx_->registry.load_state(doc.at("registry"));
+    // The captured trace ring reloads only into an attached tracer (attach
+    // it BEFORE restore); restoring without one simply drops the history.
+    if (ctx_->tracer != nullptr && doc.has("tracer")) {
+        ctx_->tracer->load_state(doc.at("tracer"));
+    }
+
+    workload_->load_state(doc.at("workload"));
+    test_->load_state(doc.at("test"));
+    platform_->load_state(doc.at("platform"));
+
+    // 3. Clock, then the event manifest in ascending captured sequence.
+    //    Each dispatch schedules exactly one event, so the rebuilt queue
+    //    breaks timestamp ties exactly as the captured one did.
+    ctx_->sim.restore_clock(now, executed);
+    const auto& events = doc.at("events").array;
+    std::uint64_t prev_seq = 0;
+    bool first = true;
+    for (const auto& entry : events) {
+        const std::string& kind = entry.at("kind").string;
+        const SimTime when = entry.at("when").u64();
+        const std::uint64_t seq = entry.at("seq").u64();
+        MCS_REQUIRE(first || seq > prev_seq,
+                    "snapshot events must be strictly ordered by sequence");
+        first = false;
+        prev_seq = seq;
+        MCS_REQUIRE(when > now,
+                    "snapshot event at or before the capture point");
+        const std::uint64_t a = entry.at("a").u64();
+        const std::uint64_t b = entry.at("b").u64();
+        bool matched = false;
+        for (std::size_t slot = 0; slot < kEpochKinds.size(); ++slot) {
+            if (kind == kEpochKinds[slot]) {
+                register_epoch(slot, when);
+                matched = true;
+                break;
+            }
+        }
+        if (matched) {
+            continue;
+        }
+        if (kind == "arrival") {
+            workload_->schedule_restored_arrival(
+                static_cast<std::size_t>(a), when);
+        } else if (kind == "task_complete") {
+            workload_->schedule_restored_completion(static_cast<CoreId>(a),
+                                                    when);
+        } else if (kind == "edge") {
+            workload_->schedule_restored_edge(static_cast<std::size_t>(a),
+                                              static_cast<TaskIndex>(b),
+                                              when);
+        } else if (kind == "test_session_complete") {
+            test_->schedule_restored_session(static_cast<CoreId>(a), when);
+        } else if (kind == "link_test_complete") {
+            test_->schedule_restored_link_test(static_cast<LinkId>(a), when);
+        } else {
+            MCS_REQUIRE(false, "unknown snapshot event kind");
+        }
+    }
+    for (std::size_t slot = 0; slot < epoch_ids_.size(); ++slot) {
+        MCS_REQUIRE(epoch_ids_[slot] != 0,
+                    "snapshot is missing a periodic epoch event");
+    }
+    MCS_REQUIRE(ctx_->sim.pending_events() == events.size(),
+                "restored pending events do not match the manifest");
+    restored_ = true;
+}
+
+}  // namespace mcs

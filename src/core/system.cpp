@@ -1,5 +1,9 @@
 #include "core/system.hpp"
 
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
 #include "core/platform_engine.hpp"
 #include "core/system_context.hpp"
 #include "core/test_engine.hpp"
@@ -81,24 +85,97 @@ void ManycoreSystem::set_priority_blind(bool blind) {
     ctx_->priority_blind = blind;
 }
 
+void ManycoreSystem::checkpoint_at(SimTime when, std::string path) {
+    MCS_REQUIRE(!ran_, "checkpoint_at must precede run()");
+    MCS_REQUIRE(when > 0, "checkpoint time must be positive");
+    MCS_REQUIRE(when % cfg_.power_epoch == 0,
+                "checkpoints must lie on a power-epoch boundary");
+    MCS_REQUIRE(!path.empty(), "checkpoint path must not be empty");
+    checkpoints_.push_back({when, std::move(path)});
+}
+
+namespace {
+
+SimDuration epoch_period(const SystemConfig& cfg, std::size_t slot) {
+    switch (slot) {
+        case 0: return cfg.power_epoch;
+        case 1: return cfg.thermal_epoch;
+        case 2: return cfg.test_epoch;
+        case 3: return cfg.wear_epoch;
+        case 4: return cfg.trace_epoch;
+    }
+    MCS_REQUIRE(false, "epoch slot out of range");
+    return 0;
+}
+
+}  // namespace
+
+void ManycoreSystem::register_epoch(std::size_t slot, SimTime first_at) {
+    MCS_REQUIRE(slot < epoch_ids_.size(), "epoch slot out of range");
+    MCS_REQUIRE(epoch_ids_[slot] == 0, "epoch already registered");
+    std::function<void(SimTime)> cb;
+    switch (slot) {
+        case 0: cb = [this](SimTime) { platform_->power_epoch(); }; break;
+        case 1: cb = [this](SimTime) { platform_->thermal_epoch(); }; break;
+        case 2: cb = [this](SimTime) { test_->test_epoch(); }; break;
+        case 3: cb = [this](SimTime) { platform_->wear_epoch(); }; break;
+        case 4: cb = [this](SimTime) { platform_->trace_epoch(); }; break;
+    }
+    epoch_ids_[slot] = ctx_->sim.every(epoch_period(cfg_, slot), first_at,
+                                       std::move(cb)).id;
+}
+
 RunMetrics ManycoreSystem::run(SimDuration horizon) {
     MCS_REQUIRE(!ran_, "ManycoreSystem::run may only be called once");
     MCS_REQUIRE(horizon > 0, "run horizon must be positive");
     ran_ = true;
-    workload_->admit_workload(horizon);
-    // Epoch registration order is part of the behavioral contract: at a
-    // shared timestamp the event queue breaks ties by insertion order.
-    ctx_->sim.every(cfg_.power_epoch,
-                    [this](SimTime) { platform_->power_epoch(); });
-    ctx_->sim.every(cfg_.thermal_epoch,
-                    [this](SimTime) { platform_->thermal_epoch(); });
-    ctx_->sim.every(cfg_.test_epoch,
-                    [this](SimTime) { test_->test_epoch(); });
-    ctx_->sim.every(cfg_.wear_epoch,
-                    [this](SimTime) { platform_->wear_epoch(); });
-    ctx_->sim.every(cfg_.trace_epoch,
-                    [this](SimTime) { platform_->trace_epoch(); });
-    ctx_->sim.run_until(horizon);
+    if (restored_) {
+        // The captured state (arrival trace, pending events, horizon-
+        // derived bookkeeping) is only meaningful for the captured run.
+        MCS_REQUIRE(horizon == restored_horizon_,
+                    "a restored system must run to the snapshot's horizon");
+    } else {
+        workload_->admit_workload(horizon);
+        // Epoch registration order is part of the behavioral contract: at a
+        // shared timestamp the event queue breaks ties by insertion order.
+        for (std::size_t slot = 0; slot < epoch_ids_.size(); ++slot) {
+            register_epoch(slot,
+                           ctx_->sim.now() + epoch_period(cfg_, slot));
+        }
+        if (ctx_->sim.tracer() != nullptr) {
+            ctx_->sim.tracer()->record(
+                ctx_->sim.now(), telemetry::TraceCategory::Sim,
+                telemetry::TracePhase::Instant, "run_until_begin", 0,
+                static_cast<std::int64_t>(horizon));
+        }
+    }
+    // Advance in checkpoint segments. advance_until is marker-free and a
+    // clock bump between events is unobservable, so the segmented run is
+    // event-for-event (and byte-for-byte) the uninterrupted run.
+    std::stable_sort(checkpoints_.begin(), checkpoints_.end(),
+                     [](const Checkpoint& a, const Checkpoint& b) {
+                         return a.at < b.at;
+                     });
+    for (const Checkpoint& cp : checkpoints_) {
+        MCS_REQUIRE(cp.at > ctx_->sim.now(),
+                    "checkpoint time must be ahead of the clock");
+        MCS_REQUIRE(cp.at < horizon,
+                    "checkpoints must precede the run horizon");
+        ctx_->sim.advance_until(cp.at);
+        std::ofstream out(cp.path, std::ios::binary);
+        MCS_REQUIRE(out.good(), "cannot open checkpoint file for writing");
+        write_snapshot(out, horizon);
+        out << '\n';
+        out.flush();
+        MCS_REQUIRE(out.good(), "checkpoint write failed");
+    }
+    ctx_->sim.advance_until(horizon);
+    if (ctx_->sim.tracer() != nullptr) {
+        ctx_->sim.tracer()->record(
+            ctx_->sim.now(), telemetry::TraceCategory::Sim,
+            telemetry::TracePhase::Instant, "run_until_end", 0,
+            static_cast<std::int64_t>(ctx_->sim.events_executed()));
+    }
     return finalize();
 }
 

@@ -1,9 +1,13 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "aging/aging_model.hpp"
 #include "aging/criticality.hpp"
@@ -11,6 +15,7 @@
 #include "arch/technology.hpp"
 #include "core/metrics.hpp"
 #include "core/schedulers.hpp"
+#include "core/snapshot.hpp"
 #include "noc/link_test.hpp"
 #include "noc/network.hpp"
 #include "power/power_manager.hpp"
@@ -135,6 +140,29 @@ public:
     /// May only be called once per instance.
     RunMetrics run(SimDuration horizon);
 
+    /// Registers a checkpoint: run() pauses at `when` (which must lie on a
+    /// power-epoch boundary -- the capture invariant all components share)
+    /// and writes an "mcs.snapshot" document to `path` before continuing.
+    /// The checkpoint is unobservable to the simulation: the continued run
+    /// produces byte-identical reports, traces, and metrics. Must be called
+    /// before run(); multiple checkpoints are allowed.
+    void checkpoint_at(SimTime when, std::string path);
+
+    /// Rebuilds this (freshly constructed, not yet run) system from a
+    /// snapshot document. The configuration must match the captured one:
+    /// the structural fingerprint always, the full fingerprint unless
+    /// `opts.relax_config` (fork-from-checkpoint sweeps). Attach the tracer
+    /// BEFORE restoring so the captured trace ring can be reloaded. After
+    /// restore, run() must be called with restored_horizon().
+    void restore(const telemetry::JsonValue& doc, RestoreOptions opts = {});
+
+    bool restored() const noexcept { return restored_; }
+    /// Horizon of the captured run (the only horizon run() accepts after a
+    /// restore).
+    SimDuration restored_horizon() const noexcept {
+        return restored_horizon_;
+    }
+
     /// Streams power/state trace samples during run() (E2's figure).
     void set_trace_sink(TraceSink sink);
 
@@ -184,6 +212,16 @@ public:
 
 private:
     RunMetrics finalize();
+    /// Serializes the complete system state (implemented in snapshot.cpp).
+    void write_snapshot(std::ostream& out, SimDuration horizon) const;
+    /// Registers epoch slot `slot` (0 = power .. 4 = trace) with its first
+    /// firing at `first_at`; stores the periodic id in epoch_ids_.
+    void register_epoch(std::size_t slot, SimTime first_at);
+
+    struct Checkpoint {
+        SimTime at = 0;
+        std::string path;
+    };
 
     SystemConfig cfg_;
     std::unique_ptr<SystemContext> ctx_;
@@ -191,7 +229,13 @@ private:
     std::unique_ptr<WorkloadEngine> workload_;
     std::unique_ptr<TestEngine> test_;
     std::unique_ptr<telemetry::TelemetryObserver> telemetry_obs_;
+    std::vector<Checkpoint> checkpoints_;
+    /// Periodic ids of the five registered epochs, in the canonical
+    /// registration order (0 = none; Simulator ids start at 1).
+    std::array<std::uint64_t, 5> epoch_ids_{};
     bool ran_ = false;
+    bool restored_ = false;
+    SimDuration restored_horizon_ = 0;
 };
 
 /// Convenience: translate a target *occupancy* (fraction of core-time

@@ -1,11 +1,36 @@
 #include "core/system_factory.hpp"
 
+#include <fstream>
+#include <sstream>
+
 #include "core/config_bridge.hpp"
+#include "telemetry/json.hpp"
+#include "util/require.hpp"
 
 namespace mcs {
 
+telemetry::JsonValue load_snapshot_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    MCS_REQUIRE(in.is_open(), "cannot open snapshot file: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    MCS_REQUIRE(in.good() || in.eof(), "snapshot read failed: " + path);
+    return telemetry::parse_json(text.str());
+}
+
+void apply_restore(ManycoreSystem& sys, const Config& cfg) {
+    if (!cfg.has("restore")) {
+        return;
+    }
+    RestoreOptions opts;
+    opts.relax_config = cfg.get_bool("restore_relax", false);
+    sys.restore(load_snapshot_file(cfg.get_string("restore", "")), opts);
+}
+
 std::unique_ptr<ManycoreSystem> make_system(const Config& cfg) {
-    return std::make_unique<ManycoreSystem>(system_config_from(cfg));
+    auto sys = std::make_unique<ManycoreSystem>(system_config_from(cfg));
+    apply_restore(*sys, cfg);
+    return sys;
 }
 
 RunMetrics run_system(const Config& cfg, SimDuration horizon) {

@@ -7,10 +7,22 @@
 
 namespace mcs {
 
+/// Reads and parses an "mcs.snapshot" document from `path` (schema and
+/// fingerprints are checked by ManycoreSystem::restore, not here).
+telemetry::JsonValue load_snapshot_file(const std::string& path);
+
+/// If `cfg` carries `restore=<path>`, rebuilds `sys` from that snapshot
+/// (`restore_relax=true` relaxes the full-config fingerprint check so a
+/// fork may vary policy knobs); otherwise does nothing. Call after
+/// attaching the tracer so the captured trace ring reloads into it.
+void apply_restore(ManycoreSystem& sys, const Config& cfg);
+
 /// Constructs a fresh ManycoreSystem from generic key=value configuration
-/// (core/config_bridge.hpp keys). The build path touches no global mutable
-/// state, so factories may run concurrently from any number of threads —
-/// this is the entry the campaign runner uses for each replica.
+/// (core/config_bridge.hpp keys), restoring it from `restore=<path>` when
+/// present. The build path touches no global mutable state, so factories
+/// may run concurrently from any number of threads — this is the entry the
+/// campaign runner uses for each replica (fork-from-checkpoint sweeps pass
+/// the same snapshot to every cell).
 std::unique_ptr<ManycoreSystem> make_system(const Config& cfg);
 
 /// Builds and runs one system for `horizon` simulated time and returns its

@@ -10,6 +10,7 @@
 #include "core/workload_engine.hpp"
 #include "power/power_manager.hpp"
 #include "power/power_model.hpp"
+#include "telemetry/json.hpp"
 #include "thermal/thermal_model.hpp"
 #include "util/require.hpp"
 
@@ -47,6 +48,7 @@ TestEngine::TestEngine(SystemContext& ctx)
                              ctx_.cfg.seed ^ 0xd1b54a32d192ed03ULL);
         last_link_test_.assign(ctx_.noc.link_count(), 0);
         link_test_active_.assign(ctx_.noc.link_count(), 0);
+        link_test_events_.assign(ctx_.noc.link_count(), EventId{});
     }
     test_exec_.resize(ctx_.chip.core_count());
     test_progress_.assign(ctx_.chip.core_count(), 0);
@@ -146,7 +148,8 @@ void TestEngine::schedule_link_tests(SimTime now) {
         const SimDuration dur = std::max<SimDuration>(
             1, ctx_.noc.link_transfer_time(p.test_bytes));
         const LinkId id = link;
-        ctx_.sim.schedule_in(dur, [this, id] { on_link_test_complete(id); });
+        link_test_events_[link] = ctx_.sim.schedule_in(
+            dur, [this, id] { on_link_test_complete(id); });
     }
 }
 
@@ -281,6 +284,202 @@ void TestEngine::wear_step(SimTime now, double dt_s) {
     if (link_tester_) {
         link_tester_->step(now, dt_s);
     }
+}
+
+// ------------------------------------------------------ snapshot support
+
+void TestEngine::save_state(telemetry::JsonWriter& w) const {
+    w.begin_object();
+    w.field("scheduler", scheduler_->name());
+    w.key("scheduler_state");
+    w.begin_object();
+    scheduler_->save_state(w);
+    w.end_object();
+    w.key("exec");
+    w.begin_array();
+    for (const TestExec& ex : test_exec_) {
+        w.begin_object();
+        w.field("active", ex.active);
+        w.field("vf", static_cast<std::int64_t>(ex.vf_level));
+        w.end_object();
+    }
+    w.end_array();
+    w.key("progress");
+    w.begin_array();
+    for (std::size_t p : test_progress_) {
+        w.value(static_cast<std::uint64_t>(p));
+    }
+    w.end_array();
+    w.key("last_done");
+    w.begin_array();
+    for (SimTime t : last_test_done_) {
+        w.value(t);
+    }
+    w.end_array();
+    w.key("last_abort");
+    w.begin_array();
+    for (SimTime t : last_test_abort_) {
+        w.value(t);
+    }
+    w.end_array();
+    w.field("tests_running", static_cast<std::int64_t>(tests_running_));
+    if (link_tester_) {
+        w.key("link");
+        w.begin_object();
+        w.key("last_test");
+        w.begin_array();
+        for (SimTime t : last_link_test_) {
+            w.value(t);
+        }
+        w.end_array();
+        w.key("active");
+        w.begin_array();
+        for (std::uint8_t a : link_test_active_) {
+            w.value(a != 0);
+        }
+        w.end_array();
+        w.field("running", static_cast<std::int64_t>(link_tests_running_));
+        snapshot::write_rng(w, "rng", link_tester_->rng());
+        snapshot::write_latent_slots(w, "latent",
+                                     link_tester_->latent_slots());
+        w.key("history");
+        w.begin_array();
+        for (const LinkFault& f : link_tester_->history()) {
+            w.begin_object();
+            w.field("link", static_cast<std::uint64_t>(f.link));
+            w.field("injected", f.injected);
+            w.field("detected", f.detected);
+            w.field("detected_at", f.detected_at);
+            w.end_object();
+        }
+        w.end_array();
+        w.field("detected", link_tester_->detected_count());
+        w.field("escaped", link_tester_->escaped_tests());
+        w.field("corrupted", link_tester_->corrupted_messages());
+        w.end_object();
+    }
+    w.end_object();
+}
+
+void TestEngine::load_state(const telemetry::JsonValue& doc) {
+    // Scheduler state only transfers between identical policies; a relaxed
+    // restore under a different policy starts that policy fresh.
+    if (doc.at("scheduler").string == scheduler_->name()) {
+        scheduler_->load_state(doc.at("scheduler_state"));
+    }
+    const auto& exec = doc.at("exec").array;
+    MCS_REQUIRE(exec.size() == test_exec_.size(),
+                "snapshot test engine: core count mismatch");
+    for (std::size_t c = 0; c < exec.size(); ++c) {
+        test_exec_[c].active = exec[c].at("active").boolean;
+        test_exec_[c].vf_level =
+            static_cast<int>(exec[c].at("vf").i64());
+        test_exec_[c].completion = EventId{};  // re-created from manifest
+    }
+    const auto& progress = doc.at("progress").array;
+    MCS_REQUIRE(progress.size() == test_progress_.size(),
+                "snapshot test engine: progress size mismatch");
+    for (std::size_t c = 0; c < progress.size(); ++c) {
+        test_progress_[c] = static_cast<std::size_t>(progress[c].u64());
+        MCS_REQUIRE(test_progress_[c] < ctx_.suite.routine_count(),
+                    "snapshot test engine: suite progress out of range");
+    }
+    const auto& done = doc.at("last_done").array;
+    const auto& abort = doc.at("last_abort").array;
+    MCS_REQUIRE(done.size() == last_test_done_.size() &&
+                    abort.size() == last_test_abort_.size(),
+                "snapshot test engine: stamp size mismatch");
+    for (std::size_t c = 0; c < done.size(); ++c) {
+        last_test_done_[c] = done[c].u64();
+        last_test_abort_[c] = abort[c].u64();
+    }
+    tests_running_ = static_cast<int>(doc.at("tests_running").i64());
+    if (link_tester_) {
+        const telemetry::JsonValue& link = doc.at("link");
+        const auto& last = link.at("last_test").array;
+        const auto& active = link.at("active").array;
+        MCS_REQUIRE(last.size() == last_link_test_.size() &&
+                        active.size() == link_test_active_.size(),
+                    "snapshot test engine: link count mismatch");
+        for (std::size_t l = 0; l < last.size(); ++l) {
+            last_link_test_[l] = last[l].u64();
+            link_test_active_[l] = active[l].boolean ? 1 : 0;
+            link_test_events_[l] = EventId{};
+        }
+        link_tests_running_ =
+            static_cast<int>(link.at("running").i64());
+        std::vector<LinkFault> history;
+        for (const auto& f : link.at("history").array) {
+            history.push_back(LinkFault{
+                static_cast<LinkId>(f.at("link").u64()),
+                f.at("injected").u64(), f.at("detected").boolean,
+                f.at("detected_at").u64()});
+        }
+        auto latent =
+            snapshot::read_latent_slots(link, "latent", history.size());
+        MCS_REQUIRE(latent.size() == ctx_.noc.link_count(),
+                    "snapshot test engine: latent slot count mismatch");
+        link_tester_->load_state(snapshot::read_rng(link, "rng"),
+                                 std::move(latent), std::move(history),
+                                 link.at("detected").u64(),
+                                 link.at("escaped").u64(),
+                                 link.at("corrupted").u64());
+    }
+}
+
+void TestEngine::append_event_manifest(
+    std::vector<SnapshotEvent>& out) const {
+    for (std::size_t c = 0; c < test_exec_.size(); ++c) {
+        const TestExec& ex = test_exec_[c];
+        if (!ex.active) {
+            continue;
+        }
+        MCS_REQUIRE(ctx_.sim.is_pending(ex.completion),
+                    "active test without a pending completion event");
+        out.push_back({"test_session_complete",
+                       ctx_.sim.event_time(ex.completion), ex.completion.seq,
+                       static_cast<std::uint64_t>(c), 0});
+    }
+    for (std::size_t l = 0; l < link_test_active_.size(); ++l) {
+        if (!link_test_active_[l]) {
+            continue;
+        }
+        const EventId id = link_test_events_[l];
+        MCS_REQUIRE(id.valid() && ctx_.sim.is_pending(id),
+                    "active link test without a pending completion event");
+        out.push_back({"link_test_complete", ctx_.sim.event_time(id), id.seq,
+                       static_cast<std::uint64_t>(l), 0});
+    }
+}
+
+void TestEngine::schedule_restored_session(CoreId core, SimTime when) {
+    MCS_REQUIRE(core < test_exec_.size(),
+                "snapshot manifest: test core out of range");
+    TestExec& ex = test_exec_[core];
+    MCS_REQUIRE(ex.active, "snapshot manifest: session on inactive core");
+    MCS_REQUIRE(!ex.completion.valid(),
+                "snapshot manifest: duplicate session for core");
+    // Segmentation is structural (cfg.segmented_tests is part of the
+    // structural fingerprint), so the captured pending event and the
+    // restored one dispatch through the same completion path.
+    if (ctx_.cfg.segmented_tests) {
+        ex.completion = ctx_.sim.schedule_at(
+            when, [this, core] { on_routine_complete(core); });
+    } else {
+        ex.completion = ctx_.sim.schedule_at(
+            when, [this, core] { on_test_complete(core); });
+    }
+}
+
+void TestEngine::schedule_restored_link_test(LinkId link, SimTime when) {
+    MCS_REQUIRE(link < link_test_active_.size(),
+                "snapshot manifest: link out of range");
+    MCS_REQUIRE(link_test_active_[link] != 0,
+                "snapshot manifest: link test on inactive link");
+    MCS_REQUIRE(!link_test_events_[link].valid(),
+                "snapshot manifest: duplicate link test");
+    link_test_events_[link] = ctx_.sim.schedule_at(
+        when, [this, link] { on_link_test_complete(link); });
 }
 
 void TestEngine::finalize_into(RunMetrics& m, SimTime end) {

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "core/snapshot.hpp"
 #include "core/system_context.hpp"
 #include "core/test_scheduler.hpp"
 #include "noc/link_test.hpp"
@@ -72,6 +73,19 @@ public:
     /// scheduler's telemetry.
     void finalize_into(RunMetrics& m, SimTime end);
 
+    // ---- snapshot support ----
+    /// Complete engine state as one JSON object, including the scheduler
+    /// policy's state (tagged with the policy name; only loaded back into
+    /// a matching policy).
+    void save_state(telemetry::JsonWriter& w) const;
+    void load_state(const telemetry::JsonValue& doc);
+    /// Appends one manifest entry per pending test event:
+    /// "test_session_complete" (a = core) and "link_test_complete"
+    /// (a = link).
+    void append_event_manifest(std::vector<SnapshotEvent>& out) const;
+    void schedule_restored_session(CoreId core, SimTime when);
+    void schedule_restored_link_test(LinkId link, SimTime when);
+
 private:
     /// State of a test session running on a core. In segmented mode the
     /// suite position lives in test_progress_ (it persists across aborted
@@ -92,6 +106,9 @@ private:
     std::optional<LinkTester> link_tester_;
     std::vector<SimTime> last_link_test_;
     std::vector<std::uint8_t> link_test_active_;
+    /// Completion event of the in-flight test on each link (snapshot
+    /// bookkeeping; meaningful only while link_test_active_[l]).
+    std::vector<EventId> link_test_events_;
     int link_tests_running_ = 0;
 
     std::vector<TestExec> test_exec_;

@@ -11,6 +11,8 @@
 namespace mcs::telemetry {
 class Tracer;
 class MetricsRegistry;
+class JsonWriter;
+struct JsonValue;
 }  // namespace mcs::telemetry
 
 namespace mcs {
@@ -72,6 +74,12 @@ public:
     virtual void export_telemetry(telemetry::MetricsRegistry& registry) const {
         (void)registry;
     }
+    /// Checkpoint hooks. The caller opens (and closes) a JSON object and
+    /// hands the writer positioned inside it; the policy writes its fields
+    /// there (so the stateless default stays a valid empty object). State is
+    /// only loaded back into a policy with the same name().
+    virtual void save_state(telemetry::JsonWriter& w) const { (void)w; }
+    virtual void load_state(const telemetry::JsonValue& doc) { (void)doc; }
 };
 
 /// How a policy chooses the V/F level of each test session.

@@ -10,6 +10,7 @@
 #include "mapping/contiguous_mapper.hpp"
 #include "noc/link_test.hpp"
 #include "power/power_manager.hpp"
+#include "telemetry/json.hpp"
 #include "util/require.hpp"
 
 namespace mcs {
@@ -76,7 +77,8 @@ void WorkloadEngine::admit_workload(SimDuration horizon) {
         const std::size_t index = apps_.size();
         const SimTime arrival = spec.arrival;
         apps_.emplace_back(std::move(spec));
-        ctx_.sim.schedule_at(arrival, [this, index] { on_arrival(index); });
+        arrival_events_.push_back(ctx_.sim.schedule_at(
+            arrival, [this, index] { on_arrival(index); }));
     }
     ctx_.metrics.apps_arrived = apps_.size();
 }
@@ -84,6 +86,7 @@ void WorkloadEngine::admit_workload(SimDuration horizon) {
 std::size_t WorkloadEngine::inject(ApplicationSpec spec) {
     const std::size_t index = apps_.size();
     apps_.emplace_back(std::move(spec));
+    arrival_events_.push_back(EventId{});
     ctx_.metrics.apps_arrived = apps_.size();
     return index;
 }
@@ -276,10 +279,13 @@ void WorkloadEngine::on_task_complete(CoreId core) {
             }
         }
         const TaskIndex dst = e.dst;
+        const std::uint64_t seq = ctx_.sim.next_event_seq();
         ctx_.sim.schedule_in(std::max<SimDuration>(1, t.latency),
-                             [this, app_index, dst] {
+                             [this, app_index, dst, seq] {
+                                 inflight_edges_.erase(seq);
                                  deliver_edge(app_index, dst);
                              });
+        inflight_edges_.emplace(seq, std::pair{app_index, dst});
     }
     ++app.tasks_done;
     if (app.tasks_done == app.spec.graph.size()) {
@@ -349,6 +355,226 @@ void WorkloadEngine::on_vf_change(CoreId core, int old_level, int new_level) {
     ex.completion = ctx_.sim.schedule_in(dur, [this, core] {
         on_task_complete(core);
     });
+}
+
+// ------------------------------------------------------ snapshot support
+
+void WorkloadEngine::save_state(telemetry::JsonWriter& w) const {
+    w.begin_object();
+    w.key("apps");
+    w.begin_array();
+    for (const AppRun& app : apps_) {
+        w.begin_object();
+        w.field("done", app.done);
+        w.field("corrupted", app.corrupted);
+        w.field("tasks_done", static_cast<std::uint64_t>(app.tasks_done));
+        w.key("task_core");
+        w.begin_array();
+        for (CoreId id : app.task_core) {
+            w.value(static_cast<std::uint64_t>(id));
+        }
+        w.end_array();
+        w.key("waiting");
+        w.begin_array();
+        for (std::uint32_t n : app.waiting) {
+            w.value(static_cast<std::uint64_t>(n));
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("pending");
+    w.begin_array();
+    for (const auto& queue : pending_) {
+        w.begin_array();
+        for (std::size_t index : queue) {
+            w.value(static_cast<std::uint64_t>(index));
+        }
+        w.end_array();
+    }
+    w.end_array();
+    w.field("pending_total", static_cast<std::uint64_t>(pending_total_));
+    w.key("core_exec");
+    w.begin_array();
+    for (const CoreExec& ex : core_exec_) {
+        w.begin_object();
+        w.field("active", ex.active);
+        w.field("app", static_cast<std::uint64_t>(ex.app_index));
+        w.field("task", static_cast<std::uint64_t>(ex.task));
+        w.field("remaining", ex.remaining_cycles);
+        w.field("last_progress", ex.last_progress);
+        w.end_object();
+    }
+    w.end_array();
+    w.field("mapping_rounds", mapping_rounds_);
+    w.field("mapping_attempts", mapping_attempts_);
+    w.key("idle");
+    w.begin_object();
+    w.key("ewma");
+    w.begin_array();
+    for (double v : idle_predictor_.ewma_ns()) {
+        w.value(v);
+    }
+    w.end_array();
+    w.key("period_start");
+    w.begin_array();
+    for (SimTime t : idle_predictor_.period_start()) {
+        w.value(t);
+    }
+    w.end_array();
+    w.key("in_period");
+    w.begin_array();
+    for (bool b : idle_predictor_.in_period()) {
+        w.value(b);
+    }
+    w.end_array();
+    w.field("completed", idle_predictor_.completed_periods());
+    w.end_object();
+    w.end_object();
+}
+
+void WorkloadEngine::load_state(const telemetry::JsonValue& doc) {
+    const auto& apps = doc.at("apps").array;
+    MCS_REQUIRE(apps.size() == apps_.size(),
+                "snapshot workload: application count mismatch");
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const telemetry::JsonValue& a = apps[i];
+        AppRun& app = apps_[i];
+        app.done = a.at("done").boolean;
+        app.corrupted = a.at("corrupted").boolean;
+        app.tasks_done = static_cast<std::size_t>(a.at("tasks_done").u64());
+        app.task_core.clear();
+        for (const auto& c : a.at("task_core").array) {
+            app.task_core.push_back(static_cast<CoreId>(c.u64()));
+        }
+        MCS_REQUIRE(app.task_core.empty() ||
+                        app.task_core.size() == app.spec.graph.size(),
+                    "snapshot workload: mapping size mismatch");
+        app.waiting.clear();
+        for (const auto& n : a.at("waiting").array) {
+            app.waiting.push_back(static_cast<std::uint32_t>(n.u64()));
+        }
+    }
+    const auto& pending = doc.at("pending").array;
+    MCS_REQUIRE(pending.size() == pending_.size(),
+                "snapshot workload: QoS class count mismatch");
+    for (std::size_t cls = 0; cls < pending.size(); ++cls) {
+        pending_[cls].clear();
+        for (const auto& index : pending[cls].array) {
+            const auto i = static_cast<std::size_t>(index.u64());
+            MCS_REQUIRE(i < apps_.size(),
+                        "snapshot workload: queued app out of range");
+            pending_[cls].push_back(i);
+        }
+    }
+    pending_total_ = static_cast<std::size_t>(doc.at("pending_total").u64());
+    const auto& exec = doc.at("core_exec").array;
+    MCS_REQUIRE(exec.size() == core_exec_.size(),
+                "snapshot workload: core count mismatch");
+    for (std::size_t c = 0; c < exec.size(); ++c) {
+        const telemetry::JsonValue& e = exec[c];
+        CoreExec& ex = core_exec_[c];
+        ex.active = e.at("active").boolean;
+        ex.app_index = static_cast<std::size_t>(e.at("app").u64());
+        ex.task = static_cast<TaskIndex>(e.at("task").u64());
+        ex.remaining_cycles = e.at("remaining").number;
+        ex.last_progress = e.at("last_progress").u64();
+        ex.completion = EventId{};  // re-created from the event manifest
+        MCS_REQUIRE(!ex.active || ex.app_index < apps_.size(),
+                    "snapshot workload: executing app out of range");
+    }
+    mapping_rounds_ = doc.at("mapping_rounds").u64();
+    mapping_attempts_ = doc.at("mapping_attempts").u64();
+    const telemetry::JsonValue& idle = doc.at("idle");
+    std::vector<double> ewma;
+    for (const auto& v : idle.at("ewma").array) {
+        ewma.push_back(v.number);
+    }
+    std::vector<SimTime> period_start;
+    for (const auto& v : idle.at("period_start").array) {
+        period_start.push_back(v.u64());
+    }
+    std::vector<bool> in_period;
+    for (const auto& v : idle.at("in_period").array) {
+        in_period.push_back(v.boolean);
+    }
+    idle_predictor_.load_state(std::move(ewma), std::move(period_start),
+                               std::move(in_period),
+                               idle.at("completed").u64());
+}
+
+void WorkloadEngine::append_event_manifest(
+    std::vector<SnapshotEvent>& out) const {
+    for (std::size_t i = 0; i < arrival_events_.size(); ++i) {
+        const EventId id = arrival_events_[i];
+        if (id.valid() && ctx_.sim.is_pending(id)) {
+            out.push_back({"arrival", ctx_.sim.event_time(id), id.seq,
+                           static_cast<std::uint64_t>(i), 0});
+        }
+    }
+    for (std::size_t c = 0; c < core_exec_.size(); ++c) {
+        const CoreExec& ex = core_exec_[c];
+        if (!ex.active) {
+            continue;
+        }
+        MCS_REQUIRE(ctx_.sim.is_pending(ex.completion),
+                    "active task without a pending completion event");
+        out.push_back({"task_complete", ctx_.sim.event_time(ex.completion),
+                       ex.completion.seq, static_cast<std::uint64_t>(c), 0});
+    }
+    for (const auto& [seq, edge] : inflight_edges_) {
+        const EventId id{seq};
+        MCS_REQUIRE(ctx_.sim.is_pending(id),
+                    "stale in-flight edge in snapshot bookkeeping");
+        out.push_back({"edge", ctx_.sim.event_time(id), seq,
+                       static_cast<std::uint64_t>(edge.first),
+                       static_cast<std::uint64_t>(edge.second)});
+    }
+}
+
+void WorkloadEngine::restore_workload(SimDuration horizon,
+                                      std::uint64_t root_seed) {
+    MCS_REQUIRE(apps_.empty(), "restore_workload on a used engine");
+    WorkloadGenerator wg(ctx_.cfg.workload,
+                         root_seed ^ 0xbf58476d1ce4e5b9ULL);
+    auto specs = wg.generate(horizon);
+    apps_.reserve(specs.size());
+    for (auto& spec : specs) {
+        apps_.emplace_back(std::move(spec));
+    }
+    arrival_events_.assign(apps_.size(), EventId{});
+    ctx_.metrics.apps_arrived = apps_.size();
+}
+
+void WorkloadEngine::schedule_restored_arrival(std::size_t app_index,
+                                               SimTime when) {
+    MCS_REQUIRE(app_index < apps_.size(),
+                "snapshot manifest: arrival app out of range");
+    arrival_events_[app_index] = ctx_.sim.schedule_at(
+        when, [this, app_index] { on_arrival(app_index); });
+}
+
+void WorkloadEngine::schedule_restored_completion(CoreId core, SimTime when) {
+    MCS_REQUIRE(core < core_exec_.size(),
+                "snapshot manifest: completion core out of range");
+    CoreExec& ex = core_exec_[core];
+    MCS_REQUIRE(ex.active, "snapshot manifest: completion on inactive core");
+    MCS_REQUIRE(!ex.completion.valid(),
+                "snapshot manifest: duplicate completion for core");
+    ex.completion = ctx_.sim.schedule_at(
+        when, [this, core] { on_task_complete(core); });
+}
+
+void WorkloadEngine::schedule_restored_edge(std::size_t app_index,
+                                            TaskIndex dst, SimTime when) {
+    MCS_REQUIRE(app_index < apps_.size(),
+                "snapshot manifest: edge app out of range");
+    const std::uint64_t seq = ctx_.sim.next_event_seq();
+    ctx_.sim.schedule_at(when, [this, app_index, dst, seq] {
+        inflight_edges_.erase(seq);
+        deliver_edge(app_index, dst);
+    });
+    inflight_edges_.emplace(seq, std::pair{app_index, dst});
 }
 
 void WorkloadEngine::finalize_into(RunMetrics& m, SimTime end) {

@@ -9,11 +9,14 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "app/workload.hpp"
 #include "core/idle_predictor.hpp"
+#include "core/snapshot.hpp"
 #include "core/system_context.hpp"
 #include "mapping/mapper.hpp"
 #include "mapping/view_cache.hpp"
@@ -75,6 +78,27 @@ public:
     /// (rejections, throughput, utilization).
     void finalize_into(RunMetrics& m, SimTime end);
 
+    // ---- snapshot support ----
+    /// Complete engine state as one JSON object. Application *specs* are
+    /// not serialized: they regenerate deterministically from the snapshot
+    /// seed (restore_workload), and only the per-app runtime state rides in
+    /// the snapshot.
+    void save_state(telemetry::JsonWriter& w) const;
+    void load_state(const telemetry::JsonValue& doc);
+    /// Appends one manifest entry per pending workload event: "arrival"
+    /// (a = app index), "task_complete" (a = core) and "edge" (a = app
+    /// index, b = destination task).
+    void append_event_manifest(std::vector<SnapshotEvent>& out) const;
+    /// Restore-path replacement for admit_workload(): regenerates the
+    /// arrival trace for the snapshot's horizon and root seed WITHOUT
+    /// scheduling arrival events -- the event manifest re-creates the ones
+    /// still pending at capture. Must run on a fresh engine.
+    void restore_workload(SimDuration horizon, std::uint64_t root_seed);
+    void schedule_restored_arrival(std::size_t app_index, SimTime when);
+    void schedule_restored_completion(CoreId core, SimTime when);
+    void schedule_restored_edge(std::size_t app_index, TaskIndex dst,
+                                SimTime when);
+
 private:
     // --- lifecycle of one application ---
     struct AppRun {
@@ -121,6 +145,13 @@ private:
     bool mapping_in_progress_ = false;
     std::uint64_t mapping_rounds_ = 0;
     std::uint64_t mapping_attempts_ = 0;
+    /// Arrival event per app, parallel to apps_ (invalid once fired, and
+    /// for injected apps, which never had one). Snapshot bookkeeping only.
+    std::vector<EventId> arrival_events_;
+    /// In-flight NoC edge deliveries keyed by their event sequence number
+    /// (erased as each delivery fires). Snapshot bookkeeping only.
+    std::map<std::uint64_t, std::pair<std::size_t, TaskIndex>>
+        inflight_edges_;
 };
 
 }  // namespace mcs

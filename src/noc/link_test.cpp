@@ -81,4 +81,24 @@ bool LinkTester::roll_message_corruption(LinkId link) {
     return false;
 }
 
+
+void LinkTester::load_state(const Rng& rng,
+                            std::vector<std::optional<std::size_t>> latent,
+                            std::vector<LinkFault> history,
+                            std::uint64_t detected, std::uint64_t escaped,
+                            std::uint64_t corrupted) {
+    MCS_REQUIRE(latent.size() == latent_.size(),
+                "link tester state: link count mismatch");
+    for (const auto& slot : latent) {
+        MCS_REQUIRE(!slot.has_value() || *slot < history.size(),
+                    "link tester state: latent index out of range");
+    }
+    rng_ = rng;
+    latent_ = std::move(latent);
+    history_ = std::move(history);
+    detected_ = detected;
+    escaped_ = escaped;
+    corrupted_ = corrupted;
+}
+
 }  // namespace mcs

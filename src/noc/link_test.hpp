@@ -70,6 +70,18 @@ public:
 
     const NocTestParams& params() const noexcept { return params_; }
 
+    // ---- snapshot support ----
+    const Rng& rng() const noexcept { return rng_; }
+    /// Per-link index into history() of the latent fault, if any.
+    const std::vector<std::optional<std::size_t>>& latent_slots()
+        const noexcept {
+        return latent_;
+    }
+    void load_state(const Rng& rng,
+                    std::vector<std::optional<std::size_t>> latent,
+                    std::vector<LinkFault> history, std::uint64_t detected,
+                    std::uint64_t escaped, std::uint64_t corrupted);
+
 private:
     NocTestParams params_;
     Rng rng_;

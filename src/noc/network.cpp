@@ -100,4 +100,20 @@ double Network::routers_idle_power_w() const {
            static_cast<double>(topo_.node_count());
 }
 
+
+void Network::load_state(std::vector<double> window_bytes,
+                         std::vector<double> util, double total_energy_j,
+                         std::uint64_t messages, std::uint64_t bytes,
+                         std::uint64_t hop_bytes) {
+    MCS_REQUIRE(window_bytes.size() == window_bytes_.size() &&
+                    util.size() == util_.size(),
+                "network state: link count mismatch");
+    window_bytes_ = std::move(window_bytes);
+    util_ = std::move(util);
+    total_energy_j_ = total_energy_j;
+    messages_ = messages;
+    bytes_ = bytes;
+    hop_bytes_ = hop_bytes;
+}
+
 }  // namespace mcs

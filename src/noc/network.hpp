@@ -85,6 +85,18 @@ public:
     /// Static power of all routers (added to chip power by the power model).
     double routers_idle_power_w() const;
 
+    // ---- snapshot support ----
+    // last_route_ is scratch (valid only until the next send) and is not
+    // part of the persisted state.
+    const std::vector<double>& window_bytes() const noexcept {
+        return window_bytes_;
+    }
+    const std::vector<double>& smoothed_util() const noexcept { return util_; }
+    void load_state(std::vector<double> window_bytes,
+                    std::vector<double> util, double total_energy_j,
+                    std::uint64_t messages, std::uint64_t bytes,
+                    std::uint64_t hop_bytes);
+
 private:
     MeshTopology topo_;
     NocParams params_;

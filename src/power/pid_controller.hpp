@@ -35,6 +35,18 @@ public:
 
     double last_output() const noexcept { return last_output_; }
 
+    // ---- snapshot support ----
+    double integral() const noexcept { return integral_; }
+    double prev_error() const noexcept { return prev_error_; }
+    bool has_prev() const noexcept { return has_prev_; }
+    void load_state(double integral, double prev_error, bool has_prev,
+                    double last_output) noexcept {
+        integral_ = integral;
+        prev_error_ = prev_error;
+        has_prev_ = has_prev;
+        last_output_ = last_output;
+    }
+
 private:
     PidParams params_;
     double integral_ = 0.0;

@@ -30,6 +30,17 @@ public:
     /// Time-weighted statistics of recorded power.
     const RunningStats& power_stats() const noexcept { return stats_; }
 
+    // ---- snapshot support ----
+    void load_state(double last_power_w, std::uint64_t samples,
+                    std::uint64_t violations, double worst_overshoot_w,
+                    const RunningStats& stats) noexcept {
+        last_power_w_ = last_power_w;
+        samples_ = samples;
+        violations_ = violations;
+        worst_overshoot_w_ = worst_overshoot_w;
+        stats_ = stats;
+    }
+
 private:
     double tdp_w_;
     double margin_w_;

@@ -336,4 +336,39 @@ void PowerManager::touch(SimTime now, CoreId id) {
     last_active_[id] = now;
 }
 
+
+PowerManager::PersistedState PowerManager::save_state() const {
+    PersistedState st;
+    st.last_active = last_active_;
+    st.last_epoch = last_epoch_;
+    st.has_epoch = has_epoch_;
+    st.measured_power_w = measured_power_w_;
+    st.committed_power_w = committed_power_w_;
+    st.throttle_steps = throttle_steps_;
+    st.boost_steps = boost_steps_;
+    st.cores_gated = cores_gated_;
+    st.rotate = rotate_;
+    st.pid_integral = pid_.integral();
+    st.pid_prev_error = pid_.prev_error();
+    st.pid_has_prev = pid_.has_prev();
+    st.pid_last_output = pid_.last_output();
+    return st;
+}
+
+void PowerManager::load_state(const PersistedState& s) {
+    MCS_REQUIRE(s.last_active.size() == last_active_.size(),
+                "power manager state: core count mismatch");
+    last_active_ = s.last_active;
+    last_epoch_ = s.last_epoch;
+    has_epoch_ = s.has_epoch;
+    measured_power_w_ = s.measured_power_w;
+    committed_power_w_ = s.committed_power_w;
+    throttle_steps_ = s.throttle_steps;
+    boost_steps_ = s.boost_steps;
+    cores_gated_ = s.cores_gated;
+    rotate_ = static_cast<std::size_t>(s.rotate);
+    pid_.load_state(s.pid_integral, s.pid_prev_error, s.pid_has_prev,
+                    s.pid_last_output);
+}
+
 }  // namespace mcs

@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "telemetry/json.hpp"
+#include "telemetry/schema.hpp"
 #include "util/csv.hpp"
 #include "util/require.hpp"
 #include "util/table.hpp"
@@ -153,7 +154,7 @@ void write_campaign_report_json(const CampaignResult& result,
                 "cannot open campaign report file: " + path);
     telemetry::JsonWriter w(out);
     w.begin_object();
-    w.field("schema", "mcs.campaign_report.v1");
+    w.field("schema", telemetry::schema_tag("mcs.campaign_report"));
     w.key("cells");
     w.begin_array();
     for (std::size_t c = 0; c < result.cell_count(); ++c) {

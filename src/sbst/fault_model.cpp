@@ -146,4 +146,25 @@ bool FaultInjector::roll_task_corruption(CoreId core) {
     return false;
 }
 
+
+void FaultInjector::load_state(const Rng& rng,
+                               std::vector<std::optional<std::size_t>> latent,
+                               std::vector<Fault> history,
+                               std::uint64_t detected,
+                               std::uint64_t escaped_tests,
+                               std::uint64_t corrupted) {
+    MCS_REQUIRE(latent.size() == latent_.size(),
+                "fault injector state: core count mismatch");
+    for (const auto& slot : latent) {
+        MCS_REQUIRE(!slot.has_value() || *slot < history.size(),
+                    "fault injector state: latent index out of range");
+    }
+    rng_ = rng;
+    latent_ = std::move(latent);
+    history_ = std::move(history);
+    detected_ = detected;
+    escaped_tests_ = escaped_tests;
+    corrupted_ = corrupted;
+}
+
 }  // namespace mcs

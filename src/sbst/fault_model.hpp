@@ -111,6 +111,18 @@ public:
 
     const FaultModelParams& params() const noexcept { return params_; }
 
+    // ---- snapshot support ----
+    const Rng& rng() const noexcept { return rng_; }
+    /// Per-core index into history() of the latent fault, if any.
+    const std::vector<std::optional<std::size_t>>& latent_slots()
+        const noexcept {
+        return latent_;
+    }
+    void load_state(const Rng& rng,
+                    std::vector<std::optional<std::size_t>> latent,
+                    std::vector<Fault> history, std::uint64_t detected,
+                    std::uint64_t escaped_tests, std::uint64_t corrupted);
+
 private:
     FaultKind draw_kind();
 

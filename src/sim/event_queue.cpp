@@ -8,7 +8,7 @@ EventId EventQueue::schedule(SimTime when, Callback cb) {
     MCS_REQUIRE(static_cast<bool>(cb), "event callback must be callable");
     const std::uint64_t seq = next_seq_++;
     heap_.push(Entry{when, seq, std::move(cb)});
-    pending_.insert(seq);
+    pending_.emplace(seq, when);
     return EventId{seq};
 }
 
@@ -29,6 +29,12 @@ void EventQueue::skim() const {
     while (!heap_.empty() && pending_.count(heap_.top().seq) == 0) {
         heap_.pop();
     }
+}
+
+SimTime EventQueue::time_of(EventId id) const {
+    const auto it = id.valid() ? pending_.find(id.seq) : pending_.end();
+    MCS_REQUIRE(it != pending_.end(), "time_of on a non-pending event");
+    return it->second;
 }
 
 SimTime EventQueue::next_time() const {

@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -41,6 +41,14 @@ public:
     /// Time of the earliest pending event. Requires !empty().
     SimTime next_time() const;
 
+    /// Absolute time of a pending event. Requires is_pending(id).
+    SimTime time_of(EventId id) const;
+
+    /// Sequence number the NEXT schedule() call will assign. Lets callers
+    /// register bookkeeping for an event before creating it (the snapshot
+    /// manifest keys in-flight work by event sequence).
+    std::uint64_t next_seq() const noexcept { return next_seq_; }
+
     /// Pops the earliest pending event and returns (time, callback).
     /// Requires !empty().
     std::pair<SimTime, Callback> pop();
@@ -64,7 +72,9 @@ private:
     void skim() const;
 
     mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<std::uint64_t> pending_;
+    // seq -> scheduled time; the ground truth for liveness, and the index
+    // snapshot capture uses to read pending-event times in O(1).
+    std::unordered_map<std::uint64_t, SimTime> pending_;
     std::uint64_t next_seq_ = 1;
 };
 

@@ -70,6 +70,16 @@ std::uint64_t Simulator::run_until(SimTime until) {
                         telemetry::TracePhase::Instant, "run_until_begin", 0,
                         static_cast<std::int64_t>(until));
     }
+    const std::uint64_t ran = advance_until(until);
+    if (tracer_ != nullptr) {
+        tracer_->record(now_, telemetry::TraceCategory::Sim,
+                        telemetry::TracePhase::Instant, "run_until_end", 0,
+                        static_cast<std::int64_t>(ran));
+    }
+    return ran;
+}
+
+std::uint64_t Simulator::advance_until(SimTime until) {
     std::uint64_t ran = 0;
     while (step(until)) {
         ++ran;
@@ -77,12 +87,27 @@ std::uint64_t Simulator::run_until(SimTime until) {
     if (now_ < until) {
         now_ = until;
     }
-    if (tracer_ != nullptr) {
-        tracer_->record(now_, telemetry::TraceCategory::Sim,
-                        telemetry::TracePhase::Instant, "run_until_end", 0,
-                        static_cast<std::int64_t>(ran));
-    }
     return ran;
+}
+
+SimTime Simulator::periodic_due(PeriodicHandle handle) const {
+    const auto it = periodics_.find(handle.id);
+    MCS_REQUIRE(it != periodics_.end(), "periodic_due on a stopped periodic");
+    return queue_.time_of(it->second.pending_event);
+}
+
+EventId Simulator::periodic_event(PeriodicHandle handle) const {
+    const auto it = periodics_.find(handle.id);
+    MCS_REQUIRE(it != periodics_.end(), "periodic_event on a stopped periodic");
+    return it->second.pending_event;
+}
+
+void Simulator::restore_clock(SimTime now, std::uint64_t executed) {
+    MCS_REQUIRE(queue_.empty() && periodics_.empty() && now_ == 0 &&
+                    executed_ == 0,
+                "restore_clock requires a pristine simulator");
+    now_ = now;
+    executed_ = executed;
 }
 
 bool Simulator::step(SimTime until) {

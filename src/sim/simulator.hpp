@@ -48,6 +48,12 @@ public:
     /// of events executed.
     std::uint64_t run_until(SimTime until);
 
+    /// run_until without the run_until_begin/run_until_end trace markers.
+    /// ManycoreSystem::run advances in segments (checkpoint boundaries) but
+    /// must emit exactly one marker pair per logical run, so the markers
+    /// live with the caller there.
+    std::uint64_t advance_until(SimTime until);
+
     /// Executes the single next event if there is one and it is at or before
     /// `until`. Returns whether an event ran.
     bool step(SimTime until);
@@ -55,6 +61,26 @@ public:
     bool idle() const noexcept { return queue_.empty(); }
     std::size_t pending_events() const noexcept { return queue_.pending(); }
     std::uint64_t events_executed() const noexcept { return executed_; }
+
+    // ---- snapshot support -------------------------------------------------
+    // Capture reads pending-event identities; restore rebuilds the queue in
+    // the captured relative order, then fast-forwards the clock.
+
+    /// Absolute time of a pending event. Requires is_pending(id).
+    SimTime event_time(EventId id) const { return queue_.time_of(id); }
+
+    /// Sequence number the next schedule_at/schedule_in call will assign.
+    std::uint64_t next_event_seq() const noexcept { return queue_.next_seq(); }
+
+    /// Next firing time of a live periodic. Requires a valid, live handle.
+    SimTime periodic_due(PeriodicHandle handle) const;
+
+    /// Pending event carrying the next firing of a live periodic.
+    EventId periodic_event(PeriodicHandle handle) const;
+
+    /// Fast-forwards a freshly constructed simulator to a checkpointed
+    /// clock. Requires that nothing has been scheduled or executed yet.
+    void restore_clock(SimTime now, std::uint64_t executed);
 
     /// Attaches an (optional, non-owning) event tracer: its clock is bound
     /// to this simulator's `now()` and run_until() marks its span. Pass

@@ -139,6 +139,30 @@ bool JsonValue::has(const std::string& name) const {
     return kind == Kind::Object && object.find(name) != object.end();
 }
 
+std::uint64_t JsonValue::u64() const {
+    MCS_REQUIRE(kind == Kind::Number, "JsonValue::u64 on a non-number");
+    MCS_REQUIRE(!raw.empty(), "JsonValue::u64 without a raw number token");
+    std::uint64_t v = 0;
+    const char* begin = raw.data();
+    const char* end = raw.data() + raw.size();
+    const auto res = std::from_chars(begin, end, v);
+    MCS_REQUIRE(res.ec == std::errc{} && res.ptr == end,
+                "JsonValue::u64: not an unsigned 64-bit integer: " + raw);
+    return v;
+}
+
+std::int64_t JsonValue::i64() const {
+    MCS_REQUIRE(kind == Kind::Number, "JsonValue::i64 on a non-number");
+    MCS_REQUIRE(!raw.empty(), "JsonValue::i64 without a raw number token");
+    std::int64_t v = 0;
+    const char* begin = raw.data();
+    const char* end = raw.data() + raw.size();
+    const auto res = std::from_chars(begin, end, v);
+    MCS_REQUIRE(res.ec == std::errc{} && res.ptr == end,
+                "JsonValue::i64: not a signed 64-bit integer: " + raw);
+    return v;
+}
+
 namespace {
 
 class Parser {
@@ -304,6 +328,7 @@ private:
         JsonValue v;
         v.kind = JsonValue::Kind::Number;
         v.number = d;
+        v.raw.assign(begin, res.ptr);
         return v;
     }
 

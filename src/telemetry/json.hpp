@@ -73,6 +73,11 @@ struct JsonValue {
     Kind kind = Kind::Null;
     bool boolean = false;
     double number = 0.0;
+    /// Raw token text for numbers. `number` is a double, which cannot
+    /// represent every 64-bit integer (precision ends at 2^53); u64()
+    /// reparses this token so checkpoint fields like RNG state words and
+    /// event sequence numbers round-trip exactly.
+    std::string raw;
     std::string string;
     std::vector<JsonValue> array;
     std::map<std::string, JsonValue> object;
@@ -86,6 +91,13 @@ struct JsonValue {
     /// object.
     const JsonValue& at(const std::string& name) const;
     bool has(const std::string& name) const;
+
+    /// Exact unsigned 64-bit value of a non-negative integer number token.
+    /// Throws RequireError for non-numbers, negatives, or fractions.
+    std::uint64_t u64() const;
+
+    /// Exact signed 64-bit value of an integer number token.
+    std::int64_t i64() const;
 };
 
 /// Parses a complete JSON document. Throws RequireError on malformed

@@ -132,4 +132,102 @@ void MetricsRegistry::write_json(JsonWriter& w) const {
     w.end_object();
 }
 
+namespace {
+
+std::string_view merge_name(GaugeMerge m) {
+    switch (m) {
+        case GaugeMerge::Sum: return "sum";
+        case GaugeMerge::Max: return "max";
+        case GaugeMerge::Min: return "min";
+        case GaugeMerge::Mean: return "mean";
+    }
+    return "sum";
+}
+
+GaugeMerge merge_from(std::string_view name) {
+    if (name == "sum") {
+        return GaugeMerge::Sum;
+    }
+    if (name == "max") {
+        return GaugeMerge::Max;
+    }
+    if (name == "min") {
+        return GaugeMerge::Min;
+    }
+    if (name == "mean") {
+        return GaugeMerge::Mean;
+    }
+    MCS_REQUIRE(false, "unknown gauge merge policy: " + std::string(name));
+    return GaugeMerge::Sum;
+}
+
+}  // namespace
+
+void MetricsRegistry::save_state(JsonWriter& w) const {
+    w.begin_object();
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, c] : counters_) {
+        w.field(name, c.value());
+    }
+    w.end_object();
+    w.key("gauges");
+    w.begin_object();
+    for (const auto& [name, g] : gauges_) {
+        w.key(name);
+        w.begin_object();
+        w.field("merge", merge_name(g.merge_policy()));
+        w.field("value", g.raw_value());
+        w.field("count", g.observation_count());
+        w.end_object();
+    }
+    w.end_object();
+    w.key("histograms");
+    w.begin_object();
+    for (const auto& [name, h] : histograms_) {
+        w.key(name);
+        w.begin_object();
+        w.field("lo", h.bins() > 0 ? h.bin_lo(0) : 0.0);
+        w.field("hi", h.bins() > 0 ? h.bin_hi(h.bins() - 1) : 0.0);
+        w.field("underflow", h.underflow());
+        w.field("overflow", h.overflow());
+        w.field("total", h.total());
+        w.key("counts");
+        w.begin_array();
+        for (std::size_t i = 0; i < h.bins(); ++i) {
+            w.value(h.bin_count(i));
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+}
+
+void MetricsRegistry::load_state(const JsonValue& doc) {
+    MCS_REQUIRE(doc.is_object(), "registry state must be a JSON object");
+    for (const auto& [name, v] : doc.at("counters").object) {
+        counter(name).restore(v.u64());
+    }
+    for (const auto& [name, v] : doc.at("gauges").object) {
+        const GaugeMerge policy = merge_from(v.at("merge").string);
+        gauge(name, policy).restore(v.at("value").number,
+                                    v.at("count").u64());
+    }
+    for (const auto& [name, v] : doc.at("histograms").object) {
+        const auto& counts_json = v.at("counts").array;
+        MCS_REQUIRE(!counts_json.empty(),
+                    "histogram state needs at least one bin: " + name);
+        Histogram& h = histogram(name, v.at("lo").number, v.at("hi").number,
+                                 counts_json.size());
+        std::vector<std::uint64_t> counts;
+        counts.reserve(counts_json.size());
+        for (const auto& c : counts_json) {
+            counts.push_back(c.u64());
+        }
+        h.restore_counts(counts, v.at("underflow").u64(),
+                         v.at("overflow").u64(), v.at("total").u64());
+    }
+}
+
 }  // namespace mcs::telemetry

@@ -26,6 +26,8 @@ class Counter {
 public:
     void inc(std::uint64_t n = 1) noexcept { value_ += n; }
     std::uint64_t value() const noexcept { return value_; }
+    /// Overwrites the count from a checkpoint (not for live accounting).
+    void restore(std::uint64_t value) noexcept { value_ = value; }
 
 private:
     std::uint64_t value_ = 0;
@@ -71,6 +73,15 @@ public:
     /// element for every policy.
     void merge(const Gauge& other);
 
+    /// Raw internals for exact checkpointing (value() folds Mean gauges,
+    /// which would lose the running sum / observation count split).
+    double raw_value() const noexcept { return value_; }
+    std::uint64_t observation_count() const noexcept { return count_; }
+    void restore(double value, std::uint64_t count) noexcept {
+        value_ = value;
+        count_ = count;
+    }
+
 private:
     GaugeMerge merge_ = GaugeMerge::Sum;
     double value_ = 0.0;          ///< Mean policy: running sum
@@ -114,6 +125,16 @@ public:
     /// Emits {"counters":{...},"gauges":{...},"histograms":{...}} sorted
     /// by name (byte-deterministic for equal contents).
     void write_json(JsonWriter& w) const;
+
+    /// Exact checkpoint of every metric, including gauge merge policies
+    /// and Mean-gauge observation counts that write_json folds away.
+    void save_state(JsonWriter& w) const;
+
+    /// Restores a save_state() document by mutating metrics IN PLACE:
+    /// references and pointers cached by hot paths (PowerManager,
+    /// TelemetryObserver) stay valid. Metrics absent from the document are
+    /// left untouched; policy/layout conflicts throw RequireError.
+    void load_state(const JsonValue& doc);
 
 private:
     std::map<std::string, Counter, std::less<>> counters_;

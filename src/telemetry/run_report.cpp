@@ -6,6 +6,7 @@
 
 #include "core/metric_catalog.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/schema.hpp"
 #include "util/require.hpp"
 
 namespace mcs::telemetry {
@@ -40,7 +41,7 @@ void write_run_report(const RunMetrics& m, const MetricsRegistry* registry,
                       std::ostream& out) {
     JsonWriter w(out);
     w.begin_object();
-    w.field("schema", "mcs.run_report.v1");
+    w.field("schema", schema_tag("mcs.run_report"));
 
     w.key("metrics");
     w.begin_object();

@@ -108,4 +108,62 @@ void Tracer::write_jsonl(std::ostream& out) const {
     });
 }
 
+void Tracer::save_state(JsonWriter& w) const {
+    w.begin_object();
+    w.field("capacity", static_cast<std::uint64_t>(buf_.size()));
+    w.field("dropped", dropped_);
+    w.key("events");
+    w.begin_array();
+    for_each([&](const TraceEvent& e) {
+        w.begin_object();
+        w.field("t", static_cast<std::uint64_t>(e.time));
+        w.field("name", e.name);
+        w.field("a", e.a);
+        w.field("b", e.b);
+        w.field("tid", static_cast<std::uint64_t>(e.tid));
+        w.field("cat", static_cast<std::uint64_t>(e.cat));
+        w.field("ph", static_cast<std::uint64_t>(e.phase));
+        w.end_object();
+    });
+    w.end_array();
+    w.end_object();
+}
+
+const char* Tracer::intern(const std::string& name) {
+    const auto it = interned_.find(name);
+    if (it != interned_.end()) {
+        return it->second;
+    }
+    name_pool_.push_back(name);
+    const char* stable = name_pool_.back().c_str();
+    interned_.emplace(name, stable);
+    return stable;
+}
+
+void Tracer::load_state(const JsonValue& doc) {
+    MCS_REQUIRE(doc.is_object(), "tracer state must be a JSON object");
+    MCS_REQUIRE(doc.at("capacity").u64() == buf_.size(),
+                "tracer state capacity mismatch: snapshot has " +
+                    doc.at("capacity").raw);
+    clear();
+    const auto& events = doc.at("events").array;
+    MCS_REQUIRE(events.size() <= buf_.size(),
+                "tracer state holds more events than its capacity");
+    for (const auto& e : events) {
+        const std::uint64_t cat = e.at("cat").u64();
+        const std::uint64_t ph = e.at("ph").u64();
+        MCS_REQUIRE(cat <= static_cast<std::uint64_t>(TraceCategory::Noc),
+                    "tracer state: unknown trace category");
+        MCS_REQUIRE(ph <= static_cast<std::uint64_t>(TracePhase::End),
+                    "tracer state: unknown trace phase");
+        store(TraceEvent{static_cast<SimTime>(e.at("t").u64()),
+                         intern(e.at("name").string), e.at("a").i64(),
+                         e.at("b").i64(),
+                         static_cast<std::uint32_t>(e.at("tid").u64()),
+                         static_cast<TraceCategory>(cat),
+                         static_cast<TracePhase>(ph)});
+    }
+    dropped_ = doc.at("dropped").u64();
+}
+
 }  // namespace mcs::telemetry

@@ -11,14 +11,20 @@
 // Event names must be string literals (the buffer stores the pointer).
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <ostream>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace mcs::telemetry {
+
+class JsonWriter;
+struct JsonValue;
 
 enum class TraceCategory : std::uint8_t {
     Sim,       ///< simulator lifecycle (run begin/end)
@@ -104,8 +110,20 @@ public:
     /// One compact JSON object per line, schema-stable for stream tooling.
     void write_jsonl(std::ostream& out) const;
 
+    /// Exact ring state (events oldest-first plus the drop count), for the
+    /// snapshot document. Restoring it via load_state reproduces identical
+    /// write_chrome_json/write_jsonl bytes.
+    void save_state(JsonWriter& w) const;
+
+    /// Replaces the ring contents with a save_state() document. Capacity
+    /// must match the capacity the state was captured with. Event names are
+    /// re-interned into a pool owned by this tracer (live call sites store
+    /// string-literal pointers; restored events cannot).
+    void load_state(const JsonValue& doc);
+
 private:
     void store(const TraceEvent& e) noexcept;
+    const char* intern(const std::string& name);
 
     std::vector<TraceEvent> buf_;
     std::size_t next_ = 0;   ///< slot the next event lands in
@@ -113,6 +131,10 @@ private:
     std::uint64_t dropped_ = 0;
     bool enabled_ = true;
     std::function<SimTime()> clock_;
+    // Owned storage for names restored from a snapshot. A deque never
+    // reallocates existing elements, so the c_str() pointers stay stable.
+    std::deque<std::string> name_pool_;
+    std::map<std::string, const char*, std::less<>> interned_;
 };
 
 /// RAII Begin/End pair on one track, stamped with the tracer clock:

@@ -84,4 +84,11 @@ double ThermalModel::isolated_steady_state_c(double power_w) const {
     return params_.ambient_c + power_w / params_.g_vertical_w_per_k;
 }
 
+
+void ThermalModel::load_temps(std::span<const double> temps_c) {
+    MCS_REQUIRE(temps_c.size() == temps_.size(),
+                "thermal state: node count mismatch");
+    temps_.assign(temps_c.begin(), temps_c.end());
+}
+
 }  // namespace mcs

@@ -39,6 +39,9 @@ public:
     /// `power_w` (ignores lateral coupling); useful for calibration tests.
     double isolated_steady_state_c(double power_w) const;
 
+    /// Overwrites node temperatures from a checkpoint (size must match).
+    void load_temps(std::span<const double> temps_c);
+
     int width() const noexcept { return width_; }
     int height() const noexcept { return height_; }
 

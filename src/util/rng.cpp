@@ -124,6 +124,18 @@ Rng Rng::split() noexcept {
     return Rng(next_u64());
 }
 
+std::array<std::uint64_t, 4> Rng::state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) {
+    MCS_REQUIRE((state[0] | state[1] | state[2] | state[3]) != 0,
+                "Rng::set_state: all-zero state is unreachable");
+    for (std::size_t i = 0; i < 4; ++i) {
+        s_[i] = state[i];
+    }
+}
+
 std::uint64_t Rng::stream_seed(std::uint64_t root_seed,
                                std::uint64_t stream) noexcept {
     // Two splitmix64 rounds over a golden-ratio-spread stream index

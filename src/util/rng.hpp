@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 
@@ -59,6 +60,13 @@ public:
     /// sequentially or on any number of threads in any completion order.
     static std::uint64_t stream_seed(std::uint64_t root_seed,
                                      std::uint64_t stream) noexcept;
+
+    /// Exact engine state (the four xoshiro256** words), for checkpointing.
+    std::array<std::uint64_t, 4> state() const noexcept;
+
+    /// Restores an engine state previously captured with state(). Rejects
+    /// the all-zero state, which xoshiro cannot leave.
+    void set_state(const std::array<std::uint64_t, 4>& state);
 
     /// Fisher-Yates shuffle of a span in place.
     template <typename T>

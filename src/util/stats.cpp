@@ -47,6 +47,21 @@ void RunningStats::merge(const RunningStats& other) noexcept {
     max_ = std::max(max_, other.max_);
 }
 
+void RunningStats::restore(std::size_t n, double mean, double m2, double sum,
+                           double min, double max) noexcept {
+    n_ = n;
+    mean_ = mean;
+    m2_ = m2;
+    sum_ = sum;
+    if (n == 0) {
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    } else {
+        min_ = min;
+        max_ = max;
+    }
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
     MCS_REQUIRE(hi > lo, "histogram range must be non-empty");
@@ -97,6 +112,17 @@ void Histogram::merge(const Histogram& other) {
     underflow_ += other.underflow_;
     overflow_ += other.overflow_;
     total_ += other.total_;
+}
+
+void Histogram::restore_counts(const std::vector<std::uint64_t>& counts,
+                               std::uint64_t underflow, std::uint64_t overflow,
+                               std::uint64_t total) {
+    MCS_REQUIRE(counts.size() == counts_.size(),
+                "histogram restore: bin count mismatch");
+    counts_ = counts;
+    underflow_ = underflow;
+    overflow_ = overflow;
+    total_ = total;
 }
 
 void SampleSet::ensure_sorted() const {

@@ -27,6 +27,14 @@ public:
     /// Merges another accumulator into this one (parallel Welford).
     void merge(const RunningStats& other) noexcept;
 
+    /// Raw second central moment (Welford M2), for exact checkpointing.
+    double m2() const noexcept { return m2_; }
+
+    /// Restores the exact accumulator state captured via the raw accessors.
+    /// min/max are ignored when n == 0 (the empty sentinel is reinstated).
+    void restore(std::size_t n, double mean, double m2, double sum, double min,
+                 double max) noexcept;
+
 private:
     std::size_t n_ = 0;
     double mean_ = 0.0;
@@ -60,6 +68,12 @@ public:
     /// mismatch). The deterministic aggregation primitive for per-replica
     /// telemetry.
     void merge(const Histogram& other);
+
+    /// Overwrites the bin contents with a previously captured state. The
+    /// bin count must match the constructed layout.
+    void restore_counts(const std::vector<std::uint64_t>& counts,
+                        std::uint64_t underflow, std::uint64_t overflow,
+                        std::uint64_t total);
 
 private:
     double lo_;

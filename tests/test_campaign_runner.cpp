@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/system_factory.hpp"
 #include "runner/result_sink.hpp"
 #include "runner/thread_pool.hpp"
+#include "sim/time.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
@@ -267,6 +269,41 @@ TEST(CampaignRunner, ProgressReachesTotal) {
     runner.run(3);
     EXPECT_EQ(calls, 6u);
     EXPECT_EQ(last_done, 6u);
+}
+
+TEST(CampaignRunner, ForksReplicasFromWarmCheckpoint) {
+    // Warm up one system to a checkpoint, then sweep a policy knob with
+    // every cell restoring from that snapshot. Replica configs differ from
+    // the capture (seed + swept knob), so the spec sets restore_relax; the
+    // structural fingerprint still guards the fork.
+    const std::string snap = temp_path("campaign_fork.snapshot.json");
+    Config warm;
+    warm.set("side", "4");
+    warm.set("occupancy", "0.5");
+    {
+        auto sys = make_system(warm);
+        sys->checkpoint_at(100 * kMillisecond, snap);
+        sys->run(from_seconds(0.3));
+    }
+
+    Config spec_cfg = warm;
+    spec_cfg.set("restore", snap);
+    spec_cfg.set("restore_relax", "true");
+    spec_cfg.set("seconds", "0.3");
+    spec_cfg.set("replicas", "1");
+    spec_cfg.set("sweep.guard_band", "0.02, 0.08");
+    CampaignRunner runner(CampaignSpec::from_config(spec_cfg));
+    const CampaignResult result = runner.run(2);
+
+    ASSERT_EQ(result.replicas.size(), 2u);
+    for (const ReplicaResult& r : result.replicas) {
+        ASSERT_TRUE(r.ok) << r.error;
+        // Forked runs carry the warm-up's history: by the checkpoint the
+        // warm run had already admitted work, so a fork cannot start cold.
+        EXPECT_EQ(r.metrics.sim_time, from_seconds(0.3));
+        EXPECT_GT(r.metrics.apps_completed, 0u);
+    }
+    std::remove(snap.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,272 @@
+#include "core/snapshot.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "core/system_factory.hpp"
+#include "support/differential.hpp"
+#include "telemetry/json.hpp"
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+using testsupport::CheckpointPlan;
+using testsupport::RunArtifacts;
+using testsupport::TempFile;
+
+/// Baseline differential configuration: 4x4 chip under moderate load with
+/// the power-aware scheduler (the headline setup, scaled down).
+SystemConfig base_config(std::uint64_t seed = 42) {
+    SystemConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.seed = seed;
+    cfg.workload.graphs.min_tasks = 2;
+    cfg.workload.graphs.max_tasks = 6;
+    const double capacity = 16.0 * technology(cfg.node).max_freq_hz;
+    cfg.workload.arrival_rate_hz =
+        rate_for_occupancy(0.5, cfg.workload.graphs, capacity);
+    return cfg;
+}
+
+/// Feature-loaded configuration: fault injection, NoC testing, segmented
+/// sessions, mixed QoS classes -- every optional subsystem with persisted
+/// state is active.
+SystemConfig featured_config() {
+    SystemConfig cfg = base_config(99);
+    cfg.enable_fault_injection = true;
+    cfg.faults.base_rate_per_core_s = 2.0;
+    cfg.enable_noc_testing = true;
+    cfg.noc_test.fault_rate_per_link_s = 0.5;
+    cfg.segmented_tests = true;
+    cfg.scheduler = SchedulerKind::Periodic;
+    cfg.periodic_test_period = 100 * kMillisecond;
+    cfg.workload.hard_rt_weight = 0.2;
+    cfg.workload.soft_rt_weight = 0.3;
+    cfg.workload.best_effort_weight = 0.5;
+    return cfg;
+}
+
+void expect_identical(const RunArtifacts& got, const RunArtifacts& want,
+                      const std::string& label) {
+    EXPECT_EQ(got.report, want.report) << label << ": run report drifted";
+    EXPECT_EQ(got.trace, want.trace) << label << ": event trace drifted";
+    EXPECT_EQ(got.registry, want.registry)
+        << label << ": metrics registry drifted";
+}
+
+/// Runs the full differential: uninterrupted reference vs (a) the same run
+/// interrupted by checkpoints and (b) a restored continuation from every
+/// checkpoint. All artifacts must be byte-identical.
+void run_differential(const SystemConfig& cfg, SimDuration horizon,
+                     const std::vector<SimTime>& checkpoint_times,
+                     const std::string& label) {
+    const RunArtifacts fresh = testsupport::run_reference(cfg, horizon);
+
+    std::vector<std::unique_ptr<TempFile>> files;
+    std::vector<CheckpointPlan> plans;
+    for (SimTime at : checkpoint_times) {
+        files.push_back(std::make_unique<TempFile>("snapshot_" + label));
+        plans.push_back({at, files.back()->path()});
+    }
+    const RunArtifacts interrupted =
+        testsupport::run_reference(cfg, horizon, plans);
+    expect_identical(interrupted, fresh, label + "/interrupted");
+
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        const RunArtifacts restored =
+            testsupport::run_restored(cfg, plans[i].path);
+        expect_identical(restored, fresh,
+                         label + "/restored@" + std::to_string(i));
+    }
+}
+
+TEST(Snapshot, DifferentialBaseline) {
+    // Three checkpoint epochs spread across the run, all on power-epoch
+    // boundaries (default epoch 100 us).
+    run_differential(base_config(), kSecond,
+                     {200 * kMillisecond, 400 * kMillisecond,
+                      600 * kMillisecond},
+                     "baseline");
+}
+
+TEST(Snapshot, DifferentialFeatured) {
+    run_differential(featured_config(), kSecond,
+                     {300 * kMillisecond, 500 * kMillisecond,
+                      700 * kMillisecond},
+                     "featured");
+}
+
+TEST(Snapshot, DifferentialAllSchedulers) {
+    for (SchedulerKind kind :
+         {SchedulerKind::PowerAware, SchedulerKind::Periodic,
+          SchedulerKind::Greedy, SchedulerKind::None}) {
+        SystemConfig cfg = base_config(7);
+        cfg.scheduler = kind;
+        cfg.periodic_test_period = 100 * kMillisecond;
+        run_differential(cfg, 600 * kMillisecond, {300 * kMillisecond},
+                         std::string("scheduler-") + to_string(kind));
+    }
+}
+
+TEST(Snapshot, DifferentialAcrossSeeds) {
+    for (std::uint64_t seed : {1ULL, 1234567ULL}) {
+        run_differential(base_config(seed), 600 * kMillisecond,
+                         {200 * kMillisecond},
+                         "seed-" + std::to_string(seed));
+    }
+}
+
+// ---------------------------------------------------------------- guards
+
+/// Writes one snapshot of `cfg` at `at` (run to `horizon`) and returns its
+/// bytes; `file` keeps the backing path alive for the caller.
+std::string make_snapshot(const SystemConfig& cfg, SimDuration horizon,
+                          SimTime at, TempFile& file) {
+    testsupport::run_reference(cfg, horizon, {{at, file.path()}});
+    return testsupport::read_file(file.path());
+}
+
+void replace_once(std::string& text, const std::string& from,
+                  const std::string& to) {
+    const std::size_t pos = text.find(from);
+    ASSERT_NE(pos, std::string::npos) << "pattern not found: " << from;
+    text.replace(pos, from.size(), to);
+}
+
+class SnapshotGuards : public ::testing::Test {
+protected:
+    void SetUp() override {
+        cfg_ = base_config();
+        snapshot_ = make_snapshot(cfg_, 300 * kMillisecond,
+                                  100 * kMillisecond, file_);
+    }
+
+    /// Restores `text` as a snapshot into a fresh system built from `cfg`.
+    static void restore_text(const SystemConfig& cfg, const std::string& text,
+                             RestoreOptions opts = {}) {
+        ManycoreSystem sys(cfg);
+        sys.restore(telemetry::parse_json(text), opts);
+    }
+
+    SystemConfig cfg_;
+    TempFile file_{"snapshot_guard"};
+    std::string snapshot_;
+};
+
+TEST_F(SnapshotGuards, TruncatedSnapshotFailsCleanly) {
+    for (std::size_t cut : {snapshot_.size() / 2, snapshot_.size() - 2,
+                            std::size_t{1}}) {
+        EXPECT_THROW(telemetry::parse_json(snapshot_.substr(0, cut)),
+                     RequireError)
+            << "cut at " << cut;
+    }
+}
+
+TEST_F(SnapshotGuards, CorruptedJsonFailsCleanly) {
+    std::string text = snapshot_;
+    replace_once(text, "\"cores\":", "\"bores\":");
+    EXPECT_THROW(restore_text(cfg_, text), RequireError);
+}
+
+TEST_F(SnapshotGuards, TamperedCoreStateFailsCleanly) {
+    // The first value of the first core record is the state enum (0..4).
+    std::string text = snapshot_;
+    replace_once(text, "\"cores\":[[", "\"cores\":[[9");
+    EXPECT_THROW(restore_text(cfg_, text), RequireError);
+}
+
+TEST_F(SnapshotGuards, SchemaVersionMismatchFailsCleanly) {
+    std::string text = snapshot_;
+    replace_once(text, "\"mcs.snapshot.v1\"", "\"mcs.snapshot.v2\"");
+    EXPECT_THROW(restore_text(cfg_, text), RequireError);
+}
+
+TEST_F(SnapshotGuards, ConfigFingerprintGuardsRestore) {
+    SystemConfig other = cfg_;
+    other.power_aware.guard_band_fraction = 0.10;
+    // Strict restore rejects any config change; relax_config forks the run
+    // under the changed policy knob.
+    EXPECT_THROW(restore_text(other, snapshot_), RequireError);
+    EXPECT_NO_THROW(restore_text(other, snapshot_, {.relax_config = true}));
+}
+
+TEST_F(SnapshotGuards, StructuralMismatchFailsEvenRelaxed) {
+    SystemConfig other = cfg_;
+    other.width = 8;
+    other.height = 8;
+    EXPECT_THROW(restore_text(other, snapshot_, {.relax_config = true}),
+                 RequireError);
+    SystemConfig resized = cfg_;
+    resized.segmented_tests = !resized.segmented_tests;
+    EXPECT_THROW(restore_text(resized, snapshot_, {.relax_config = true}),
+                 RequireError);
+}
+
+TEST_F(SnapshotGuards, SeedChangeIsAConfigMismatchOnly) {
+    // A different seed is not structural: strict restore rejects it, a
+    // relaxed fork accepts it (and regenerates the workload under the
+    // *snapshot's* seed, so the captured arrival trace continues).
+    SystemConfig other = cfg_;
+    other.seed = cfg_.seed + 1;
+    EXPECT_THROW(restore_text(other, snapshot_), RequireError);
+    EXPECT_NO_THROW(restore_text(other, snapshot_, {.relax_config = true}));
+}
+
+TEST_F(SnapshotGuards, RestoreLifecycleGuards) {
+    const telemetry::JsonValue doc = telemetry::parse_json(snapshot_);
+
+    // Restoring twice is rejected.
+    {
+        ManycoreSystem sys(cfg_);
+        sys.restore(doc);
+        EXPECT_THROW(sys.restore(doc), RequireError);
+    }
+    // Restoring after run() is rejected.
+    {
+        ManycoreSystem sys(cfg_);
+        sys.run(100 * kMillisecond);
+        EXPECT_THROW(sys.restore(doc), RequireError);
+    }
+    // A restored run must finish the captured horizon, nothing else.
+    {
+        ManycoreSystem sys(cfg_);
+        sys.restore(doc);
+        EXPECT_EQ(sys.restored_horizon(), 300 * kMillisecond);
+        EXPECT_THROW(sys.run(400 * kMillisecond), RequireError);
+    }
+}
+
+TEST_F(SnapshotGuards, CheckpointRegistrationGuards) {
+    ManycoreSystem sys(cfg_);
+    EXPECT_THROW(sys.checkpoint_at(0, "x.json"), RequireError);
+    // Not on a power-epoch boundary (default epoch is 100 us).
+    EXPECT_THROW(sys.checkpoint_at(150 * kMicrosecond, "x.json"),
+                 RequireError);
+    EXPECT_THROW(sys.checkpoint_at(100 * kMillisecond, ""), RequireError);
+    // At or past the horizon: rejected when the run starts.
+    sys.checkpoint_at(300 * kMillisecond, file_.path());
+    EXPECT_THROW(sys.run(300 * kMillisecond), RequireError);
+}
+
+TEST_F(SnapshotGuards, FingerprintsAreStableAndDiscriminating) {
+    EXPECT_EQ(structural_fingerprint(cfg_), structural_fingerprint(cfg_));
+    EXPECT_EQ(config_fingerprint(cfg_), config_fingerprint(cfg_));
+
+    SystemConfig knob = cfg_;
+    knob.power_aware.guard_band_fraction += 0.01;
+    EXPECT_EQ(structural_fingerprint(knob), structural_fingerprint(cfg_));
+    EXPECT_NE(config_fingerprint(knob), config_fingerprint(cfg_));
+
+    SystemConfig shape = cfg_;
+    shape.width = 8;
+    EXPECT_NE(structural_fingerprint(shape), structural_fingerprint(cfg_));
+    EXPECT_NE(config_fingerprint(shape), config_fingerprint(cfg_));
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,151 @@
+#include "mapping/view_cache.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mcs {
+namespace {
+
+/// Model chip: the ground truth the cache's rebuild functor scans. Commits
+/// only flip the committed cores' allocatable/testing flags -- exactly the
+/// inputs the cache header documents as the only view inputs a mapping
+/// commit can change within one simulation event.
+struct ModelChip {
+    std::vector<std::uint8_t> allocatable;
+    std::vector<std::uint8_t> testing;
+    std::vector<double> utilization;
+
+    explicit ModelChip(std::size_t n, Rng& rng)
+        : allocatable(n), testing(n), utilization(n) {
+        randomize(rng);
+    }
+
+    void randomize(Rng& rng) {
+        for (std::size_t i = 0; i < allocatable.size(); ++i) {
+            allocatable[i] = rng.bernoulli(0.7) ? 1 : 0;
+            testing[i] = (allocatable[i] != 0 && rng.bernoulli(0.2)) ? 1 : 0;
+            utilization[i] = rng.uniform();
+        }
+    }
+
+    void commit(std::span<const CoreId> cores) {
+        for (CoreId id : cores) {
+            allocatable[id] = 0;
+            testing[id] = 0;
+        }
+    }
+
+    PlatformViewCache::Rebuild scanner() const {
+        return [this](PlatformViewCache& cache) {
+            ++scans;
+            cache.allocatable_buf() = allocatable;
+            cache.testing_buf() = testing;
+            cache.utilization_buf() = utilization;
+        };
+    }
+
+    mutable int scans = 0;
+};
+
+std::vector<std::uint8_t> to_vec(std::span<const std::uint8_t> s) {
+    return {s.begin(), s.end()};
+}
+std::vector<double> to_vec(std::span<const double> s) {
+    return {s.begin(), s.end()};
+}
+
+void expect_view_matches(const PlatformView& view, const ModelChip& chip) {
+    EXPECT_EQ(to_vec(view.allocatable), chip.allocatable);
+    EXPECT_EQ(to_vec(view.testing), chip.testing);
+    EXPECT_EQ(to_vec(view.utilization), chip.utilization);
+}
+
+TEST(ViewCache, PatchedViewEqualsFreshScan) {
+    // Property test: after any randomized sequence of mapping commits, the
+    // patched cached view must equal a fresh chip scan -- using one scan
+    // per round, not one per commit.
+    Rng rng(2024);
+    for (int trial = 0; trial < 50; ++trial) {
+        const int side = static_cast<int>(rng.uniform_int(2, 8));
+        const auto n = static_cast<std::size_t>(side) *
+                       static_cast<std::size_t>(side);
+        ModelChip chip(n, rng);
+        PlatformViewCache cache;
+        cache.reset(side, side, n);
+
+        const int rounds = static_cast<int>(rng.uniform_int(1, 5));
+        for (int round = 0; round < rounds; ++round) {
+            // Round start: state moved between simulation events.
+            chip.randomize(rng);
+            cache.invalidate();
+            const int scans_before = chip.scans;
+            (void)cache.get(chip.scanner());
+            EXPECT_EQ(chip.scans, scans_before + 1);
+
+            const int commits = static_cast<int>(rng.uniform_int(0, 6));
+            for (int c = 0; c < commits; ++c) {
+                // Random subset of still-allocatable cores (mimics a
+                // mapper claiming a region), possibly empty.
+                std::vector<CoreId> claimed;
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (chip.allocatable[i] != 0 && rng.bernoulli(0.25)) {
+                        claimed.push_back(static_cast<CoreId>(i));
+                    }
+                }
+                chip.commit(claimed);
+                cache.on_commit(claimed);
+
+                // The patched view equals a fresh scan, with no new scan.
+                const int scans_mid = chip.scans;
+                expect_view_matches(cache.get(chip.scanner()), chip);
+                EXPECT_EQ(chip.scans, scans_mid);
+            }
+        }
+    }
+}
+
+TEST(ViewCache, ScanCountTracksRoundsNotQueries) {
+    Rng rng(7);
+    ModelChip chip(16, rng);
+    PlatformViewCache cache;
+    cache.reset(4, 4, 16);
+    EXPECT_FALSE(cache.valid());
+    EXPECT_EQ(cache.chip_scans(), 0u);
+
+    cache.invalidate();
+    for (int q = 0; q < 5; ++q) {
+        (void)cache.get(chip.scanner());
+    }
+    EXPECT_EQ(cache.chip_scans(), 1u);
+    EXPECT_EQ(chip.scans, 1);
+    EXPECT_TRUE(cache.valid());
+
+    cache.invalidate();
+    (void)cache.get(chip.scanner());
+    EXPECT_EQ(cache.chip_scans(), 2u);
+}
+
+TEST(ViewCache, CommitOnInvalidCacheIsIgnored) {
+    Rng rng(9);
+    ModelChip chip(4, rng);
+    chip.allocatable = {1, 1, 1, 1};
+    chip.testing = {0, 0, 0, 0};
+    PlatformViewCache cache;
+    cache.reset(2, 2, 4);
+
+    // No scan yet: the commit must not touch (empty) buffers.
+    const std::vector<CoreId> claimed{0, 3};
+    cache.on_commit(claimed);
+    EXPECT_FALSE(cache.valid());
+
+    // After the next scan the view reflects the model, not stale patches.
+    chip.commit(claimed);
+    expect_view_matches(cache.get(chip.scanner()), chip);
+}
+
+}  // namespace
+}  // namespace mcs

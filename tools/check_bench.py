@@ -35,7 +35,20 @@ import pathlib
 import shutil
 import sys
 
-SCHEMA = "mcs.bench_report.v1"
+def _schema_tag(family):
+    """Versioned schema tag from tools/schemas.json -- the same single
+    source of truth the C++ side embeds via telemetry/schema.hpp, so a
+    future v2 bump changes producers, loaders, and this gate together."""
+    schemas_path = pathlib.Path(__file__).resolve().parent / "schemas.json"
+    with open(schemas_path, "r", encoding="utf-8") as f:
+        versions = json.load(f)
+    if family not in versions:
+        raise SystemExit(f"error: unknown schema family {family!r} "
+                         f"(add it to {schemas_path})")
+    return f"{family}.v{versions[family]}"
+
+
+SCHEMA = _schema_tag("mcs.bench_report")
 
 
 def load_reports(directory):

@@ -15,6 +15,12 @@
 //   out_dir=<dir>       directory for relative output paths (default
 //                       build/out; created on demand; "" or "." = cwd)
 //   quiet=true          suppress the human-readable summary
+//   checkpoint=<path>   write an mcs.snapshot document mid-run ...
+//   checkpoint_at=<s>   ... at this time (a power-epoch boundary)
+//   restore=<path>      rebuild the system from a snapshot and continue;
+//                       without seconds= the captured horizon is used
+//   restore_relax=true  allow policy-knob changes vs the captured config
+//                       (structure must still match); see docs/checkpoint.md
 //
 // Campaign usage (runner/sweep_spec.hpp format; any run config is a valid
 // single-cell spec):
@@ -121,13 +127,16 @@ int run_sweep(const Config& args) {
     const std::string report =
         resolve_out(out_dir, merged.get_string("report", ""));
     const bool quiet = merged.get_bool("quiet", false);
-    // CLI-only keys the replica config must not see.
+    // CLI-only keys the replica config must not see. Checkpoint keys are
+    // stripped too: parallel replicas writing one snapshot path would race
+    // (restore/restore_relax DO pass through -- fork-from-checkpoint).
     Config spec_cfg;
     for (const auto& [key, value] : merged.entries()) {
         if (key != "out" && key != "replica_out" && key != "trace" &&
             key != "trace_capacity" && key != "power_trace" &&
             key != "report" && key != "out_dir" && key != "quiet" &&
-            key != "config") {
+            key != "config" && key != "checkpoint" &&
+            key != "checkpoint_at") {
             spec_cfg.set(key, value);
         }
     }
@@ -206,6 +215,24 @@ int run_single(const Config& args) {
         tracer.emplace(trace_capacity);
         sys.set_tracer(&*tracer);
     }
+    // Restore after the tracer is attached (reloads the captured ring) and
+    // before any checkpoint registration.
+    apply_restore(sys, args);
+    SimDuration horizon = from_seconds(seconds);
+    if (sys.restored() && !args.has("seconds")) {
+        horizon = sys.restored_horizon();  // default to the captured run
+    }
+    const std::string checkpoint =
+        resolve_out(out_dir, args.get_string("checkpoint", ""));
+    if (!checkpoint.empty()) {
+        MCS_REQUIRE(args.has("checkpoint_at"),
+                    "checkpoint requires checkpoint_at=<seconds>");
+        sys.checkpoint_at(from_seconds(args.get_double("checkpoint_at", 0)),
+                          checkpoint);
+    } else {
+        MCS_REQUIRE(!args.has("checkpoint_at"),
+                    "checkpoint_at requires checkpoint=<path>");
+    }
     std::optional<CsvWriter> trace_csv;
     if (!power_trace.empty()) {
         trace_csv.emplace(
@@ -224,7 +251,7 @@ int run_single(const Config& args) {
         });
     }
 
-    const RunMetrics m = sys.run(from_seconds(seconds));
+    const RunMetrics m = sys.run(horizon);
     if (!quiet) {
         std::printf("%s", format_metrics(m).c_str());
     }
