@@ -130,10 +130,16 @@ RunMetrics ManycoreSystem::run(SimDuration horizon) {
     MCS_REQUIRE(horizon > 0, "run horizon must be positive");
     ran_ = true;
     if (restored_) {
-        // The captured state (arrival trace, pending events, horizon-
-        // derived bookkeeping) is only meaningful for the captured run.
-        MCS_REQUIRE(horizon == restored_horizon_,
-                    "a restored system must run to the snapshot's horizon");
+        // The captured arrival trace only extends to the captured horizon,
+        // so a longer run would starve; any horizon inside (now, captured]
+        // is a valid truncation (the what-if service's horizon axis).
+        // Byte-identical continuation still requires the captured horizon.
+        MCS_REQUIRE(horizon <= restored_horizon_,
+                    "a restored system cannot run past the snapshot's "
+                    "horizon (the captured arrival trace ends there)");
+        MCS_REQUIRE(horizon > ctx_->sim.now(),
+                    "a restored system's horizon must lie after the "
+                    "capture point");
     } else {
         workload_->admit_workload(horizon);
         // Epoch registration order is part of the behavioral contract: at a

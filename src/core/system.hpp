@@ -153,12 +153,14 @@ public:
     /// the structural fingerprint always, the full fingerprint unless
     /// `opts.relax_config` (fork-from-checkpoint sweeps). Attach the tracer
     /// BEFORE restoring so the captured trace ring can be reloaded. After
-    /// restore, run() must be called with restored_horizon().
+    /// restore, run() accepts any horizon in (capture point,
+    /// restored_horizon()]; only the full captured horizon reproduces the
+    /// uninterrupted run byte-for-byte.
     void restore(const telemetry::JsonValue& doc, RestoreOptions opts = {});
 
     bool restored() const noexcept { return restored_; }
-    /// Horizon of the captured run (the only horizon run() accepts after a
-    /// restore).
+    /// Horizon of the captured run (the latest horizon run() accepts after
+    /// a restore, and the default continuation target).
     SimDuration restored_horizon() const noexcept {
         return restored_horizon_;
     }

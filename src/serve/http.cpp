@@ -1,0 +1,204 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+#include "telemetry/json.hpp"
+
+namespace mcs::serve {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+}  // namespace
+
+HttpRequestParser::State HttpRequestParser::fail(int status,
+                                                 std::string message) {
+    state_ = State::Error;
+    error_status_ = status;
+    error_ = std::move(message);
+    return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::feed(std::string_view bytes) {
+    if (state_ != State::NeedMore) {
+        return state_;
+    }
+    buffer_.append(bytes);
+    if (!head_done_) {
+        const std::size_t head_end = buffer_.find("\r\n\r\n");
+        if (head_end == std::string::npos) {
+            if (buffer_.size() > limits_.max_head_bytes) {
+                return fail(431, "request head exceeds " +
+                                     std::to_string(limits_.max_head_bytes) +
+                                     " bytes");
+            }
+            return state_;
+        }
+        if (head_end + 4 > limits_.max_head_bytes) {
+            return fail(431, "request head exceeds " +
+                                 std::to_string(limits_.max_head_bytes) +
+                                 " bytes");
+        }
+        if (const State s = parse_head(); s != State::NeedMore) {
+            return s;
+        }
+        head_done_ = true;
+    }
+    return check_body();
+}
+
+HttpRequestParser::State HttpRequestParser::parse_head() {
+    const std::size_t head_end = buffer_.find("\r\n\r\n");
+    const std::string head = buffer_.substr(0, head_end);
+    buffer_.erase(0, head_end + 4);  // leave any body bytes in the buffer
+
+    // Request line: METHOD SP TARGET SP HTTP/x.y
+    std::size_t line_end = head.find("\r\n");
+    const std::string_view line =
+        std::string_view(head).substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        line.find(' ', sp2 + 1) != std::string_view::npos) {
+        return fail(400, "malformed request line");
+    }
+    request_.method = std::string(line.substr(0, sp1));
+    request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    request_.version = std::string(line.substr(sp2 + 1));
+    if (request_.method.empty() || request_.target.empty() ||
+        request_.target.front() != '/') {
+        return fail(400, "malformed request line");
+    }
+    if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+        return fail(400, "unsupported HTTP version: " + request_.version);
+    }
+    const std::size_t qmark = request_.target.find('?');
+    request_.path = request_.target.substr(0, qmark);
+    request_.query = qmark == std::string::npos
+                         ? std::string()
+                         : request_.target.substr(qmark + 1);
+
+    // Header lines.
+    std::size_t pos = line_end == std::string::npos ? head.size()
+                                                    : line_end + 2;
+    while (pos < head.size()) {
+        std::size_t next = head.find("\r\n", pos);
+        if (next == std::string::npos) {
+            next = head.size();
+        }
+        const std::string_view raw =
+            std::string_view(head).substr(pos, next - pos);
+        pos = next + 2;
+        const std::size_t colon = raw.find(':');
+        if (colon == std::string_view::npos || colon == 0) {
+            return fail(400, "malformed header line");
+        }
+        if (request_.headers.size() >= limits_.max_headers) {
+            return fail(431, "too many headers (> " +
+                                 std::to_string(limits_.max_headers) + ")");
+        }
+        const std::string name = to_lower(trim(raw.substr(0, colon)));
+        const std::string value(trim(raw.substr(colon + 1)));
+        // Last occurrence wins; the daemon only reads singleton headers.
+        request_.headers[name] = value;
+    }
+
+    if (request_.headers.count("transfer-encoding") != 0) {
+        return fail(501, "chunked transfer encoding is not supported");
+    }
+    body_expected_ = 0;
+    if (const auto it = request_.headers.find("content-length");
+        it != request_.headers.end()) {
+        const std::string& text = it->second;
+        std::size_t n = 0;
+        const auto res =
+            std::from_chars(text.data(), text.data() + text.size(), n);
+        if (res.ec != std::errc{} || res.ptr != text.data() + text.size()) {
+            return fail(400, "malformed Content-Length");
+        }
+        if (n > limits_.max_body_bytes) {
+            return fail(413, "request body exceeds " +
+                                 std::to_string(limits_.max_body_bytes) +
+                                 " bytes");
+        }
+        body_expected_ = n;
+    }
+    return State::NeedMore;
+}
+
+HttpRequestParser::State HttpRequestParser::check_body() {
+    if (buffer_.size() < body_expected_) {
+        return state_;
+    }
+    if (buffer_.size() > body_expected_) {
+        // One request per connection; trailing bytes would be a pipelined
+        // request this server never reads -- reject instead of ignoring.
+        return fail(400, "unexpected bytes after request body");
+    }
+    request_.body = std::move(buffer_);
+    buffer_.clear();
+    state_ = State::Done;
+    return state_;
+}
+
+std::string serialize_response(const HttpResponse& response) {
+    std::string out;
+    out.reserve(response.body.size() + 256);
+    out += "HTTP/1.1 " + std::to_string(response.status) + " " +
+           status_reason(response.status) + "\r\n";
+    out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) +
+           "\r\n";
+    for (const auto& [name, value] : response.extra_headers) {
+        out += name + ": " + value + "\r\n";
+    }
+    out += "Connection: close\r\n\r\n";
+    out += response.body;
+    return out;
+}
+
+const char* status_reason(int status) {
+    switch (status) {
+        case 200: return "OK";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 409: return "Conflict";
+        case 413: return "Payload Too Large";
+        case 429: return "Too Many Requests";
+        case 431: return "Request Header Fields Too Large";
+        case 500: return "Internal Server Error";
+        case 501: return "Not Implemented";
+        case 503: return "Service Unavailable";
+        default: return "Unknown";
+    }
+}
+
+HttpResponse error_response(int status, std::string_view message) {
+    HttpResponse r;
+    r.status = status;
+    r.body = "{\"error\":\"" + telemetry::json_escape(message) + "\"}\n";
+    return r;
+}
+
+}  // namespace mcs::serve

@@ -1,0 +1,95 @@
+#pragma once
+
+// Minimal HTTP/1.1 message layer for the mcs_serve daemon, implemented on
+// plain strings so it is unit-testable without sockets. The parser is
+// incremental (feed() bytes as they arrive) and hardened for untrusted
+// input: the request head, the header count, and the body size are all
+// bounded, and every violation maps to a definite HTTP status instead of
+// unbounded buffering.
+//
+// Scope is deliberately small -- exactly what the what-if service needs:
+// GET/POST, Content-Length bodies (no chunked transfer), one request per
+// connection (every response carries "Connection: close").
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mcs::serve {
+
+/// Input bounds for one request (all enforced with clean rejections).
+struct HttpLimits {
+    std::size_t max_head_bytes = 8 * 1024;  ///< request line + headers
+    std::size_t max_body_bytes = 1 << 20;   ///< Content-Length ceiling
+    std::size_t max_headers = 64;
+};
+
+/// One parsed request. Header names are lower-cased; `path` and `query`
+/// split `target` at the first '?'.
+struct HttpRequest {
+    std::string method;
+    std::string target;
+    std::string path;
+    std::string query;
+    std::string version;
+    std::map<std::string, std::string> headers;
+    std::string body;
+};
+
+/// Incremental request parser. Feed bytes until Done or Error; on Error,
+/// `error_status()` / `error()` describe the rejection (400 malformed,
+/// 413 body too large, 431 head too large, 501 unsupported framing).
+class HttpRequestParser {
+public:
+    enum class State { NeedMore, Done, Error };
+
+    explicit HttpRequestParser(HttpLimits limits = {})
+        : limits_(limits) {}
+
+    State feed(std::string_view bytes);
+    State state() const noexcept { return state_; }
+
+    /// Valid once state() == Done.
+    const HttpRequest& request() const noexcept { return request_; }
+
+    int error_status() const noexcept { return error_status_; }
+    const std::string& error() const noexcept { return error_; }
+
+private:
+    State fail(int status, std::string message);
+    State parse_head();
+    State check_body();
+
+    HttpLimits limits_;
+    HttpRequest request_;
+    std::string buffer_;
+    std::size_t body_expected_ = 0;
+    bool head_done_ = false;
+    State state_ = State::NeedMore;
+    int error_status_ = 400;
+    std::string error_;
+};
+
+/// One response; serialize_response renders the status line, the standard
+/// headers (Content-Type, Content-Length, Connection: close), any extras
+/// (e.g. Retry-After), and the body.
+struct HttpResponse {
+    int status = 200;
+    std::string content_type = "application/json";
+    std::string body;
+    std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+std::string serialize_response(const HttpResponse& response);
+
+/// Canonical reason phrase ("OK", "Too Many Requests", ...); "Unknown" for
+/// statuses the daemon never emits.
+const char* status_reason(int status);
+
+/// Convenience: a JSON error body {"error": message} with the given status.
+HttpResponse error_response(int status, std::string_view message);
+
+}  // namespace mcs::serve

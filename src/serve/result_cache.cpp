@@ -1,0 +1,48 @@
+#include "serve/result_cache.hpp"
+
+namespace mcs::serve {
+
+std::shared_ptr<const std::string> ResultCache::find(
+    const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.value;
+}
+
+void ResultCache::insert(const std::string& key,
+                         std::shared_ptr<const std::string> value) {
+    if (max_entries_ == 0) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        // Concurrent misses on one key both compute (identical bytes);
+        // keep the first value, just refresh recency.
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        return;
+    }
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{std::move(value), lru_.begin()});
+    while (entries_.size() > max_entries_) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+std::size_t ResultCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::uint64_t ResultCache::evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+}  // namespace mcs::serve

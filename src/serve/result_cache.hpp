@@ -1,0 +1,53 @@
+#pragma once
+
+// Bounded LRU cache from canonical query keys to response bytes. Because
+// every cached value is the byte-deterministic mcs.run_report.v1 of its
+// key (serve/query.hpp), a hit is guaranteed byte-identical to a fresh
+// computation -- the cache can only save time, never change an answer.
+//
+// Thread-safe; values are shared_ptr<const string> so a response being
+// streamed out survives concurrent eviction.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace mcs::serve {
+
+class ResultCache {
+public:
+    /// `max_entries` == 0 disables caching entirely (every lookup misses).
+    explicit ResultCache(std::size_t max_entries)
+        : max_entries_(max_entries) {}
+    ResultCache(const ResultCache&) = delete;
+    ResultCache& operator=(const ResultCache&) = delete;
+
+    /// Returns the cached bytes and refreshes recency, or nullptr.
+    std::shared_ptr<const std::string> find(const std::string& key);
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entries beyond capacity.
+    void insert(const std::string& key,
+                std::shared_ptr<const std::string> value);
+
+    std::size_t size() const;
+    std::size_t capacity() const noexcept { return max_entries_; }
+    std::uint64_t evictions() const;
+
+private:
+    struct Entry {
+        std::shared_ptr<const std::string> value;
+        std::list<std::string>::iterator lru_pos;
+    };
+
+    mutable std::mutex mutex_;
+    std::size_t max_entries_;
+    std::uint64_t evictions_ = 0;
+    std::list<std::string> lru_;  ///< front = most recently used
+    std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace mcs::serve

@@ -1,0 +1,173 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/require.hpp"
+
+namespace mcs::serve {
+
+namespace {
+
+void set_io_timeout(int fd, int seconds) {
+    timeval tv{};
+    tv.tv_sec = seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+/// Writes the whole buffer; false on any socket error/timeout.
+bool send_all(int fd, std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) {
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void send_response_and_close(int fd, const HttpResponse& response) {
+    send_all(fd, serialize_response(response));
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+}
+
+}  // namespace
+
+HttpServer::HttpServer(ServeService& service, ServerOptions opts)
+    : service_(service),
+      opts_(std::move(opts)),
+      pool_(opts_.workers, opts_.queue_limit) {
+    MCS_REQUIRE(::pipe(wake_pipe_) == 0, "cannot create wake pipe");
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    MCS_REQUIRE(listen_fd_ >= 0, "cannot create listen socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+    MCS_REQUIRE(::inet_pton(AF_INET, opts_.listen.c_str(), &addr.sin_addr) ==
+                    1,
+                "invalid listen address: " + opts_.listen);
+    MCS_REQUIRE(::bind(listen_fd_,
+                       reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof addr) == 0,
+                "cannot bind " + opts_.listen + ":" +
+                    std::to_string(opts_.port) + ": " +
+                    std::strerror(errno));
+    MCS_REQUIRE(::listen(listen_fd_, 128) == 0, "listen failed");
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    MCS_REQUIRE(::getsockname(listen_fd_,
+                              reinterpret_cast<sockaddr*>(&bound),
+                              &len) == 0,
+                "getsockname failed");
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+}
+
+HttpServer::~HttpServer() {
+    stop();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+    }
+    for (const int fd : wake_pipe_) {
+        if (fd >= 0) {
+            ::close(fd);
+        }
+    }
+}
+
+void HttpServer::stop() noexcept {
+    if (stopping_.exchange(true)) {
+        return;
+    }
+    const char byte = 's';
+    // Best-effort, async-signal-safe wakeup of the accept loop.
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void HttpServer::run() {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    while (!stopping_.load()) {
+        const int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            break;
+        }
+        if ((fds[1].revents & POLLIN) != 0 || stopping_.load()) {
+            break;
+        }
+        if ((fds[0].revents & POLLIN) == 0) {
+            continue;
+        }
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            continue;
+        }
+        set_io_timeout(fd, opts_.io_timeout_s);
+        // Bounded admission: a full queue (or a closing pool) sheds the
+        // connection immediately with 429 instead of queueing unbounded
+        // work behind slow simulations.
+        if (!pool_.submit([this, fd] { handle_connection(fd); })) {
+            service_.note_rejected();
+            HttpResponse overload =
+                error_response(429, "admission queue full, retry shortly");
+            overload.extra_headers.emplace_back("Retry-After", "1");
+            send_response_and_close(fd, overload);
+            continue;
+        }
+        service_.note_queue_depth(pool_.queue_depth());
+    }
+    // Graceful drain: no new connections (the loop is done), every
+    // accepted connection finishes, workers join.
+    pool_.shutdown();
+    if (!opts_.quiet) {
+        std::fprintf(stderr,
+                     "mcs_serve: drained (%llu served, %llu failed)\n",
+                     static_cast<unsigned long long>(
+                         pool_.completed_tasks()),
+                     static_cast<unsigned long long>(pool_.failed_tasks()));
+    }
+}
+
+void HttpServer::handle_connection(int fd) {
+    HttpRequestParser parser(opts_.http);
+    char buf[4096];
+    while (parser.state() == HttpRequestParser::State::NeedMore) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) {
+            // Peer vanished or timed out mid-request; nothing to answer.
+            ::close(fd);
+            return;
+        }
+        parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+    if (parser.state() == HttpRequestParser::State::Error) {
+        send_response_and_close(
+            fd, error_response(parser.error_status(), parser.error()));
+        return;
+    }
+    send_response_and_close(fd, service_.handle(parser.request()));
+}
+
+}  // namespace mcs::serve

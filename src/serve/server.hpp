@@ -1,0 +1,66 @@
+#pragma once
+
+// The socket pump of mcs_serve: a plain-POSIX TCP listener, a bounded
+// admission queue with explicit overload rejection (429 + Retry-After),
+// a worker pool (runner/thread_pool's TaskPool) draining it, and a
+// graceful stop path (SIGTERM in the daemon, stop() in tests): close
+// admission, finish every connection already accepted, join, exit 0.
+//
+// One request per connection, response carries Connection: close -- the
+// simplest protocol that serves the what-if workload, whose cost is the
+// simulation, not the handshake.
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "runner/thread_pool.hpp"
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+
+namespace mcs::serve {
+
+struct ServerOptions {
+    std::string listen = "127.0.0.1";
+    int port = 8077;          ///< 0 = ephemeral (tests read port())
+    int workers = 0;          ///< <= 0: hardware concurrency
+    std::size_t queue_limit = 64;   ///< admission queue bound
+    int io_timeout_s = 10;    ///< per-connection socket read/write timeout
+    HttpLimits http{};
+    bool quiet = false;
+};
+
+class HttpServer {
+public:
+    /// Binds and listens immediately (throws RequireError on failure) so
+    /// a bad listen address is a startup error, not a runtime surprise.
+    HttpServer(ServeService& service, ServerOptions opts);
+    ~HttpServer();
+    HttpServer(const HttpServer&) = delete;
+    HttpServer& operator=(const HttpServer&) = delete;
+
+    /// Accept loop; blocks until stop() is called, then drains the worker
+    /// pool and returns. Call at most once.
+    void run();
+
+    /// Requests a graceful shutdown. Async-signal-safe (writes one byte
+    /// to an internal pipe); callable from any thread or signal handler.
+    void stop() noexcept;
+
+    /// The actually bound port (after an ephemeral bind).
+    int port() const noexcept { return port_; }
+    int worker_count() const noexcept { return pool_.worker_count(); }
+
+private:
+    void handle_connection(int fd);
+
+    ServeService& service_;
+    ServerOptions opts_;
+    TaskPool pool_;
+    int listen_fd_ = -1;
+    int wake_pipe_[2] = {-1, -1};
+    int port_ = 0;
+    std::atomic<bool> stopping_{false};
+};
+
+}  // namespace mcs::serve

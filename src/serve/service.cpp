@@ -1,0 +1,209 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <exception>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+#include "util/require.hpp"
+
+namespace mcs::serve {
+
+namespace {
+
+/// Request-latency histogram layout: 0..500 ms in 1 ms bins. Cache hits
+/// land in the first bin; cold computations spread across the range (and
+/// beyond, into the overflow bucket, for long horizons).
+constexpr double kLatencyLoUs = 0.0;
+constexpr double kLatencyHiUs = 500'000.0;
+constexpr std::size_t kLatencyBins = 500;
+
+double elapsed_us(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+}  // namespace
+
+ServeService::ServeService(SnapshotPool pool, ServiceOptions opts,
+                           telemetry::MetricsRegistry& registry)
+    : pool_(std::move(pool)),
+      cache_(opts.cache_entries),
+      registry_(registry) {
+    // Register everything up front so /metrics is fully shaped from the
+    // first scrape (counters at 0, not absent).
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    registry_.counter("serve.requests");
+    registry_.counter("serve.whatif_requests");
+    registry_.counter("serve.cache_hits");
+    registry_.counter("serve.cache_misses");
+    registry_.counter("serve.cache_evictions");
+    registry_.counter("serve.queue_rejections");
+    registry_.counter("serve.responses_2xx");
+    registry_.counter("serve.responses_4xx");
+    registry_.counter("serve.responses_5xx");
+    registry_.gauge("serve.queue_depth", telemetry::GaugeMerge::Max);
+    registry_.gauge("serve.queue_depth_peak", telemetry::GaugeMerge::Max);
+    registry_.gauge("serve.snapshots", telemetry::GaugeMerge::Max)
+        .set(static_cast<double>(pool_.size()));
+    registry_.histogram("serve.latency_us", kLatencyLoUs, kLatencyHiUs,
+                        kLatencyBins);
+}
+
+HttpResponse ServeService::handle(const HttpRequest& request) {
+    const auto start = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        registry_.counter("serve.requests").inc();
+    }
+    HttpResponse response;
+    try {
+        if (request.path == "/whatif") {
+            response = request.method == "POST"
+                           ? handle_whatif(request)
+                           : error_response(405, "use POST /whatif");
+        } else if (request.path == "/healthz") {
+            response = request.method == "GET"
+                           ? handle_healthz()
+                           : error_response(405, "use GET /healthz");
+        } else if (request.path == "/metrics") {
+            response = request.method == "GET"
+                           ? handle_metrics()
+                           : error_response(405, "use GET /metrics");
+        } else if (request.path == "/snapshots") {
+            response = request.method == "GET"
+                           ? handle_snapshots()
+                           : error_response(405, "use GET /snapshots");
+        } else {
+            response = error_response(404, "no route for " + request.path);
+        }
+    } catch (const RequireError& e) {
+        response = error_response(400, e.what());
+    } catch (const std::exception& e) {
+        response = error_response(500, e.what());
+    }
+    {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        registry_
+            .histogram("serve.latency_us", kLatencyLoUs, kLatencyHiUs,
+                       kLatencyBins)
+            .add(elapsed_us(start));
+    }
+    count_response(response);
+    return response;
+}
+
+HttpResponse ServeService::handle_whatif(const HttpRequest& request) {
+    {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        registry_.counter("serve.whatif_requests").inc();
+    }
+    const WhatIfQuery query = parse_whatif_query(request.body);
+    const SnapshotEntry* entry = pool_.find(query.snapshot);
+    if (entry == nullptr) {
+        return error_response(404,
+                              "unknown snapshot '" + query.snapshot + "'");
+    }
+    const std::string key = cache_key(*entry, query);
+    std::shared_ptr<const std::string> bytes = cache_.find(key);
+    const bool hit = bytes != nullptr;
+    if (!hit) {
+        // The simulation runs outside the metrics lock: concurrent
+        // queries on different snapshots/overrides proceed in parallel.
+        bytes = std::make_shared<const std::string>(
+            compute_whatif(*entry, query));
+        cache_.insert(key, bytes);
+    }
+    {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        registry_.counter(hit ? "serve.cache_hits" : "serve.cache_misses")
+            .inc();
+        registry_.counter("serve.cache_evictions")
+            .restore(cache_.evictions());
+    }
+    HttpResponse response;
+    response.status = 200;
+    response.body = *bytes;
+    response.extra_headers.emplace_back("X-Cache", hit ? "hit" : "miss");
+    return response;
+}
+
+HttpResponse ServeService::handle_healthz() const {
+    std::ostringstream os;
+    telemetry::JsonWriter w(os);
+    w.begin_object();
+    w.field("status", "ok");
+    w.field("snapshots", static_cast<std::uint64_t>(pool_.size()));
+    w.end_object();
+    os << '\n';
+    HttpResponse r;
+    r.body = os.str();
+    return r;
+}
+
+HttpResponse ServeService::handle_metrics() {
+    std::ostringstream os;
+    {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        telemetry::JsonWriter w(os);
+        registry_.write_json(w);
+    }
+    os << '\n';
+    HttpResponse r;
+    r.body = os.str();
+    return r;
+}
+
+HttpResponse ServeService::handle_snapshots() const {
+    std::ostringstream os;
+    telemetry::JsonWriter w(os);
+    w.begin_object();
+    w.key("snapshots");
+    w.begin_array();
+    for (const SnapshotEntry& e : pool_.entries()) {
+        w.begin_object();
+        w.field("name", e.name);
+        w.field("config_fingerprint", e.config_fingerprint);
+        w.field("structural_fingerprint", e.structural_fingerprint);
+        w.field("captured_now_s", to_seconds(e.captured_now));
+        w.field("captured_horizon_s", to_seconds(e.captured_horizon));
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << '\n';
+    HttpResponse r;
+    r.body = os.str();
+    return r;
+}
+
+void ServeService::count_response(const HttpResponse& response) {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    if (response.status < 300) {
+        registry_.counter("serve.responses_2xx").inc();
+    } else if (response.status < 500) {
+        registry_.counter("serve.responses_4xx").inc();
+    } else {
+        registry_.counter("serve.responses_5xx").inc();
+    }
+}
+
+void ServeService::note_queue_depth(std::size_t depth) {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    const double d = static_cast<double>(depth);
+    registry_.gauge("serve.queue_depth", telemetry::GaugeMerge::Max).set(d);
+    telemetry::Gauge& peak =
+        registry_.gauge("serve.queue_depth_peak", telemetry::GaugeMerge::Max);
+    if (d > peak.value()) {
+        peak.set(d);
+    }
+}
+
+void ServeService::note_rejected() {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    registry_.counter("serve.queue_rejections").inc();
+    registry_.counter("serve.responses_4xx").inc();
+}
+
+}  // namespace mcs::serve

@@ -1,0 +1,71 @@
+#pragma once
+
+// The socket-free core of mcs_serve: routes one parsed HttpRequest to a
+// response. Keeping this layer free of I/O makes the whole query surface
+// unit-testable (tests/test_serve.cpp) and benchable (bench_serve) in
+// process; serve/server.hpp is only the socket pump around it.
+//
+// Routes:
+//   POST /whatif     what-if query (mcs.whatif_query.v1 body) ->
+//                    mcs.run_report.v1 bytes, served from the result cache
+//                    when the canonical key hits
+//   GET  /healthz    {"status":"ok",...} liveness + pool summary
+//   GET  /metrics    the MetricsRegistry as JSON (counters/gauges/
+//                    histograms, sorted -- the repo-wide format)
+//   GET  /snapshots  pool listing with fingerprints and captured window
+//
+// Observability (names under "serve."): request/response counters per
+// status class, cache hits/misses, queue depth gauges (fed by the server),
+// and a request-latency histogram in microseconds.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "serve/http.hpp"
+#include "serve/query.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/snapshot_pool.hpp"
+#include "telemetry/metrics_registry.hpp"
+
+namespace mcs::serve {
+
+struct ServiceOptions {
+    std::size_t cache_entries = 256;
+};
+
+class ServeService {
+public:
+    ServeService(SnapshotPool pool, ServiceOptions opts,
+                 telemetry::MetricsRegistry& registry);
+
+    /// Handles one request; never throws (failures become 4xx/5xx
+    /// responses).
+    HttpResponse handle(const HttpRequest& request);
+
+    /// Server-side hooks: admission-queue telemetry lives in the same
+    /// registry so /metrics shows one coherent picture.
+    void note_queue_depth(std::size_t depth);
+    void note_rejected();
+
+    const SnapshotPool& pool() const noexcept { return pool_; }
+    ResultCache& cache() noexcept { return cache_; }
+    telemetry::MetricsRegistry& registry() noexcept { return registry_; }
+
+private:
+    HttpResponse handle_whatif(const HttpRequest& request);
+    HttpResponse handle_healthz() const;
+    HttpResponse handle_metrics();
+    HttpResponse handle_snapshots() const;
+    void count_response(const HttpResponse& response);
+
+    SnapshotPool pool_;
+    ResultCache cache_;
+    telemetry::MetricsRegistry& registry_;
+    /// The registry is single-threaded by design; one mutex serializes
+    /// all serve-side updates (the heavy work -- the simulation itself --
+    /// runs outside it).
+    std::mutex metrics_mutex_;
+};
+
+}  // namespace mcs::serve

@@ -167,7 +167,8 @@ namespace {
 
 class Parser {
 public:
-    explicit Parser(std::string_view text) : text_(text) {}
+    Parser(std::string_view text, const JsonLimits& limits)
+        : text_(text), limits_(limits) {}
 
     JsonValue parse_document() {
         JsonValue v = parse_value();
@@ -232,7 +233,25 @@ private:
         }
     }
 
+    /// Container guard: depth counts every open object/array, so a deep
+    /// bomb like "[[[[..." fails with a clean error long before the
+    /// recursive descent can exhaust the stack.
+    struct DepthGuard {
+        explicit DepthGuard(Parser& parser) : p(parser) {
+            ++p.depth_;
+            MCS_REQUIRE(
+                p.limits_.max_depth == 0 || p.depth_ <= p.limits_.max_depth,
+                "JSON nesting exceeds max depth " +
+                    std::to_string(p.limits_.max_depth));
+        }
+        ~DepthGuard() { --p.depth_; }
+        DepthGuard(const DepthGuard&) = delete;
+        DepthGuard& operator=(const DepthGuard&) = delete;
+        Parser& p;
+    };
+
     JsonValue parse_object() {
+        const DepthGuard guard(*this);
         expect('{');
         JsonValue v;
         v.kind = JsonValue::Kind::Object;
@@ -255,6 +274,7 @@ private:
     }
 
     JsonValue parse_array() {
+        const DepthGuard guard(*this);
         expect('[');
         JsonValue v;
         v.kind = JsonValue::Kind::Array;
@@ -333,13 +353,19 @@ private:
     }
 
     std::string_view text_;
+    JsonLimits limits_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
 
 }  // namespace
 
-JsonValue parse_json(std::string_view text) {
-    return Parser(text).parse_document();
+JsonValue parse_json(std::string_view text, const JsonLimits& limits) {
+    MCS_REQUIRE(limits.max_bytes == 0 || text.size() <= limits.max_bytes,
+                "JSON document exceeds max size (" +
+                    std::to_string(text.size()) + " > " +
+                    std::to_string(limits.max_bytes) + " bytes)");
+    return Parser(text, limits).parse_document();
 }
 
 }  // namespace mcs::telemetry

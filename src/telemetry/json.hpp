@@ -7,8 +7,11 @@
 // depend only on the values, never on locale or formatting state), and all
 // container contents are emitted in the order the caller provides them.
 // The parser covers the subset this repo emits (objects, arrays, strings,
-// finite numbers, booleans, null) and exists for round-trip tests and
-// report tooling, not for hostile input.
+// finite numbers, booleans, null). Since the serve subsystem exposes it to
+// network input it enforces resource limits -- a maximum document size and
+// a maximum container nesting depth -- and rejects violations with clean
+// RequireErrors instead of exhausting stack or memory. Callers parsing
+// untrusted bytes should pass a JsonLimits tightened to their use case.
 
 #include <cstdint>
 #include <map>
@@ -100,8 +103,19 @@ struct JsonValue {
     std::int64_t i64() const;
 };
 
+/// Resource limits for parse_json. The defaults accommodate every mcs.*
+/// artifact (snapshots included) while still bounding hostile input; the
+/// serve request path uses much tighter limits (serve/query.cpp).
+struct JsonLimits {
+    /// Maximum document size in bytes (0 disables the check).
+    std::size_t max_bytes = std::size_t{1} << 30;
+    /// Maximum depth of nested containers; the document value itself is
+    /// depth 1, so `{"a":[1]}` needs max_depth >= 2.
+    std::size_t max_depth = 96;
+};
+
 /// Parses a complete JSON document. Throws RequireError on malformed
-/// input or trailing garbage.
-JsonValue parse_json(std::string_view text);
+/// input, trailing garbage, or a limit violation.
+JsonValue parse_json(std::string_view text, const JsonLimits& limits = {});
 
 }  // namespace mcs::telemetry

@@ -1,0 +1,450 @@
+// Unit tests for the mcs_serve query surface: the hardened HTTP parser,
+// query canonicalization (the soundness contract of the result cache),
+// snapshot-pool fingerprint validation, the LRU result cache, and -- the
+// headline property -- that a cached what-if response is byte-identical
+// to a fresh computation.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/config_bridge.hpp"
+#include "core/system.hpp"
+#include "core/system_factory.hpp"
+#include "serve/http.hpp"
+#include "serve/query.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot_pool.hpp"
+#include "support/differential.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "util/config.hpp"
+#include "util/require.hpp"
+
+namespace mcs {
+namespace {
+
+using serve::HttpLimits;
+using serve::HttpRequest;
+using serve::HttpRequestParser;
+using serve::HttpResponse;
+using testsupport::TempFile;
+
+// ---------------------------------------------------------------- HTTP --
+
+HttpRequestParser::State feed_all(HttpRequestParser& p,
+                                  std::string_view text) {
+    // Feed byte-by-byte: exercises the incremental path sockets produce.
+    HttpRequestParser::State s = p.state();
+    for (char c : text) {
+        s = p.feed(std::string_view(&c, 1));
+        if (s != HttpRequestParser::State::NeedMore) break;
+    }
+    return s;
+}
+
+TEST(HttpParser, ParsesPostWithBody) {
+    HttpRequestParser p;
+    const std::string raw =
+        "POST /whatif?x=1 HTTP/1.1\r\n"
+        "Host: localhost\r\n"
+        "Content-Type: application/json\r\n"
+        "Content-Length: 4\r\n"
+        "\r\n"
+        "{\"\"}";
+    ASSERT_EQ(feed_all(p, raw), HttpRequestParser::State::Done);
+    const HttpRequest& r = p.request();
+    EXPECT_EQ(r.method, "POST");
+    EXPECT_EQ(r.path, "/whatif");
+    EXPECT_EQ(r.query, "x=1");
+    EXPECT_EQ(r.version, "HTTP/1.1");
+    EXPECT_EQ(r.headers.at("content-type"), "application/json");
+    EXPECT_EQ(r.body, "{\"\"}");
+}
+
+TEST(HttpParser, ParsesGetWithoutBody) {
+    HttpRequestParser p;
+    ASSERT_EQ(p.feed("GET /healthz HTTP/1.1\r\n\r\n"),
+              HttpRequestParser::State::Done);
+    EXPECT_EQ(p.request().method, "GET");
+    EXPECT_EQ(p.request().path, "/healthz");
+    EXPECT_TRUE(p.request().body.empty());
+}
+
+TEST(HttpParser, RejectsMalformedRequestLine) {
+    HttpRequestParser p;
+    ASSERT_EQ(p.feed("NONSENSE\r\n\r\n"), HttpRequestParser::State::Error);
+    EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(HttpParser, RejectsOversizedHead) {
+    HttpLimits limits;
+    limits.max_head_bytes = 64;
+    HttpRequestParser p(limits);
+    const std::string raw = "GET /" + std::string(200, 'a') + " HTTP/1.1\r\n";
+    ASSERT_EQ(p.feed(raw), HttpRequestParser::State::Error);
+    EXPECT_EQ(p.error_status(), 431);
+}
+
+TEST(HttpParser, RejectsTooManyHeaders) {
+    HttpLimits limits;
+    limits.max_headers = 2;
+    HttpRequestParser p(limits);
+    const std::string raw =
+        "GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n";
+    ASSERT_EQ(p.feed(raw), HttpRequestParser::State::Error);
+    EXPECT_EQ(p.error_status(), 431);
+}
+
+TEST(HttpParser, RejectsOversizedBody) {
+    HttpLimits limits;
+    limits.max_body_bytes = 8;
+    HttpRequestParser p(limits);
+    const std::string raw =
+        "POST /whatif HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
+    ASSERT_EQ(p.feed(raw), HttpRequestParser::State::Error);
+    EXPECT_EQ(p.error_status(), 413);
+}
+
+TEST(HttpParser, RejectsChunkedTransferEncoding) {
+    HttpRequestParser p;
+    const std::string raw =
+        "POST /whatif HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+    ASSERT_EQ(p.feed(raw), HttpRequestParser::State::Error);
+    EXPECT_EQ(p.error_status(), 501);
+}
+
+TEST(HttpParser, RejectsTrailingBytesAfterBody) {
+    HttpRequestParser p;
+    const std::string raw =
+        "POST /whatif HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}GARBAGE";
+    ASSERT_EQ(p.feed(raw), HttpRequestParser::State::Error);
+    EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(HttpParser, SerializeResponseCarriesFraming) {
+    HttpResponse resp;
+    resp.status = 429;
+    resp.body = "{\"error\":\"busy\"}";
+    resp.extra_headers.push_back({"Retry-After", "1"});
+    const std::string wire = serve::serialize_response(resp);
+    EXPECT_NE(wire.find("HTTP/1.1 429 Too Many Requests\r\n"),
+              std::string::npos);
+    EXPECT_NE(wire.find("Content-Length: 16\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("\r\n\r\n{\"error\":\"busy\"}"), std::string::npos);
+}
+
+// ----------------------------------------------------- canonicalization --
+
+TEST(WhatIfQuery, OverrideOrderAndNumberSpellingCanonicalize) {
+    const std::string a =
+        "{\"schema\":\"mcs.whatif_query.v1\",\"snapshot\":\"warm\","
+        "\"overrides\":{\"scheduler\":\"greedy\",\"tdp_scale\":0.8}}";
+    const std::string b =
+        "{ \"overrides\" : {\"tdp_scale\": 8e-1, \"scheduler\": \"greedy\"},"
+        "  \"snapshot\" : \"warm\", \"schema\":\"mcs.whatif_query.v1\" }";
+    const serve::WhatIfQuery qa = serve::parse_whatif_query(a);
+    const serve::WhatIfQuery qb = serve::parse_whatif_query(b);
+    EXPECT_EQ(qa.snapshot, qb.snapshot);
+    EXPECT_EQ(qa.overrides, qb.overrides);
+    EXPECT_EQ(qa.overrides.at("tdp_scale"), "0.8");
+}
+
+TEST(WhatIfQuery, DifferentValuesProduceDifferentCacheKeys) {
+    serve::SnapshotEntry entry;
+    entry.config_fingerprint = "cfgfp";
+    entry.structural_fingerprint = "structfp";
+    entry.captured_now = 400 * kMillisecond;
+    entry.captured_horizon = kSecond;
+
+    serve::WhatIfQuery q1 = serve::parse_whatif_query(
+        "{\"schema\":\"mcs.whatif_query.v1\",\"snapshot\":\"w\","
+        "\"overrides\":{\"tdp_scale\":0.8}}");
+    serve::WhatIfQuery q2 = serve::parse_whatif_query(
+        "{\"schema\":\"mcs.whatif_query.v1\",\"snapshot\":\"w\","
+        "\"overrides\":{\"tdp_scale\":0.80}}");
+    serve::WhatIfQuery q3 = serve::parse_whatif_query(
+        "{\"schema\":\"mcs.whatif_query.v1\",\"snapshot\":\"w\","
+        "\"overrides\":{\"tdp_scale\":0.9}}");
+    serve::WhatIfQuery q4 = serve::parse_whatif_query(
+        "{\"schema\":\"mcs.whatif_query.v1\",\"snapshot\":\"w\","
+        "\"overrides\":{\"tdp_scale\":0.8},\"seconds\":0.7}");
+
+    EXPECT_EQ(serve::cache_key(entry, q1), serve::cache_key(entry, q2));
+    EXPECT_NE(serve::cache_key(entry, q1), serve::cache_key(entry, q3));
+    EXPECT_NE(serve::cache_key(entry, q1), serve::cache_key(entry, q4));
+
+    // The key also pins the snapshot identity itself.
+    serve::SnapshotEntry other = entry;
+    other.config_fingerprint = "othercfg";
+    EXPECT_NE(serve::cache_key(entry, q1), serve::cache_key(other, q1));
+}
+
+TEST(WhatIfQuery, RejectsBadInput) {
+    // Missing schema tag.
+    EXPECT_THROW(serve::parse_whatif_query("{\"snapshot\":\"w\"}"),
+                 RequireError);
+    // Structural key smuggled through overrides.
+    EXPECT_THROW(
+        serve::parse_whatif_query(
+            "{\"schema\":\"mcs.whatif_query.v1\",\"snapshot\":\"w\","
+            "\"overrides\":{\"width\":16}}"),
+        RequireError);
+    // Non-scalar override value.
+    EXPECT_THROW(
+        serve::parse_whatif_query(
+            "{\"schema\":\"mcs.whatif_query.v1\",\"snapshot\":\"w\","
+            "\"overrides\":{\"scheduler\":[\"greedy\"]}}"),
+        RequireError);
+    // Unknown top-level member.
+    EXPECT_THROW(
+        serve::parse_whatif_query(
+            "{\"schema\":\"mcs.whatif_query.v1\",\"snapshot\":\"w\","
+            "\"bogus\":1}"),
+        RequireError);
+    // Negative horizon.
+    EXPECT_THROW(
+        serve::parse_whatif_query(
+            "{\"schema\":\"mcs.whatif_query.v1\",\"snapshot\":\"w\","
+            "\"seconds\":-1}"),
+        RequireError);
+    // Malformed JSON and a nesting bomb (network-input limits).
+    EXPECT_THROW(serve::parse_whatif_query("{\"schema\":"), RequireError);
+    EXPECT_THROW(serve::parse_whatif_query(std::string(64, '[')),
+                 RequireError);
+}
+
+TEST(WhatIfQuery, AllowedOverridesAreThePolicyKnobs) {
+    EXPECT_TRUE(serve::is_allowed_override("scheduler"));
+    EXPECT_TRUE(serve::is_allowed_override("tdp_scale"));
+    EXPECT_TRUE(serve::is_allowed_override("guard_band"));
+    EXPECT_FALSE(serve::is_allowed_override("width"));
+    EXPECT_FALSE(serve::is_allowed_override("seed"));
+    EXPECT_FALSE(serve::is_allowed_override("occupancy"));
+}
+
+// ------------------------------------------------------------ the cache --
+
+TEST(ResultCache, LruEvictionAndRefresh) {
+    serve::ResultCache cache(2);
+    auto val = [](const char* s) {
+        return std::make_shared<const std::string>(s);
+    };
+    cache.insert("a", val("A"));
+    cache.insert("b", val("B"));
+    ASSERT_NE(cache.find("a"), nullptr);  // refreshes "a" -> "b" is LRU
+    cache.insert("c", val("C"));          // evicts "b"
+    EXPECT_EQ(cache.find("b"), nullptr);
+    EXPECT_NE(cache.find("a"), nullptr);
+    EXPECT_NE(cache.find("c"), nullptr);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ResultCache, DuplicateInsertKeepsFirstValue) {
+    // Two workers racing on the same miss must converge on one answer.
+    serve::ResultCache cache(4);
+    cache.insert("k", std::make_shared<const std::string>("first"));
+    cache.insert("k", std::make_shared<const std::string>("second"));
+    ASSERT_NE(cache.find("k"), nullptr);
+    EXPECT_EQ(*cache.find("k"), "first");
+}
+
+TEST(ResultCache, ZeroCapacityDisablesCaching) {
+    serve::ResultCache cache(0);
+    cache.insert("k", std::make_shared<const std::string>("v"));
+    EXPECT_EQ(cache.find("k"), nullptr);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+// ------------------------------------------------ snapshots + service --
+
+/// The differential-baseline run expressed as repo Config keys, so
+/// system_config_from(base) reproduces the captured structure.
+Config serve_base_config() {
+    Config cfg;
+    cfg.set("side", "4");
+    cfg.set("seed", "42");
+    cfg.set("min_tasks", "2");
+    cfg.set("max_tasks", "6");
+    cfg.set("occupancy", "0.5");
+    return cfg;
+}
+
+/// Runs the base config to 1 s, checkpointing at 400 ms, and returns the
+/// snapshot document.
+telemetry::JsonValue make_snapshot_doc(const Config& base) {
+    TempFile file("serve_snapshot");
+    ManycoreSystem sys(system_config_from(base));
+    sys.checkpoint_at(400 * kMillisecond, file.path());
+    sys.run(kSecond);
+    return load_snapshot_file(file.path());
+}
+
+TEST(SnapshotPool, StructuralMismatchIsRejectedAtLoad) {
+    const Config base = serve_base_config();
+    telemetry::JsonValue doc = make_snapshot_doc(base);
+
+    Config wrong = base;
+    wrong.set("side", "6");  // different geometry than the captured chip
+    EXPECT_THROW(
+        serve::SnapshotPool::from_document("warm", doc, wrong),
+        RequireError);
+
+    // Policy knobs are non-structural: forking them must be accepted.
+    Config forked = base;
+    forked.set("scheduler", "greedy");
+    serve::SnapshotPool pool =
+        serve::SnapshotPool::from_document("warm", std::move(doc), forked);
+    ASSERT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.entries()[0].captured_now, 400 * kMillisecond);
+    EXPECT_EQ(pool.entries()[0].captured_horizon, kSecond);
+}
+
+HttpRequest whatif_request(const std::string& body) {
+    HttpRequest req;
+    req.method = "POST";
+    req.path = "/whatif";
+    req.body = body;
+    return req;
+}
+
+std::string header(const HttpResponse& resp, const std::string& name) {
+    for (const auto& [k, v] : resp.extra_headers) {
+        if (k == name) return v;
+    }
+    return "";
+}
+
+class ServeServiceTest : public ::testing::Test {
+protected:
+    ServeServiceTest()
+        : base_(serve_base_config()),
+          service_(serve::SnapshotPool::from_document(
+                       "warm", make_snapshot_doc(base_), base_),
+                   serve::ServiceOptions{}, registry_) {}
+
+    Config base_;
+    telemetry::MetricsRegistry registry_;
+    serve::ServeService service_;
+};
+
+TEST_F(ServeServiceTest, CachedResponseIsByteIdenticalToFresh) {
+    const std::string body =
+        "{\"schema\":\"mcs.whatif_query.v1\",\"snapshot\":\"warm\","
+        "\"overrides\":{\"scheduler\":\"greedy\",\"tdp_scale\":0.8}}";
+
+    const HttpResponse fresh = service_.handle(whatif_request(body));
+    ASSERT_EQ(fresh.status, 200) << fresh.body;
+    EXPECT_EQ(header(fresh, "X-Cache"), "miss");
+
+    const HttpResponse cached = service_.handle(whatif_request(body));
+    ASSERT_EQ(cached.status, 200);
+    EXPECT_EQ(header(cached, "X-Cache"), "hit");
+    EXPECT_EQ(cached.body, fresh.body);  // the headline byte-identity
+
+    // A semantically identical but differently spelled query also hits --
+    // and yields the same bytes.
+    const std::string respelled =
+        "{\"snapshot\":\"warm\",\"overrides\":{\"tdp_scale\":8e-1,"
+        "\"scheduler\":\"greedy\"},\"schema\":\"mcs.whatif_query.v1\"}";
+    const HttpResponse canonical = service_.handle(whatif_request(respelled));
+    ASSERT_EQ(canonical.status, 200);
+    EXPECT_EQ(header(canonical, "X-Cache"), "hit");
+    EXPECT_EQ(canonical.body, fresh.body);
+
+    // And both match a direct, service-free computation.
+    const serve::SnapshotEntry* entry = service_.pool().find("warm");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(serve::compute_whatif(*entry, serve::parse_whatif_query(body)),
+              fresh.body);
+}
+
+TEST_F(ServeServiceTest, ShorterHorizonIsAValidFork) {
+    const std::string body =
+        "{\"schema\":\"mcs.whatif_query.v1\",\"snapshot\":\"warm\","
+        "\"seconds\":0.7}";
+    const HttpResponse resp = service_.handle(whatif_request(body));
+    EXPECT_EQ(resp.status, 200) << resp.body;
+}
+
+TEST_F(ServeServiceTest, HorizonOutsideCapturedWindowIs400) {
+    // Past the captured horizon: the arrival trace ends there.
+    EXPECT_EQ(service_
+                  .handle(whatif_request(
+                      "{\"schema\":\"mcs.whatif_query.v1\","
+                      "\"snapshot\":\"warm\",\"seconds\":5}"))
+                  .status,
+              400);
+    // Before the capture point: nothing left to simulate.
+    EXPECT_EQ(service_
+                  .handle(whatif_request(
+                      "{\"schema\":\"mcs.whatif_query.v1\","
+                      "\"snapshot\":\"warm\",\"seconds\":0.2}"))
+                  .status,
+              400);
+}
+
+TEST_F(ServeServiceTest, RoutesAndErrorPaths) {
+    HttpRequest healthz;
+    healthz.method = "GET";
+    healthz.path = "/healthz";
+    const HttpResponse h = service_.handle(healthz);
+    EXPECT_EQ(h.status, 200);
+    EXPECT_NE(h.body.find("\"status\""), std::string::npos);
+
+    HttpRequest snapshots;
+    snapshots.method = "GET";
+    snapshots.path = "/snapshots";
+    EXPECT_EQ(service_.handle(snapshots).status, 200);
+
+    HttpRequest metrics;
+    metrics.method = "GET";
+    metrics.path = "/metrics";
+    const HttpResponse m = service_.handle(metrics);
+    EXPECT_EQ(m.status, 200);
+    EXPECT_NO_THROW(telemetry::parse_json(m.body));
+
+    HttpRequest wrong_method;
+    wrong_method.method = "DELETE";
+    wrong_method.path = "/whatif";
+    EXPECT_EQ(service_.handle(wrong_method).status, 405);
+
+    HttpRequest unknown;
+    unknown.method = "GET";
+    unknown.path = "/nope";
+    EXPECT_EQ(service_.handle(unknown).status, 404);
+
+    // Unknown snapshot name -> 404 with a JSON error body.
+    const HttpResponse missing = service_.handle(whatif_request(
+        "{\"schema\":\"mcs.whatif_query.v1\",\"snapshot\":\"cold\"}"));
+    EXPECT_EQ(missing.status, 404);
+    EXPECT_NE(missing.body.find("\"error\""), std::string::npos);
+
+    // Malformed body -> 400, not a crash.
+    EXPECT_EQ(service_.handle(whatif_request("not json")).status, 400);
+}
+
+TEST_F(ServeServiceTest, MetricsCountHitsAndMisses) {
+    const std::string body =
+        "{\"schema\":\"mcs.whatif_query.v1\",\"snapshot\":\"warm\","
+        "\"overrides\":{\"scheduler\":\"none\"}}";
+    service_.handle(whatif_request(body));
+    service_.handle(whatif_request(body));
+
+    HttpRequest metrics;
+    metrics.method = "GET";
+    metrics.path = "/metrics";
+    const std::string m = service_.handle(metrics).body;
+    const telemetry::JsonValue doc = telemetry::parse_json(m);
+    const telemetry::JsonValue& counters = doc.at("counters");
+    EXPECT_EQ(counters.at("serve.cache_misses").number, 1.0);
+    EXPECT_EQ(counters.at("serve.cache_hits").number, 1.0);
+    EXPECT_EQ(counters.at("serve.whatif_requests").number, 2.0);
+}
+
+}  // namespace
+}  // namespace mcs

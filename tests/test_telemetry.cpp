@@ -51,6 +51,63 @@ TEST(JsonNumber, IsLocaleIndependent) {
     EXPECT_DOUBLE_EQ(parsed, 125.0);
 }
 
+TEST(JsonParser, EnforcesNestingDepthLimit) {
+    // A nesting bomb ("[[[[...") must be rejected with a clean error, not
+    // a stack overflow -- parse_json now fronts network input (mcs_serve).
+    JsonLimits limits;
+    limits.max_depth = 8;
+    std::string ok(8, '[');
+    ok += std::string(8, ']');
+    EXPECT_EQ(parse_json(ok, limits).array.size(), 1u);
+
+    std::string bomb(9, '[');
+    bomb += std::string(9, ']');
+    try {
+        parse_json(bomb, limits);
+        FAIL() << "depth bomb was accepted";
+    } catch (const RequireError& e) {
+        EXPECT_NE(std::string(e.what()).find("nesting exceeds max depth"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Objects count toward the same depth budget.
+    EXPECT_THROW(parse_json(R"({"a":{"b":[[[[[[[0]]]]]]]}})", limits),
+                 RequireError);
+
+    // The default limit still admits realistically nested documents but
+    // stops an unbounded bomb well before the stack does.
+    EXPECT_NO_THROW(parse_json(R"({"a":[{"b":[{"c":[1]}]}]})"));
+    std::string deep(10000, '[');
+    EXPECT_THROW(parse_json(deep), RequireError);
+}
+
+TEST(JsonParser, EnforcesDocumentSizeLimit) {
+    JsonLimits limits;
+    limits.max_bytes = 16;
+    EXPECT_NO_THROW(parse_json(R"({"a":1})", limits));
+    try {
+        parse_json(R"({"key":"0123456789"})", limits);
+        FAIL() << "oversized document was accepted";
+    } catch (const RequireError& e) {
+        EXPECT_NE(std::string(e.what()).find("exceeds max size"),
+                  std::string::npos)
+            << e.what();
+    }
+    // 0 disables the bound.
+    JsonLimits unlimited;
+    unlimited.max_bytes = 0;
+    EXPECT_NO_THROW(parse_json(R"({"key":"0123456789"})", unlimited));
+}
+
+TEST(JsonParser, MalformedInputYieldsCleanErrors) {
+    for (const char* bad :
+         {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "\"unterminated",
+          "1e", "{\"a\":1,}", "[1]trailing", "{\"a\":1 \"b\":2}"}) {
+        EXPECT_THROW(parse_json(bad), RequireError) << bad;
+    }
+}
+
 TEST(JsonWriter, EscapesAndNests) {
     std::ostringstream out;
     JsonWriter w(out);

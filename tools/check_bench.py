@@ -143,6 +143,41 @@ def check_wall(pairs, tolerance, mode, failures):
                 print(f"warning: {msg}", file=sys.stderr)
 
 
+def append_trend(path, label, reports):
+    """Appends one mcs.bench_trend.v1 JSONL record per fresh report.
+
+    The trend file is a committed, append-only trajectory of per-PR bench
+    results (wall time plus headline metrics), so perf drift that stays
+    under the per-PR gate tolerance is still visible over time. Records
+    are written sorted by bench name with sorted keys, so a given run
+    always appends byte-identical lines.
+    """
+    tag = _schema_tag("mcs.bench_trend")
+    gated = {"schema", "bench", "quick", "metrics", "wall_s"}
+    trend_path = pathlib.Path(path)
+    trend_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(trend_path, "a", encoding="utf-8") as f:
+        for name in sorted(reports):
+            _, data = reports[name]
+            record = {
+                "schema": tag,
+                "label": label,
+                "bench": name,
+                "quick": data.get("quick", False),
+                "wall_s": data.get("wall_s", 0.0),
+                "metrics": data.get("metrics", {}),
+            }
+            # Auxiliary sections (e.g. bench_serve's "latency") ride along
+            # untouched -- they are exactly the numbers the per-PR gate
+            # ignores but a trajectory makes meaningful.
+            aux = {k: v for k, v in data.items() if k not in gated}
+            if aux:
+                record["aux"] = aux
+            f.write(json.dumps(record, sort_keys=True,
+                               separators=(",", ":")) + "\n")
+    print(f"appended {len(reports)} trend record(s) to {trend_path}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline-dir", default="bench/baselines")
@@ -172,6 +207,19 @@ def main():
         action="store_true",
         help="copy new reports over the baselines instead of comparing",
     )
+    ap.add_argument(
+        "--trend-file",
+        default=None,
+        help="append per-bench mcs.bench_trend.v1 JSONL records (wall "
+        "time + metrics trajectory) to this committed file after a "
+        "passing gate (or alongside --update)",
+    )
+    ap.add_argument(
+        "--trend-label",
+        default="local",
+        help="label recorded with each trend record, e.g. a PR number or "
+        "commit hash (default: local)",
+    )
     args = ap.parse_args()
 
     new = load_reports(args.new_dir)
@@ -185,6 +233,8 @@ def main():
         for name, (path, _) in sorted(new.items()):
             shutil.copy(path, baseline_dir / path.name)
             print(f"updated baseline {baseline_dir / path.name}")
+        if args.trend_file:
+            append_trend(args.trend_file, args.trend_label, new)
         return 0
 
     base = load_reports(baseline_dir)
@@ -213,6 +263,8 @@ def main():
             print(f"  {f}", file=sys.stderr)
         return 1
     print(f"\nbench gate passed: {len(pairs)} benches vs baselines")
+    if args.trend_file:
+        append_trend(args.trend_file, args.trend_label, new)
     return 0
 
 
