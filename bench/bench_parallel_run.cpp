@@ -1,0 +1,132 @@
+// bench_parallel_run -- in-run epoch parallelism: byte identity + speedup.
+//
+// Runs the same configuration twice, serial (epoch_workers=1) and sharded
+// (epoch_workers=4, fixed rather than hardware so the workload is the same
+// on every host), capturing the three byte-level artifacts (run report,
+// chrome trace, metrics registry). The report separates the populations:
+//
+//   metrics   -- deterministic counts and the byte-identity verdicts,
+//                gated by tools/check_bench.py (1 = identical)
+//   parallel  -- wall-clock seconds per leg and the speedup ratio,
+//                recorded but never gated (auxiliary section): CI runners
+//                may have a single CPU, where speedup is unattainable but
+//                byte identity must still hold.
+//
+// The claim this regenerates: sharding per-core epoch work across a worker
+// team between power-epoch barriers is unobservable in the output bytes
+// (docs/parallelism.md), i.e. parallelism is free determinism-wise.
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/system.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace {
+
+using mcs::bench::BenchOptions;
+using mcs::bench::BenchReport;
+
+struct Leg {
+    mcs::RunMetrics metrics;
+    std::string report;
+    std::string trace;
+    std::string registry;
+    double wall_s = 0.0;
+};
+
+Leg run_leg(mcs::SystemConfig cfg, mcs::SimDuration horizon, int workers) {
+    cfg.epoch_workers = workers;
+    Leg leg;
+    const auto start = std::chrono::steady_clock::now();
+    mcs::ManycoreSystem sys(cfg);
+    mcs::telemetry::Tracer tracer(1 << 15);
+    sys.set_tracer(&tracer);
+    leg.metrics = sys.run(horizon);
+    leg.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    {
+        std::ostringstream os;
+        mcs::telemetry::write_run_report(leg.metrics, &sys.registry(), os);
+        leg.report = os.str();
+    }
+    {
+        std::ostringstream os;
+        tracer.write_chrome_json(os);
+        leg.trace = os.str();
+    }
+    {
+        std::ostringstream os;
+        mcs::telemetry::JsonWriter w(os);
+        sys.registry().save_state(w);
+        leg.registry = os.str();
+    }
+    return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const BenchOptions opt = mcs::bench::parse_options(argc, argv);
+    mcs::bench::print_header(
+        "parallel run: epoch-sharded vs serial",
+        "epoch_workers=N produces byte-identical report/trace/registry to "
+        "epoch_workers=1 (speedup is advisory on 1-CPU hosts)");
+    BenchReport report("parallel_run", opt);
+
+    // The headline 8x8 chip under load with every per-core epoch active
+    // (faults exercise the wear path's serial RNG commit as well).
+    mcs::SystemConfig cfg = mcs::bench::base_config(1);
+    mcs::bench::set_occupancy(cfg, 0.7);
+    cfg.enable_fault_injection = true;
+    cfg.faults.base_rate_per_core_s = 0.5;
+    const mcs::SimDuration horizon = mcs::bench::horizon(opt, 10.0, 1.0);
+    const int parallel_workers = 4;
+
+    const Leg serial = run_leg(cfg, horizon, 1);
+    const Leg parallel = run_leg(cfg, horizon, parallel_workers);
+
+    const bool report_ok = parallel.report == serial.report;
+    const bool trace_ok = parallel.trace == serial.trace;
+    const bool registry_ok = parallel.registry == serial.registry;
+
+    // Deterministic, gated: identity verdicts plus headline counters of
+    // the serial run (drift here means the simulation changed).
+    report.metric("report_identical", report_ok ? 1.0 : 0.0);
+    report.metric("trace_identical", trace_ok ? 1.0 : 0.0);
+    report.metric("registry_identical", registry_ok ? 1.0 : 0.0);
+    report.metric("apps_completed",
+                  static_cast<double>(serial.metrics.apps_completed));
+    report.metric("tests_completed",
+                  static_cast<double>(serial.metrics.tests_completed));
+    report.metric("mean_power_w", serial.metrics.mean_power_w);
+
+    // Wall-clock, advisory: the interesting number on multi-core hosts.
+    report.aux("parallel", "serial_wall_s", serial.wall_s);
+    report.aux("parallel", "parallel_wall_s", parallel.wall_s);
+    report.aux("parallel", "workers", parallel_workers);
+    report.aux("parallel", "speedup",
+               parallel.wall_s > 0.0 ? serial.wall_s / parallel.wall_s : 0.0);
+
+    std::printf("serial   %.3f s\n", serial.wall_s);
+    std::printf("parallel %.3f s (workers=%d, speedup %.2fx)\n",
+                parallel.wall_s, parallel_workers,
+                parallel.wall_s > 0.0 ? serial.wall_s / parallel.wall_s
+                                      : 0.0);
+    std::printf("bytes: report %s, trace %s, registry %s\n",
+                report_ok ? "IDENTICAL" : "DRIFTED",
+                trace_ok ? "IDENTICAL" : "DRIFTED",
+                registry_ok ? "IDENTICAL" : "DRIFTED");
+    report.write();
+    if (!(report_ok && trace_ok && registry_ok)) {
+        std::fprintf(stderr,
+                     "FAIL: parallel run output drifted from serial\n");
+        return 1;
+    }
+    return 0;
+}

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mcs {
 
@@ -31,7 +32,8 @@ double AgingTracker::damage_rate_per_s(CoreState state, double temp_c) const {
 }
 
 void AgingTracker::update(SimTime now, const Chip& chip,
-                          std::span<const double> temps_c) {
+                          std::span<const double> temps_c,
+                          EpochExecutor* exec) {
     MCS_REQUIRE(chip.core_count() == damage_.size(),
                 "chip size does not match aging tracker");
     if (!started_) {
@@ -45,10 +47,18 @@ void AgingTracker::update(SimTime now, const Chip& chip,
     if (dt_s <= 0.0) {
         return;
     }
-    for (const Core& c : chip.cores()) {
-        const double temp = temps_c.empty() ? params_.ref_temp_c
-                                            : temps_c[c.id()];
-        damage_[c.id()] += damage_rate_per_s(c.state(), temp) * dt_s;
+    auto integrate = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const Core& c = chip.core(static_cast<CoreId>(i));
+            const double temp =
+                temps_c.empty() ? params_.ref_temp_c : temps_c[c.id()];
+            damage_[c.id()] += damage_rate_per_s(c.state(), temp) * dt_s;
+        }
+    };
+    if (exec != nullptr && exec->parallel()) {
+        exec->for_slabs(damage_.size(), integrate);
+    } else {
+        integrate(0, damage_.size());
     }
 }
 

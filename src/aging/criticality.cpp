@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mcs {
 
@@ -71,20 +72,35 @@ double CriticalityEvaluator::evaluate(const Core& core, SimTime now,
 
 std::vector<double> CriticalityEvaluator::evaluate_chip(
     const Chip& chip, SimTime now, std::span<const double> damage) const {
+    std::vector<double> out;
+    evaluate_chip_into(chip, now, damage, out);
+    return out;
+}
+
+void CriticalityEvaluator::evaluate_chip_into(const Chip& chip, SimTime now,
+                                              std::span<const double> damage,
+                                              std::vector<double>& out,
+                                              EpochExecutor* exec) const {
     double max_damage = 0.0;
     for (double d : damage) {
         max_damage = std::max(max_damage, d);
     }
-    std::vector<double> out;
-    out.reserve(chip.core_count());
-    for (const Core& c : chip.cores()) {
-        double norm = 0.0;
-        if (!damage.empty() && max_damage > 0.0) {
-            norm = damage[c.id()] / max_damage;
+    out.resize(chip.core_count());
+    auto fill = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const Core& c = chip.core(static_cast<CoreId>(i));
+            double norm = 0.0;
+            if (!damage.empty() && max_damage > 0.0) {
+                norm = damage[c.id()] / max_damage;
+            }
+            out[i] = evaluate(c, now, norm);
         }
-        out.push_back(evaluate(c, now, norm));
+    };
+    if (exec != nullptr && exec->parallel()) {
+        exec->for_slabs(out.size(), fill);
+    } else {
+        fill(0, out.size());
     }
-    return out;
 }
 
 }  // namespace mcs

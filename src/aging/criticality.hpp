@@ -55,6 +55,15 @@ public:
     std::vector<double> evaluate_chip(const Chip& chip, SimTime now,
                                       std::span<const double> damage) const;
 
+    /// In-place variant reusing the caller's buffer (resized to the core
+    /// count). With `exec`, the per-core evaluation is sharded across the
+    /// worker team: core i only writes out[i] and evaluate() is pure, so
+    /// the result is bit-identical for any worker count.
+    void evaluate_chip_into(const Chip& chip, SimTime now,
+                            std::span<const double> damage,
+                            std::vector<double>& out,
+                            EpochExecutor* exec = nullptr) const;
+
     bool eligible(double criticality) const noexcept {
         return criticality >= params_.threshold;
     }

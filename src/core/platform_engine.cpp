@@ -45,7 +45,8 @@ PlatformEngine::PlatformEngine(SystemContext& ctx)
 }
 
 const std::vector<double>& PlatformEngine::refresh_criticality(SimTime now) {
-    crit_buf_ = crit_eval_.evaluate_chip(ctx_.chip, now, aging_.damage_all());
+    crit_eval_.evaluate_chip_into(ctx_.chip, now, aging_.damage_all(),
+                                  crit_buf_, &ctx_.epoch);
     return crit_buf_;
 }
 
@@ -70,8 +71,12 @@ void PlatformEngine::accumulate_energy(SimTime now) {
     link_test_energy_j_ +=
         static_cast<double>(ctx_.test->link_tests_running()) *
         ctx_.cfg.noc_test.test_power_w * dt_s;
+    // Parallel fill (pure per-core power reads), then a serial commit in
+    // core order so the energy sums accumulate in the same floating-point
+    // order for every worker count.
+    fill_power_buf();
     for (const Core& c : ctx_.chip.cores()) {
-        const double p = core_power_now(c);
+        const double p = power_buf_[c.id()];
         switch (c.state()) {
             case CoreState::Busy:
                 ctx_.metrics.energy_busy_j += p * dt_s;
@@ -86,6 +91,17 @@ void PlatformEngine::accumulate_energy(SimTime now) {
     }
 }
 
+void PlatformEngine::fill_power_buf() {
+    power_buf_.resize(ctx_.chip.core_count());
+    ctx_.epoch.for_slabs(
+        power_buf_.size(), [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                power_buf_[i] =
+                    core_power_now(ctx_.chip.core(static_cast<CoreId>(i)));
+            }
+        });
+}
+
 void PlatformEngine::power_epoch() {
     accumulate_energy(ctx_.sim.now());
     ctx_.noc.roll_window();
@@ -94,30 +110,33 @@ void PlatformEngine::power_epoch() {
 }
 
 void PlatformEngine::thermal_epoch() {
-    power_buf_.resize(ctx_.chip.core_count());
-    for (const Core& c : ctx_.chip.cores()) {
-        power_buf_[c.id()] = core_power_now(c);
-    }
-    thermal_.step(power_buf_, to_seconds(ctx_.cfg.thermal_epoch));
+    fill_power_buf();
+    thermal_.step(power_buf_, to_seconds(ctx_.cfg.thermal_epoch),
+                  &ctx_.epoch);
     peak_temp_c_ = std::max(peak_temp_c_, thermal_.max_temp_c());
 }
 
 void PlatformEngine::wear_epoch() {
     const SimTime now = ctx_.sim.now();
-    ctx_.chip.checkpoint_all(now);
+    ctx_.chip.checkpoint_all(now, &ctx_.epoch);
     for (const Core& c : ctx_.chip.cores()) {
         ++state_samples_;
         dark_samples_ += c.state() == CoreState::Dark ? 1 : 0;
         testing_samples_ += c.state() == CoreState::Testing ? 1 : 0;
         reserved_samples_ += c.reserved() ? 1 : 0;
     }
-    aging_.update(now, ctx_.chip, thermal_.temps_c());
+    aging_.update(now, ctx_.chip, thermal_.temps_c(), &ctx_.epoch);
     if (faults_) {
         accel_buf_.resize(ctx_.chip.core_count());
-        for (std::size_t i = 0; i < accel_buf_.size(); ++i) {
-            accel_buf_[i] =
-                aging_.fault_acceleration(static_cast<CoreId>(i));
-        }
+        ctx_.epoch.for_slabs(
+            accel_buf_.size(), [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    accel_buf_[i] =
+                        aging_.fault_acceleration(static_cast<CoreId>(i));
+                }
+            });
+        // The fault injector draws from its RNG stream and so stays
+        // strictly serial (draw order is part of the determinism contract).
         const auto fresh = faults_->step(
             now, to_seconds(ctx_.cfg.wear_epoch), ctx_.chip, accel_buf_);
         // A new fault invalidates any partial segmented-suite progress on
@@ -136,8 +155,11 @@ void PlatformEngine::trace_epoch() {
     TraceSample s;
     s.time = ctx_.sim.now();
     s.tdp_w = ctx_.budget.tdp_w();
+    // Same fill/commit split as accumulate_energy: the observer stream
+    // sees sums folded in core order regardless of worker count.
+    fill_power_buf();
     for (const Core& c : ctx_.chip.cores()) {
-        const double p = core_power_now(c);
+        const double p = power_buf_[c.id()];
         s.total_power_w += p;
         switch (c.state()) {
             case CoreState::Busy:

@@ -73,6 +73,10 @@ public:
     void load_state(const telemetry::JsonValue& doc);
 
 private:
+    /// Sharded fill of power_buf_[i] = core_power_now(core i) across the
+    /// epoch worker team (pure per-core reads; disjoint writes).
+    void fill_power_buf();
+
     SystemContext& ctx_;
     PowerModel power_model_;
     PowerManager power_mgr_;

@@ -131,6 +131,9 @@ void hash_structural(Fingerprint& fp, const SystemConfig& cfg) {
 
 void hash_full(Fingerprint& fp, const SystemConfig& cfg) {
     hash_structural(fp, cfg);
+    // cfg.epoch_workers is deliberately NOT hashed: it is a pure execution
+    // knob (byte-identical output for any value), so snapshots captured at
+    // one worker count restore at any other.
     fp.u64(cfg.seed);
     fp.f64(cfg.tdp_scale);
 

@@ -68,20 +68,38 @@ void TestEngine::test_epoch() {
     sctx.power_slack_w = ctx_.power_mgr->headroom_w();
     sctx.tests_running = tests_running_;
     sctx.vf_table = &ctx_.chip.vf_table();
-    for (const Core& c : ctx_.chip.cores()) {
-        if (c.reserved()) {
-            continue;
-        }
-        if (c.state() == CoreState::Idle || c.state() == CoreState::Dark) {
+    // Sharded candidate assembly: every core's candidacy and fields are
+    // pure reads, computed into per-core scratch slots; the commit loop
+    // then pushes flagged slots in core order, so the candidate list is
+    // identical for any worker count.
+    const std::size_t cores = ctx_.chip.core_count();
+    cand_flag_.assign(cores, 0);
+    cand_buf_.resize(cores);
+    ctx_.epoch.for_slabs(cores, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const Core& c = ctx_.chip.core(static_cast<CoreId>(i));
+            if (c.reserved()) {
+                continue;
+            }
+            if (c.state() != CoreState::Idle &&
+                c.state() != CoreState::Dark) {
+                continue;
+            }
             if (last_test_abort_[c.id()] != 0 &&
                 now - last_test_abort_[c.id()] <
                     ctx_.cfg.test_retry_backoff) {
                 continue;  // cool down after an aborted session
             }
-            sctx.candidates.push_back(TestCandidate{
+            cand_flag_[i] = 1;
+            cand_buf_[i] = TestCandidate{
                 c.id(), crit[c.id()], c.state() == CoreState::Dark,
                 now - c.last_state_change(), ctx_.thermal->temp_c(c.id()),
-                ctx_.idle_predictor->predict_remaining(c.id(), now)});
+                ctx_.idle_predictor->predict_remaining(c.id(), now)};
+        }
+    });
+    for (std::size_t i = 0; i < cores; ++i) {
+        if (cand_flag_[i]) {
+            sctx.candidates.push_back(cand_buf_[i]);
         }
     }
     sctx.test_power_w = [this](CoreId core, int level) {

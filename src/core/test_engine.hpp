@@ -117,6 +117,13 @@ private:
     std::vector<SimTime> last_test_done_;
     std::vector<SimTime> last_test_abort_;
     int tests_running_ = 0;
+
+    /// Scratch for the sharded candidate assembly: slot i holds core i's
+    /// candidacy flag and (if set) its fields; the commit loop pushes the
+    /// flagged slots into SchedulerContext in core order. Quiescent between
+    /// epochs (checkpoints never see a live fill).
+    std::vector<std::uint8_t> cand_flag_;
+    std::vector<TestCandidate> cand_buf_;
 };
 
 }  // namespace mcs

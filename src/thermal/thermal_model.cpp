@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mcs {
 
@@ -29,35 +30,51 @@ ThermalModel::ThermalModel(int width, int height, ThermalParams params)
     scratch_.assign(n, 0.0);
 }
 
-void ThermalModel::step(std::span<const double> power_w, double dt_s) {
+void ThermalModel::step(std::span<const double> power_w, double dt_s,
+                        EpochExecutor* exec) {
     MCS_REQUIRE(power_w.size() == temps_.size(),
                 "power vector size mismatch");
     MCS_REQUIRE(dt_s >= 0.0, "negative thermal step");
     while (dt_s > 0.0) {
         const double sub = std::min(dt_s, params_.max_dt_s);
-        euler_substep(power_w, sub);
+        euler_substep(power_w, sub, exec);
         dt_s -= sub;
     }
 }
 
-void ThermalModel::euler_substep(std::span<const double> power_w,
-                                 double dt_s) {
+double ThermalModel::node_update(std::span<const double> power_w,
+                                 double dt_s, std::size_t i) const {
     const double gv = params_.g_vertical_w_per_k;
     const double gl = params_.g_lateral_w_per_k;
     const double inv_c = 1.0 / params_.heat_capacity_j_per_k;
-    for (int y = 0; y < height_; ++y) {
-        for (int x = 0; x < width_; ++x) {
-            const std::size_t i = static_cast<std::size_t>(y * width_ + x);
-            double flow = power_w[i] - gv * (temps_[i] - params_.ambient_c);
-            if (x > 0) flow -= gl * (temps_[i] - temps_[i - 1]);
-            if (x + 1 < width_) flow -= gl * (temps_[i] - temps_[i + 1]);
-            if (y > 0)
-                flow -= gl * (temps_[i] -
-                              temps_[i - static_cast<std::size_t>(width_)]);
-            if (y + 1 < height_)
-                flow -= gl * (temps_[i] -
-                              temps_[i + static_cast<std::size_t>(width_)]);
-            scratch_[i] = temps_[i] + dt_s * flow * inv_c;
+    const int x = static_cast<int>(i) % width_;
+    const int y = static_cast<int>(i) / width_;
+    double flow = power_w[i] - gv * (temps_[i] - params_.ambient_c);
+    if (x > 0) flow -= gl * (temps_[i] - temps_[i - 1]);
+    if (x + 1 < width_) flow -= gl * (temps_[i] - temps_[i + 1]);
+    if (y > 0)
+        flow -= gl *
+                (temps_[i] - temps_[i - static_cast<std::size_t>(width_)]);
+    if (y + 1 < height_)
+        flow -= gl *
+                (temps_[i] - temps_[i + static_cast<std::size_t>(width_)]);
+    return temps_[i] + dt_s * flow * inv_c;
+}
+
+void ThermalModel::euler_substep(std::span<const double> power_w,
+                                 double dt_s, EpochExecutor* exec) {
+    // Double-buffered: every node reads temps_, writes only scratch_[i],
+    // so slabs are data-race free and the swap is the commit.
+    const std::size_t n = temps_.size();
+    if (exec != nullptr && exec->parallel()) {
+        exec->for_slabs(n, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                scratch_[i] = node_update(power_w, dt_s, i);
+            }
+        });
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            scratch_[i] = node_update(power_w, dt_s, i);
         }
     }
     temps_.swap(scratch_);

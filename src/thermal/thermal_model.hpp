@@ -5,6 +5,8 @@
 
 namespace mcs {
 
+class EpochExecutor;
+
 /// Lumped-RC thermal parameters. Constants are modeling choices tuned to
 /// give realistic steady-state gradients (a 2 W core sits ~25 C above
 /// ambient) and a thermal time constant of ~0.1 s; see DESIGN.md.
@@ -26,8 +28,13 @@ public:
     ThermalModel(int width, int height, ThermalParams params = {});
 
     /// Advances temperatures by `dt_s` given per-core power (indexed by
-    /// row-major core id, same layout as Chip).
-    void step(std::span<const double> power_w, double dt_s);
+    /// row-major core id, same layout as Chip). With `exec`, each Euler
+    /// substep's node loop is sharded across the worker team: every node i
+    /// reads temps_ and writes scratch_[i] only (classic double buffer),
+    /// and the per-node arithmetic is unchanged, so the result is
+    /// bit-identical to the serial loop for any worker count.
+    void step(std::span<const double> power_w, double dt_s,
+              EpochExecutor* exec = nullptr);
 
     std::span<const double> temps_c() const noexcept { return temps_; }
     double temp_c(std::size_t core) const;
@@ -46,7 +53,11 @@ public:
     int height() const noexcept { return height_; }
 
 private:
-    void euler_substep(std::span<const double> power_w, double dt_s);
+    void euler_substep(std::span<const double> power_w, double dt_s,
+                       EpochExecutor* exec);
+    /// One node of the Euler substep: new temperature of flat index i.
+    double node_update(std::span<const double> power_w, double dt_s,
+                       std::size_t i) const;
 
     int width_;
     int height_;

@@ -1,0 +1,233 @@
+// Parallel in-run epoch execution: EpochExecutor semantics plus the
+// byte-identity differential matrix over the epoch_workers axis. The
+// contract under test (docs/parallelism.md): any worker count produces
+// byte-identical run reports, event traces, and metrics registries,
+// because workers only fill per-core scratch and the commit phase folds
+// in fixed core order.
+
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "support/differential.hpp"
+
+namespace mcs {
+namespace {
+
+using testsupport::CheckpointPlan;
+using testsupport::RunArtifacts;
+using testsupport::TempFile;
+
+// ----------------------------------------------------- executor semantics
+
+TEST(EpochExecutor, SingleWorkerRunsInline) {
+    EpochExecutor exec(1);
+    EXPECT_EQ(exec.workers(), 1);
+    EXPECT_FALSE(exec.parallel());
+    // Inline mode must preserve the serial visitation order exactly.
+    std::vector<std::size_t> order;
+    exec.for_each(5, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(EpochExecutor, ZeroSelectsHardwareWorkers) {
+    EpochExecutor exec(0);
+    EXPECT_GE(exec.workers(), 1);
+    EXPECT_EQ(exec.workers(), hardware_jobs());
+}
+
+TEST(EpochExecutor, CoversEveryIndexExactlyOnce) {
+    for (int workers : {1, 2, 3, 8}) {
+        for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{64}, std::size_t{1000}}) {
+            EpochExecutor exec(workers);
+            std::vector<std::atomic<int>> hits(n);
+            exec.for_each(n, [&](std::size_t i) { ++hits[i]; });
+            for (std::size_t i = 0; i < n; ++i) {
+                EXPECT_EQ(hits[i].load(), 1)
+                    << "workers=" << workers << " n=" << n << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(EpochExecutor, SlabPartitionIsDeterministic) {
+    // The slab layout must be a pure function of (n, workers): contiguous
+    // ceil(n/slabs)-sized ranges, independent of timing or repetition.
+    EpochExecutor exec(4);
+    for (int round = 0; round < 3; ++round) {
+        std::mutex mu;
+        std::vector<std::pair<std::size_t, std::size_t>> slabs;
+        exec.for_slabs(10, [&](std::size_t begin, std::size_t end) {
+            std::lock_guard<std::mutex> lock(mu);
+            slabs.emplace_back(begin, end);
+        });
+        std::sort(slabs.begin(), slabs.end());
+        const std::vector<std::pair<std::size_t, std::size_t>> want{
+            {0, 3}, {3, 6}, {6, 9}, {9, 10}};
+        EXPECT_EQ(slabs, want) << "round " << round;
+    }
+}
+
+TEST(EpochExecutor, DisjointWritesProduceSerialResult) {
+    const std::size_t n = 4096;
+    std::vector<double> serial(n), parallel(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        serial[i] = static_cast<double>(i) * 1.5 + 1.0;
+    }
+    EpochExecutor exec(8);
+    exec.for_slabs(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            parallel[i] = static_cast<double>(i) * 1.5 + 1.0;
+        }
+    });
+    EXPECT_EQ(parallel, serial);
+}
+
+TEST(EpochExecutor, ExceptionRethrownAfterBarrierTeamSurvives) {
+    EpochExecutor exec(4);
+    EXPECT_THROW(exec.for_each(100,
+                               [&](std::size_t i) {
+                                   if (i == 37) {
+                                       throw std::runtime_error("slab boom");
+                                   }
+                               }),
+                 std::runtime_error);
+    // The worker team survives a throwing epoch and the error slots are
+    // cleared: subsequent epochs work and do not re-throw stale errors.
+    std::atomic<int> count{0};
+    exec.for_each(100, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(EpochExecutor, InlineExceptionPropagates) {
+    EpochExecutor exec(1);
+    EXPECT_THROW(
+        exec.for_each(10,
+                      [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("inline boom");
+                      }),
+        std::runtime_error);
+}
+
+// ----------------------------------------- byte-identity differential axis
+
+SystemConfig base_config(std::uint64_t seed = 42) {
+    SystemConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.seed = seed;
+    cfg.workload.graphs.min_tasks = 2;
+    cfg.workload.graphs.max_tasks = 6;
+    const double capacity = 16.0 * technology(cfg.node).max_freq_hz;
+    cfg.workload.arrival_rate_hz =
+        rate_for_occupancy(0.5, cfg.workload.graphs, capacity);
+    return cfg;
+}
+
+SystemConfig featured_config() {
+    SystemConfig cfg = base_config(99);
+    cfg.enable_fault_injection = true;
+    cfg.faults.base_rate_per_core_s = 2.0;
+    cfg.enable_noc_testing = true;
+    cfg.noc_test.fault_rate_per_link_s = 0.5;
+    cfg.segmented_tests = true;
+    cfg.scheduler = SchedulerKind::Periodic;
+    cfg.periodic_test_period = 100 * kMillisecond;
+    cfg.workload.hard_rt_weight = 0.2;
+    cfg.workload.soft_rt_weight = 0.3;
+    cfg.workload.best_effort_weight = 0.5;
+    return cfg;
+}
+
+void expect_identical(const RunArtifacts& got, const RunArtifacts& want,
+                      const std::string& label) {
+    EXPECT_EQ(got.report, want.report) << label << ": run report drifted";
+    EXPECT_EQ(got.trace, want.trace) << label << ": event trace drifted";
+    EXPECT_EQ(got.registry, want.registry)
+        << label << ": metrics registry drifted";
+}
+
+/// Runs `cfg` serially and at each parallel worker count; all artifacts
+/// must match the serial run byte for byte.
+void run_worker_differential(const SystemConfig& cfg, SimDuration horizon,
+                             const std::string& label) {
+    const RunArtifacts serial =
+        testsupport::run_with_workers(cfg, horizon, 1);
+    for (int workers : {2, 8}) {
+        const RunArtifacts parallel =
+            testsupport::run_with_workers(cfg, horizon, workers);
+        expect_identical(parallel, serial,
+                         label + "/workers=" + std::to_string(workers));
+    }
+}
+
+TEST(ParallelDifferential, AllSchedulersBaseFamily) {
+    for (SchedulerKind kind :
+         {SchedulerKind::PowerAware, SchedulerKind::Periodic,
+          SchedulerKind::Greedy, SchedulerKind::None}) {
+        SystemConfig cfg = base_config(7);
+        cfg.scheduler = kind;
+        cfg.periodic_test_period = 100 * kMillisecond;
+        run_worker_differential(
+            cfg, 400 * kMillisecond,
+            std::string("base/scheduler-") + to_string(kind));
+    }
+}
+
+TEST(ParallelDifferential, AllSchedulersFeaturedFamily) {
+    for (SchedulerKind kind :
+         {SchedulerKind::PowerAware, SchedulerKind::Periodic,
+          SchedulerKind::Greedy, SchedulerKind::None}) {
+        SystemConfig cfg = featured_config();
+        cfg.scheduler = kind;
+        run_worker_differential(
+            cfg, 400 * kMillisecond,
+            std::string("featured/scheduler-") + to_string(kind));
+    }
+}
+
+TEST(ParallelDifferential, AcrossSeeds) {
+    for (std::uint64_t seed : {1ULL, 1234567ULL}) {
+        run_worker_differential(base_config(seed), 400 * kMillisecond,
+                                "seed-" + std::to_string(seed));
+        SystemConfig featured = featured_config();
+        featured.seed = seed;
+        run_worker_differential(featured, 400 * kMillisecond,
+                                "featured-seed-" + std::to_string(seed));
+    }
+}
+
+TEST(ParallelDifferential, CheckpointMidParallelRun) {
+    // Checkpoint taken DURING a parallel run, restored at a DIFFERENT
+    // worker count, compared against the serial uninterrupted run: proves
+    // scratch is barrier-quiescent at checkpoints and that epoch_workers
+    // is excluded from the snapshot config fingerprints.
+    const SystemConfig cfg = featured_config();
+    const SimDuration horizon = 600 * kMillisecond;
+    const RunArtifacts serial = testsupport::run_with_workers(cfg, horizon, 1);
+
+    TempFile snap("parallel_mid_run");
+    const RunArtifacts interrupted = testsupport::run_with_workers(
+        cfg, horizon, 2, {{300 * kMillisecond, snap.path()}});
+    expect_identical(interrupted, serial, "parallel/interrupted@w2");
+
+    for (int workers : {1, 8}) {
+        SystemConfig restore_cfg = cfg;
+        restore_cfg.epoch_workers = workers;
+        const RunArtifacts restored =
+            testsupport::run_restored(restore_cfg, snap.path());
+        expect_identical(restored, serial,
+                         "parallel/restored@w" + std::to_string(workers));
+    }
+}
+
+}  // namespace
+}  // namespace mcs
