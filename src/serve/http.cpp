@@ -30,6 +30,18 @@ std::string_view trim(std::string_view s) {
 
 }  // namespace
 
+bool request_keep_alive(const HttpRequest& request) {
+    std::string connection;
+    if (const auto it = request.headers.find("connection");
+        it != request.headers.end()) {
+        connection = to_lower(it->second);
+    }
+    if (request.version == "HTTP/1.0") {
+        return connection == "keep-alive";
+    }
+    return connection != "close";
+}
+
 HttpRequestParser::State HttpRequestParser::fail(int status,
                                                  std::string message) {
     state_ = State::Error;
@@ -43,6 +55,23 @@ HttpRequestParser::State HttpRequestParser::feed(std::string_view bytes) {
         return state_;
     }
     buffer_.append(bytes);
+    return advance();
+}
+
+HttpRequestParser::State HttpRequestParser::next_request() {
+    if (state_ != State::Done) {
+        return state_;
+    }
+    request_ = HttpRequest{};
+    body_expected_ = 0;
+    head_done_ = false;
+    state_ = State::NeedMore;
+    // Whatever the client pipelined behind the consumed request is already
+    // in buffer_; parse as far as it goes.
+    return advance();
+}
+
+HttpRequestParser::State HttpRequestParser::advance() {
     if (!head_done_) {
         const std::size_t head_end = buffer_.find("\r\n\r\n");
         if (head_end == std::string::npos) {
@@ -150,18 +179,16 @@ HttpRequestParser::State HttpRequestParser::check_body() {
     if (buffer_.size() < body_expected_) {
         return state_;
     }
-    if (buffer_.size() > body_expected_) {
-        // One request per connection; trailing bytes would be a pipelined
-        // request this server never reads -- reject instead of ignoring.
-        return fail(400, "unexpected bytes after request body");
-    }
-    request_.body = std::move(buffer_);
-    buffer_.clear();
+    // Bytes past the body belong to the next pipelined request; they stay
+    // in the buffer until next_request() rolls the parser forward.
+    request_.body = buffer_.substr(0, body_expected_);
+    buffer_.erase(0, body_expected_);
     state_ = State::Done;
     return state_;
 }
 
-std::string serialize_response(const HttpResponse& response) {
+std::string serialize_response(const HttpResponse& response,
+                               bool keep_alive) {
     std::string out;
     out.reserve(response.body.size() + 256);
     out += "HTTP/1.1 " + std::to_string(response.status) + " " +
@@ -172,7 +199,8 @@ std::string serialize_response(const HttpResponse& response) {
     for (const auto& [name, value] : response.extra_headers) {
         out += name + ": " + value + "\r\n";
     }
-    out += "Connection: close\r\n\r\n";
+    out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                      : "Connection: close\r\n\r\n";
     out += response.body;
     return out;
 }
@@ -183,6 +211,7 @@ const char* status_reason(int status) {
         case 400: return "Bad Request";
         case 404: return "Not Found";
         case 405: return "Method Not Allowed";
+        case 408: return "Request Timeout";
         case 409: return "Conflict";
         case 413: return "Payload Too Large";
         case 429: return "Too Many Requests";

@@ -8,8 +8,10 @@
 // unbounded buffering.
 //
 // Scope is deliberately small -- exactly what the what-if service needs:
-// GET/POST, Content-Length bodies (no chunked transfer), one request per
-// connection (every response carries "Connection: close").
+// GET/POST, Content-Length bodies (no chunked transfer), HTTP/1.1
+// keep-alive with pipelining: bytes past one request's body stay buffered
+// and next_request() rolls the parser forward onto them, so a client may
+// write several requests back to back and read the responses in order.
 
 #include <cstddef>
 #include <map>
@@ -39,9 +41,19 @@ struct HttpRequest {
     std::string body;
 };
 
+/// Connection persistence the client asked for: HTTP/1.1 defaults to
+/// keep-alive unless "Connection: close"; HTTP/1.0 requires an explicit
+/// "Connection: keep-alive".
+bool request_keep_alive(const HttpRequest& request);
+
 /// Incremental request parser. Feed bytes until Done or Error; on Error,
 /// `error_status()` / `error()` describe the rejection (400 malformed,
 /// 413 body too large, 431 head too large, 501 unsupported framing).
+///
+/// Pipelining: bytes beyond the current request's body are retained; once
+/// a request has been consumed, next_request() resets the per-request
+/// state and immediately parses as much of the buffered remainder as it
+/// can (possibly straight to Done again).
 class HttpRequestParser {
 public:
     enum class State { NeedMore, Done, Error };
@@ -55,11 +67,24 @@ public:
     /// Valid once state() == Done.
     const HttpRequest& request() const noexcept { return request_; }
 
+    /// After Done: drops the current request and re-parses any buffered
+    /// pipelined bytes. Returns the new state (Done again if a complete
+    /// further request was already buffered).
+    State next_request();
+
+    /// True while bytes of a partially received request sit in the parser
+    /// (distinguishes "mid-request" from "idle between requests" for the
+    /// 408/503 paths).
+    bool mid_request() const noexcept {
+        return head_done_ || !buffer_.empty();
+    }
+
     int error_status() const noexcept { return error_status_; }
     const std::string& error() const noexcept { return error_; }
 
 private:
     State fail(int status, std::string message);
+    State advance();  ///< runs the state machine over buffer_
     State parse_head();
     State check_body();
 
@@ -74,8 +99,10 @@ private:
 };
 
 /// One response; serialize_response renders the status line, the standard
-/// headers (Content-Type, Content-Length, Connection: close), any extras
-/// (e.g. Retry-After), and the body.
+/// headers (Content-Type, Content-Length, Connection), any extras
+/// (e.g. Retry-After), and the body. `keep_alive` selects the Connection
+/// header; the default (close) matches the one-shot clients and every
+/// error path that tears the connection down.
 struct HttpResponse {
     int status = 200;
     std::string content_type = "application/json";
@@ -83,7 +110,8 @@ struct HttpResponse {
     std::vector<std::pair<std::string, std::string>> extra_headers;
 };
 
-std::string serialize_response(const HttpResponse& response);
+std::string serialize_response(const HttpResponse& response,
+                               bool keep_alive = false);
 
 /// Canonical reason phrase ("OK", "Too Many Requests", ...); "Unknown" for
 /// statuses the daemon never emits.

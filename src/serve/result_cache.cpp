@@ -1,8 +1,17 @@
 #include "serve/result_cache.hpp"
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "util/require.hpp"
+
 namespace mcs::serve {
 
-std::shared_ptr<const std::string> ResultCache::find(
+std::shared_ptr<const CachedResponse> ResultCache::find(
     const std::string& key) {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
@@ -14,7 +23,7 @@ std::shared_ptr<const std::string> ResultCache::find(
 }
 
 void ResultCache::insert(const std::string& key,
-                         std::shared_ptr<const std::string> value) {
+                         std::shared_ptr<const CachedResponse> value) {
     if (max_entries_ == 0) {
         return;
     }
@@ -43,6 +52,64 @@ std::size_t ResultCache::size() const {
 std::uint64_t ResultCache::evictions() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return evictions_;
+}
+
+std::size_t ResultCache::negative_size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto& [key, entry] : entries_) {
+        if (entry.value->status != 200) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+void ResultCache::save(const std::string& path) const {
+    std::vector<std::pair<std::string, std::shared_ptr<const CachedResponse>>>
+        snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snapshot.reserve(entries_.size());
+        for (const auto& [key, entry] : entries_) {
+            snapshot.emplace_back(key, entry.value);
+        }
+    }
+    std::sort(snapshot.begin(), snapshot.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    MCS_REQUIRE(out.is_open(), "cannot write cache file: " + path);
+    for (const auto& [key, value] : snapshot) {
+        out << "{\"key\":\"" << telemetry::json_escape(key)
+            << "\",\"status\":" << value->status << ",\"body\":\""
+            << telemetry::json_escape(value->body) << "\"}\n";
+    }
+    MCS_REQUIRE(out.good(), "write failed: " + path);
+}
+
+std::size_t ResultCache::load(const std::string& path) {
+    if (!std::filesystem::exists(path)) {
+        return 0;
+    }
+    std::ifstream in(path, std::ios::binary);
+    MCS_REQUIRE(in.is_open(), "cannot read cache file: " + path);
+    std::size_t loaded = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        const telemetry::JsonValue doc = telemetry::parse_json(line);
+        MCS_REQUIRE(doc.is_object() && doc.has("key") &&
+                        doc.has("status") && doc.has("body"),
+                    "malformed cache file entry in " + path);
+        auto value = std::make_shared<const CachedResponse>(CachedResponse{
+            static_cast<int>(doc.at("status").number),
+            doc.at("body").string});
+        insert(doc.at("key").string, std::move(value));
+        ++loaded;
+    }
+    return loaded;
 }
 
 }  // namespace mcs::serve

@@ -1,12 +1,19 @@
 #pragma once
 
-// Bounded LRU cache from canonical query keys to response bytes. Because
-// every cached value is the byte-deterministic mcs.run_report.v1 of its
-// key (serve/query.hpp), a hit is guaranteed byte-identical to a fresh
-// computation -- the cache can only save time, never change an answer.
+// Bounded LRU cache from canonical query keys to response envelopes.
+// Because every cached value is the deterministic answer of its key
+// (serve/query.hpp) -- the byte-exact mcs.run_report.v1 on success, the
+// byte-exact error envelope on a deterministic failure such as an invalid
+// horizon -- a hit is guaranteed byte-identical to a fresh computation:
+// the cache can only save time, never change an answer. Negative results
+// (status != 200) share the same LRU as positive ones.
 //
-// Thread-safe; values are shared_ptr<const string> so a response being
-// streamed out survives concurrent eviction.
+// Thread-safe; values are shared_ptr<const CachedResponse> so a response
+// being streamed out survives concurrent eviction.
+//
+// Persistence: keys embed the snapshot's config AND structural
+// fingerprints, so a cache file written by one daemon generation is safe
+// to load into the next -- entries for changed snapshots simply never hit.
 
 #include <cstdint>
 #include <list>
@@ -17,6 +24,13 @@
 
 namespace mcs::serve {
 
+/// One cached answer: the HTTP status it resolved to and the exact body
+/// bytes (run report or error envelope).
+struct CachedResponse {
+    int status = 200;
+    std::string body;
+};
+
 class ResultCache {
 public:
     /// `max_entries` == 0 disables caching entirely (every lookup misses).
@@ -25,21 +39,34 @@ public:
     ResultCache(const ResultCache&) = delete;
     ResultCache& operator=(const ResultCache&) = delete;
 
-    /// Returns the cached bytes and refreshes recency, or nullptr.
-    std::shared_ptr<const std::string> find(const std::string& key);
+    /// Returns the cached envelope and refreshes recency, or nullptr.
+    std::shared_ptr<const CachedResponse> find(const std::string& key);
 
     /// Inserts (or refreshes) `key`, evicting the least recently used
     /// entries beyond capacity.
     void insert(const std::string& key,
-                std::shared_ptr<const std::string> value);
+                std::shared_ptr<const CachedResponse> value);
 
     std::size_t size() const;
     std::size_t capacity() const noexcept { return max_entries_; }
     std::uint64_t evictions() const;
+    /// Entries currently held whose status != 200.
+    std::size_t negative_size() const;
+
+    /// Writes every entry as one JSON object per line (sorted by key, so
+    /// a given cache state always serializes to identical bytes). Throws
+    /// RequireError if the file cannot be written.
+    void save(const std::string& path) const;
+
+    /// Loads entries previously written by save() (missing file is a
+    /// no-op; a malformed file throws RequireError). Entries load in file
+    /// order and count as most-recently-used in that order; existing keys
+    /// are kept, not overwritten. Returns the number of entries loaded.
+    std::size_t load(const std::string& path);
 
 private:
     struct Entry {
-        std::shared_ptr<const std::string> value;
+        std::shared_ptr<const CachedResponse> value;
         std::list<std::string>::iterator lru_pos;
     };
 

@@ -28,8 +28,9 @@ double elapsed_us(std::chrono::steady_clock::time_point start) {
 
 ServeService::ServeService(SnapshotPool pool, ServiceOptions opts,
                            telemetry::MetricsRegistry& registry)
-    : pool_(std::move(pool)),
-      cache_(opts.cache_entries),
+    : pool_(std::make_shared<const SnapshotPool>(std::move(pool))),
+      opts_(std::move(opts)),
+      cache_(opts_.cache_entries),
       registry_(registry) {
     // Register everything up front so /metrics is fully shaped from the
     // first scrape (counters at 0, not absent).
@@ -39,6 +40,10 @@ ServeService::ServeService(SnapshotPool pool, ServiceOptions opts,
     registry_.counter("serve.cache_hits");
     registry_.counter("serve.cache_misses");
     registry_.counter("serve.cache_evictions");
+    registry_.counter("serve.negative_cache_hits");
+    registry_.counter("serve.cache_preloaded");
+    registry_.counter("serve.pool_reloads");
+    registry_.counter("serve.pool_reload_failures");
     registry_.counter("serve.queue_rejections");
     registry_.counter("serve.responses_2xx");
     registry_.counter("serve.responses_4xx");
@@ -46,9 +51,53 @@ ServeService::ServeService(SnapshotPool pool, ServiceOptions opts,
     registry_.gauge("serve.queue_depth", telemetry::GaugeMerge::Max);
     registry_.gauge("serve.queue_depth_peak", telemetry::GaugeMerge::Max);
     registry_.gauge("serve.snapshots", telemetry::GaugeMerge::Max)
-        .set(static_cast<double>(pool_.size()));
+        .set(static_cast<double>(pool_->size()));
     registry_.histogram("serve.latency_us", kLatencyLoUs, kLatencyHiUs,
                         kLatencyBins);
+    if (!opts_.cache_file.empty()) {
+        const std::size_t n = cache_.load(opts_.cache_file);
+        registry_.counter("serve.cache_preloaded").restore(n);
+    }
+}
+
+std::shared_ptr<const SnapshotPool> ServeService::pool() const {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    return pool_;
+}
+
+void ServeService::set_pool_loader(PoolLoader loader) {
+    pool_loader_ = std::move(loader);
+}
+
+void ServeService::reload() {
+    MCS_REQUIRE(pool_loader_ != nullptr,
+                "this service has no pool loader (reload unsupported)");
+    std::shared_ptr<const SnapshotPool> fresh;
+    try {
+        fresh = std::make_shared<const SnapshotPool>(pool_loader_());
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        registry_.counter("serve.pool_reload_failures").inc();
+        throw;
+    }
+    {
+        std::lock_guard<std::mutex> lock(pool_mutex_);
+        pool_.swap(fresh);
+    }
+    // `fresh` now holds the old generation; queries that grabbed it keep
+    // it alive until they finish (the RCU grace period is the shared_ptr
+    // refcount). The cache stays: its keys embed fingerprints, so stale
+    // entries can never answer a query against the new pool.
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    registry_.counter("serve.pool_reloads").inc();
+    registry_.gauge("serve.snapshots", telemetry::GaugeMerge::Max)
+        .set(static_cast<double>(pool()->size()));
+}
+
+void ServeService::save_cache() const {
+    if (!opts_.cache_file.empty()) {
+        cache_.save(opts_.cache_file);
+    }
 }
 
 HttpResponse ServeService::handle(const HttpRequest& request) {
@@ -75,6 +124,10 @@ HttpResponse ServeService::handle(const HttpRequest& request) {
             response = request.method == "GET"
                            ? handle_snapshots()
                            : error_response(405, "use GET /snapshots");
+        } else if (request.path == "/admin/reload") {
+            response = request.method == "POST"
+                           ? handle_reload()
+                           : error_response(405, "use POST /admin/reload");
         } else {
             response = error_response(404, "no route for " + request.path);
         }
@@ -100,31 +153,48 @@ HttpResponse ServeService::handle_whatif(const HttpRequest& request) {
         registry_.counter("serve.whatif_requests").inc();
     }
     const WhatIfQuery query = parse_whatif_query(request.body);
-    const SnapshotEntry* entry = pool_.find(query.snapshot);
+    // Pin this query's pool generation: a concurrent reload publishes a
+    // new pool without touching this one.
+    const std::shared_ptr<const SnapshotPool> pool = this->pool();
+    const SnapshotEntry* entry = pool->find(query.snapshot);
     if (entry == nullptr) {
         return error_response(404,
                               "unknown snapshot '" + query.snapshot + "'");
     }
     const std::string key = cache_key(*entry, query);
-    std::shared_ptr<const std::string> bytes = cache_.find(key);
-    const bool hit = bytes != nullptr;
+    std::shared_ptr<const CachedResponse> cached = cache_.find(key);
+    const bool hit = cached != nullptr;
     if (!hit) {
         // The simulation runs outside the metrics lock: concurrent
         // queries on different snapshots/overrides proceed in parallel.
-        bytes = std::make_shared<const std::string>(
-            compute_whatif(*entry, query));
-        cache_.insert(key, bytes);
+        // Deterministic failures (invalid horizon, incompatible override)
+        // are answers too: the error envelope is cached under the same
+        // canonical key so repeat offenders stop paying the restore.
+        CachedResponse result;
+        try {
+            result.body = compute_whatif(*entry, query);
+        } catch (const RequireError& e) {
+            result.status = 400;
+            result.body = error_response(400, e.what()).body;
+        }
+        cached = std::make_shared<const CachedResponse>(std::move(result));
+        cache_.insert(key, cached);
     }
     {
         std::lock_guard<std::mutex> lock(metrics_mutex_);
-        registry_.counter(hit ? "serve.cache_hits" : "serve.cache_misses")
-            .inc();
+        if (!hit) {
+            registry_.counter("serve.cache_misses").inc();
+        } else if (cached->status == 200) {
+            registry_.counter("serve.cache_hits").inc();
+        } else {
+            registry_.counter("serve.negative_cache_hits").inc();
+        }
         registry_.counter("serve.cache_evictions")
             .restore(cache_.evictions());
     }
     HttpResponse response;
-    response.status = 200;
-    response.body = *bytes;
+    response.status = cached->status;
+    response.body = cached->body;
     response.extra_headers.emplace_back("X-Cache", hit ? "hit" : "miss");
     return response;
 }
@@ -134,7 +204,7 @@ HttpResponse ServeService::handle_healthz() const {
     telemetry::JsonWriter w(os);
     w.begin_object();
     w.field("status", "ok");
-    w.field("snapshots", static_cast<std::uint64_t>(pool_.size()));
+    w.field("snapshots", static_cast<std::uint64_t>(pool()->size()));
     w.end_object();
     os << '\n';
     HttpResponse r;
@@ -156,12 +226,13 @@ HttpResponse ServeService::handle_metrics() {
 }
 
 HttpResponse ServeService::handle_snapshots() const {
+    const std::shared_ptr<const SnapshotPool> pool = this->pool();
     std::ostringstream os;
     telemetry::JsonWriter w(os);
     w.begin_object();
     w.key("snapshots");
     w.begin_array();
-    for (const SnapshotEntry& e : pool_.entries()) {
+    for (const SnapshotEntry& e : pool->entries()) {
         w.begin_object();
         w.field("name", e.name);
         w.field("config_fingerprint", e.config_fingerprint);
@@ -171,6 +242,31 @@ HttpResponse ServeService::handle_snapshots() const {
         w.end_object();
     }
     w.end_array();
+    w.end_object();
+    os << '\n';
+    HttpResponse r;
+    r.body = os.str();
+    return r;
+}
+
+HttpResponse ServeService::handle_reload() {
+    if (pool_loader_ == nullptr) {
+        return error_response(
+            409, "reload unsupported: the pool was built in memory, not "
+                 "from configuration");
+    }
+    try {
+        reload();
+    } catch (const std::exception& e) {
+        return error_response(500, std::string("reload failed (old pool "
+                                               "kept): ") +
+                                       e.what());
+    }
+    std::ostringstream os;
+    telemetry::JsonWriter w(os);
+    w.begin_object();
+    w.field("status", "reloaded");
+    w.field("snapshots", static_cast<std::uint64_t>(pool()->size()));
     w.end_object();
     os << '\n';
     HttpResponse r;

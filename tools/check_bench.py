@@ -203,6 +203,13 @@ def main():
         "noisy for a blocking 15%% gate -- 'off' skips it entirely",
     )
     ap.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated bench names; restrict the gate (and trend "
+        "append) to these reports -- for CI jobs that run a single bench "
+        "without regenerating the rest of the suite",
+    )
+    ap.add_argument(
         "--update",
         action="store_true",
         help="copy new reports over the baselines instead of comparing",
@@ -222,7 +229,24 @@ def main():
     )
     args = ap.parse_args()
 
+    only = None
+    if args.only:
+        only = {name.strip() for name in args.only.split(",") if name.strip()}
+        if not only:
+            print("error: --only given but empty", file=sys.stderr)
+            return 2
+
     new = load_reports(args.new_dir)
+    if only is not None:
+        missing = only - set(new)
+        if missing:
+            print(
+                f"error: --only bench(es) absent from {args.new_dir}: "
+                f"{', '.join(sorted(missing))}",
+                file=sys.stderr,
+            )
+            return 2
+        new = {name: new[name] for name in only}
     if not new:
         print(f"error: no BENCH_*.json reports in {args.new_dir}", file=sys.stderr)
         return 2
@@ -238,6 +262,8 @@ def main():
         return 0
 
     base = load_reports(baseline_dir)
+    if only is not None:
+        base = {name: base[name] for name in only if name in base}
     if not base:
         print(f"error: no baselines in {baseline_dir}", file=sys.stderr)
         return 2

@@ -2,9 +2,10 @@
 //
 // Loads a pool of mcs.snapshot documents into memory at startup and
 // answers what-if queries ("this snapshot, scheduler=X, budget=Y,
-// horizon=Z") over a minimal HTTP/1.1 + JSON API, with a result cache
-// keyed so a hit is byte-identical to a fresh computation. See
-// docs/serving.md for the API and query grammar.
+// horizon=Z") over a minimal HTTP/1.1 + JSON API (keep-alive and
+// pipelining included), with a result cache keyed so a hit is
+// byte-identical to a fresh computation. See docs/serving.md for the API
+// and query grammar.
 //
 // Usage:
 //   mcs_serve snapshot.<name>=<snapshot.json> [snapshot.<name>.config=<cfg>]
@@ -18,15 +19,24 @@
 //   queue=<int>         admission queue bound; overflow answers
 //                       429 + Retry-After (default 64)
 //   cache_entries=<int> result-cache capacity (default 256; 0 disables)
+//   cache_file=<path>   persist the result cache: loaded at startup,
+//                       written on graceful shutdown
 //   max_body_kib=<int>  request body limit in KiB (default 1024)
-//   io_timeout_s=<int>  per-connection socket timeout (default 10)
+//   idle_timeout_ms=<int>  idle / partial-request timeout; expiry answers
+//                       408 + Connection: close (default 10000; 0 = off)
+//   max_requests_per_conn=<int>  keep-alive request cap per connection
+//                       (default 1000)
+//   io_timeout_s=<int>  legacy alias for idle_timeout_ms (seconds)
 //   quiet=true          suppress the startup banner
 // Every other key is part of the shared base run configuration
 // (core/config_bridge.hpp grammar) that each snapshot's config file
 // overrides.
 //
 // Signals: SIGTERM / SIGINT begin a graceful drain -- stop accepting,
-// finish queued requests, exit 0.
+// finish dispatched requests, answer 503 + Connection: close on every
+// other connection, exit 0. SIGHUP hot-reloads the snapshot pool from the
+// same configuration (RCU swap; in-flight queries finish against the old
+// pool), equivalent to POST /admin/reload.
 //
 // Example:
 //   mcs_sim seconds=2 occupancy=0.7 checkpoint_at=1 checkpoint=warm.json
@@ -53,9 +63,14 @@ namespace {
 
 mcs::serve::HttpServer* g_server = nullptr;
 
-void handle_signal(int) {
-    if (g_server != nullptr) {
-        g_server->stop();  // async-signal-safe (one pipe write)
+void handle_signal(int sig) {
+    if (g_server == nullptr) {
+        return;
+    }
+    if (sig == SIGHUP) {
+        g_server->request_reload();  // async-signal-safe (one pipe write)
+    } else {
+        g_server->stop();
     }
 }
 
@@ -63,8 +78,9 @@ void handle_signal(int) {
 bool is_server_key(const std::string& key) {
     return key == "port" || key == "listen" || key == "workers" ||
            key == "queue" || key == "cache_entries" ||
-           key == "max_body_kib" || key == "io_timeout_s" ||
-           key == "quiet" || key == "config" ||
+           key == "cache_file" || key == "max_body_kib" ||
+           key == "idle_timeout_ms" || key == "max_requests_per_conn" ||
+           key == "io_timeout_s" || key == "quiet" || key == "config" ||
            key.rfind("snapshot.", 0) == 0;
 }
 
@@ -92,7 +108,12 @@ int serve_main(int argc, char** argv) {
     opts.workers = static_cast<int>(args.get_int("workers", 0));
     opts.queue_limit =
         static_cast<std::size_t>(args.get_int("queue", 64));
-    opts.io_timeout_s = static_cast<int>(args.get_int("io_timeout_s", 10));
+    // io_timeout_s survives as a legacy alias from the thread-per-
+    // connection era; idle_timeout_ms wins when both are given.
+    opts.idle_timeout_ms = static_cast<int>(args.get_int(
+        "idle_timeout_ms", args.get_int("io_timeout_s", 10) * 1000));
+    opts.max_requests_per_conn =
+        static_cast<int>(args.get_int("max_requests_per_conn", 1000));
     opts.http.max_body_bytes =
         static_cast<std::size_t>(args.get_int("max_body_kib", 1024)) * 1024;
     opts.quiet = args.get_bool("quiet", false);
@@ -100,11 +121,17 @@ int serve_main(int argc, char** argv) {
     mcs::serve::ServiceOptions service_opts;
     service_opts.cache_entries =
         static_cast<std::size_t>(args.get_int("cache_entries", 256));
+    service_opts.cache_file = args.get_string("cache_file", "");
 
     mcs::telemetry::MetricsRegistry registry;
     mcs::serve::ServeService service(
         mcs::serve::SnapshotPool::load(args, base_run), service_opts,
         registry);
+    // SIGHUP / POST /admin/reload re-run the exact startup load: same
+    // snapshot.* keys, same base run config, freshly read files.
+    service.set_pool_loader([args, base_run] {
+        return mcs::serve::SnapshotPool::load(args, base_run);
+    });
     mcs::serve::HttpServer server(service, opts);
     g_server = &server;
 
@@ -112,15 +139,16 @@ int serve_main(int argc, char** argv) {
     sa.sa_handler = handle_signal;
     ::sigaction(SIGTERM, &sa, nullptr);
     ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGHUP, &sa, nullptr);
     ::signal(SIGPIPE, SIG_IGN);
 
     if (!opts.quiet) {
         std::printf("mcs_serve: %zu snapshot(s) warmed | listening on "
                     "%s:%d | %d workers, queue %zu, cache %zu\n",
-                    service.pool().size(), opts.listen.c_str(),
+                    service.pool()->size(), opts.listen.c_str(),
                     server.port(), server.worker_count(),
                     opts.queue_limit, service_opts.cache_entries);
-        for (const auto& e : service.pool().entries()) {
+        for (const auto& e : service.pool()->entries()) {
             std::printf("  snapshot %-16s %s (captured %.3f s of %.3f s)\n",
                         e.name.c_str(), e.path.c_str(),
                         mcs::to_seconds(e.captured_now),
@@ -131,6 +159,7 @@ int serve_main(int argc, char** argv) {
 
     server.run();  // blocks until SIGTERM/SIGINT, then drains
     g_server = nullptr;
+    service.save_cache();  // persist the result cache (cache_file=)
     return 0;
 }
 
