@@ -1,0 +1,272 @@
+// H1 -- hot-path refactor gate: calendar event queue, SoA core lanes,
+// patch-on-commit test candidacy.
+//
+// Two halves, matching the perf-gate split in tools/check_bench.py:
+//
+//   * "metrics" (blocking, byte-deterministic): work counters from a fixed
+//     full-system run plus a seeded event-queue mix. These pin the refactor
+//     semantics -- the candidacy view must run on journal patches (exactly
+//     one rescan per run), cancelled events must be counted, and the
+//     queue's pop order must stay the strict (when, seq) FIFO order (hashed
+//     so any reorder trips the 1e-6 gate).
+//
+//   * "wall" (aux, advisory): wall-clock of the epoch-quantized queue mix
+//     on the calendar queue vs a binary-heap reference, and of the per-core
+//     power fill on SoA lanes vs the pre-refactor fat-struct layout. These
+//     are the measured wins; they land in bench/trend.jsonl without ever
+//     entering the determinism comparison.
+
+#include <chrono>
+#include <cstdio>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "arch/core_lanes.hpp"
+#include "bench_common.hpp"
+#include "core/test_engine.hpp"
+#include "core/workload_engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+using namespace mcs;
+using namespace mcs::bench;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/// One round of the simulator's characteristic queue workload: schedule a
+/// burst at epoch-quantized times (forcing FIFO ties), cancel a few live
+/// events (retimed completions), drain everything due. Runs the identical
+/// seeded sequence against any queue via the three callbacks, so the
+/// calendar queue and the heap reference see the same operations.
+template <typename Schedule, typename Cancel, typename DrainUpTo>
+void run_epoch_mix(int rounds, Schedule&& schedule, Cancel&& cancel,
+                   DrainUpTo&& drain_up_to) {
+    constexpr SimTime kEpoch = 10'000;
+    Rng rng(2026);
+    std::vector<std::uint64_t> live;
+    SimTime now = 0;
+    // 16 events/round due within 64 epochs: steady-state pending ~1e3,
+    // the population a mid-size chip's task/test/controller events hold.
+    for (int round = 0; round < rounds; ++round) {
+        for (int i = 0; i < 16; ++i) {
+            live.push_back(schedule(now + kEpoch * (1 + rng.index(64))));
+        }
+        for (int i = 0; i < 4 && !live.empty(); ++i) {
+            const std::size_t j = rng.index(live.size());
+            cancel(live[j]);
+            live[j] = live.back();
+            live.pop_back();
+        }
+        now += kEpoch;
+        drain_up_to(now);
+    }
+    drain_up_to(kEpoch * static_cast<SimTime>(rounds + 64));
+}
+
+/// FNV-1a over the pop stream, folded to 32 bits so the value is exact in
+/// the report's double.
+struct PopHash {
+    std::uint64_t h = 1469598103934665603ULL;
+    void add(SimTime when, std::uint64_t seq) {
+        for (std::uint64_t v : {static_cast<std::uint64_t>(when), seq}) {
+            for (int b = 0; b < 8; ++b) {
+                h ^= (v >> (8 * b)) & 0xFF;
+                h *= 1099511628211ULL;
+            }
+        }
+    }
+    double folded() const {
+        return static_cast<double>((h ^ (h >> 32)) & 0xFFFFFFFFULL);
+    }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const BenchOptions opt = parse_options(argc, argv);
+    print_header("H1 (gate): hot-path state refactor",
+                 "calendar queue, SoA lanes and patched candidacy change "
+                 "cost, not behaviour");
+    BenchReport report("hot_paths", opt);
+    const int kRounds = opt.quick ? 2'000 : 20'000;
+
+    // --- 1. Full-system run: patched candidacy + cancel accounting ------
+    {
+        SystemConfig cfg = base_config(17);
+        cfg.scheduler = SchedulerKind::PowerAware;
+        set_occupancy(cfg, 0.6);
+        ManycoreSystem sys(cfg);
+        // Quick horizon of 2 s: long enough for the criticality warm-up to
+        // start completing test sessions, so the gate pins a non-zero
+        // tests_completed even in CI smoke mode.
+        const RunMetrics m = sys.run(horizon(opt, 6.0, 2.0));
+        report.metric("run.tests_completed",
+                      static_cast<double>(m.tests_completed));
+        report.metric("run.tests_aborted",
+                      static_cast<double>(m.tests_aborted));
+        report.metric("run.apps_completed",
+                      static_cast<double>(m.apps_completed));
+        report.metric("run.events_executed",
+                      static_cast<double>(sys.simulator().events_executed()));
+        report.metric("run.events_cancelled",
+                      static_cast<double>(sys.simulator().events_cancelled()));
+        // The refactor's contract: the whole run pays one boot rescan and
+        // thereafter maintains candidacy purely from the membership
+        // journal. A second rescan anywhere trips the gate.
+        report.metric(
+            "run.candidacy_rescans",
+            static_cast<double>(sys.test_engine().candidacy_rescans()));
+        report.metric(
+            "run.candidacy_patches",
+            static_cast<double>(sys.test_engine().candidacy_patches()));
+        report.metric(
+            "run.mapping_chip_scans",
+            static_cast<double>(sys.workload_engine().chip_scans()));
+    }
+
+    // --- 2. Event-queue mix: deterministic order + advisory wall --------
+    {
+        EventQueue q;
+        PopHash hash;
+        std::uint64_t popped = 0;
+        // pop() returns (time, callback); the callback carries its own seq
+        // so the hash records payload identity -- FIFO within a tie is
+        // observable, not just the timestamp order.
+        std::uint64_t cur_seq = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        run_epoch_mix(
+            kRounds,
+            [&](SimTime when) {
+                const std::uint64_t seq = q.next_seq();
+                q.schedule(when, [seq, &cur_seq] { cur_seq = seq; });
+                return seq;
+            },
+            [&](std::uint64_t seq) { q.cancel(EventId{seq}); },
+            [&](SimTime now) {
+                while (!q.empty() && q.next_time() <= now) {
+                    const auto [when, cb] = q.pop();
+                    cb();
+                    hash.add(when, cur_seq);
+                    ++popped;
+                }
+            });
+        report.aux("wall", "eq_calendar_s", seconds_since(t0));
+        report.metric("eq.pop_hash", hash.folded());
+        report.metric("eq.popped", static_cast<double>(popped));
+        report.metric("eq.cancelled",
+                      static_cast<double>(q.cancelled_count()));
+    }
+    {
+        // Binary-heap reference: strict (when, seq) min-heap plus the
+        // seq -> when index the old implementation needed for cancel /
+        // is_pending / time_of, with lazy cancellation (tombstones stay
+        // in the heap until they surface) -- the pre-refactor shape.
+        using Entry = std::pair<SimTime, std::uint64_t>;
+        std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+            heap;
+        std::unordered_map<std::uint64_t, SimTime> index;
+        std::uint64_t next_seq = 1;
+        std::uint64_t popped = 0;
+        PopHash hash;
+        const auto t0 = std::chrono::steady_clock::now();
+        run_epoch_mix(
+            kRounds,
+            [&](SimTime when) {
+                heap.emplace(when, next_seq);
+                index.emplace(next_seq, when);
+                return next_seq++;
+            },
+            [&](std::uint64_t seq) { index.erase(seq); },
+            [&](SimTime now) {
+                while (!heap.empty() && heap.top().first <= now) {
+                    const auto [when, seq] = heap.top();
+                    heap.pop();
+                    if (index.erase(seq) == 0) continue;  // tombstone
+                    hash.add(when, seq);
+                    ++popped;
+                }
+            });
+        report.aux("wall", "eq_heap_ref_s", seconds_since(t0));
+        // Same ops, same order: the reference must reproduce the calendar
+        // queue's pop stream exactly.
+        report.metric("eq.ref_pop_hash", hash.folded());
+        report.metric("eq.ref_popped", static_cast<double>(popped));
+    }
+
+    // --- 3. Per-core power fill: SoA lanes vs fat-struct layout ---------
+    {
+        struct FatCore {
+            CoreState state = CoreState::Idle;
+            int vf_level = 0;
+            std::uint8_t reserved = 0;
+            std::uint64_t busy_cycles_since_test = 0;
+            std::uint64_t total_busy_cycles = 0;
+            SimDuration total_busy_time = 0;
+            SimDuration total_test_time = 0;
+            SimTime last_checkpoint = 0;
+            SimTime last_state_change = 0;
+            SimTime last_test_end = 0;
+            std::uint64_t tests_completed = 0;
+            std::uint64_t tests_aborted = 0;
+            std::uint64_t tasks_executed = 0;
+            double temp_c = 55.0;
+            double damage = 0.0;
+        };
+        const std::size_t n = 4096;
+        const int reps = opt.quick ? 400 : 4'000;
+        Chip chip(1, 1, TechNode::nm16);
+        PowerModel model(chip.tech(), chip.vf_table());
+        std::vector<FatCore> aos(n);
+        CoreLanes lanes;
+        lanes.reset(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const CoreState s = i % 3 == 0   ? CoreState::Busy
+                                : i % 3 == 1 ? CoreState::Dark
+                                             : CoreState::Idle;
+            aos[i].state = s;
+            aos[i].vf_level = static_cast<int>(i % 3);
+            lanes.state[i] = s;
+            lanes.vf_level[i] = static_cast<int>(i % 3);
+            lanes.temp_c[i] = 55.0;
+        }
+        // Both variants do exactly the pre-/post-refactor fill: read
+        // (state, vf, temp), write a power buffer. Only the input layout
+        // differs.
+        std::vector<double> out(n, 0.0);
+        double sink = 0.0;
+        auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < reps; ++r) {
+            for (std::size_t i = 0; i < n; ++i) {
+                out[i] = model.core_power_w(aos[i].state, aos[i].vf_level,
+                                            aos[i].temp_c);
+            }
+            sink += out[n - 1];
+        }
+        report.aux("wall", "fill_aos_s", seconds_since(t0));
+        t0 = std::chrono::steady_clock::now();
+        double sink2 = 0.0;
+        for (int r = 0; r < reps; ++r) {
+            for (std::size_t i = 0; i < n; ++i) {
+                lanes.power_w[i] = model.core_power_w(
+                    lanes.state[i], lanes.vf_level[i], lanes.temp_c[i]);
+            }
+            sink2 += lanes.power_w[n - 1];
+        }
+        report.aux("wall", "fill_soa_s", seconds_since(t0));
+        // Identical arithmetic on identical inputs: gate the sums so a
+        // layout bug cannot hide behind the advisory wall numbers.
+        report.metric("fill.aos_last_sum_w", sink);
+        report.metric("fill.soa_last_sum_w", sink2);
+    }
+
+    report.write();
+    return 0;
+}

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "arch/chip.hpp"
+#include "arch/core_lanes.hpp"
 #include "mapping/contiguous_mapper.hpp"
 #include "noc/network.hpp"
 #include "power/power_model.hpp"
@@ -52,6 +53,118 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_EventQueueEpochMix(benchmark::State& state) {
+    // The simulator's real access pattern: timestamps quantized to epoch
+    // boundaries (so many events tie and pop in FIFO seq order), a steady
+    // schedule/cancel churn from retimed completions, and a drain of
+    // everything due each tick. The calendar queue's bucket-per-window
+    // layout targets exactly this mix; a comparison heap pays a log-n
+    // sift on every tie.
+    constexpr SimTime kEpoch = 10'000;
+    EventQueue q;
+    Rng rng(6);
+    std::vector<EventId> live;
+    for (auto _ : state) {
+        SimTime now = 0;
+        for (int round = 0; round < 256; ++round) {
+            for (int i = 0; i < 16; ++i) {
+                live.push_back(
+                    q.schedule(now + kEpoch * (1 + rng.index(64)), [] {}));
+            }
+            for (int i = 0; i < 4 && !live.empty(); ++i) {
+                const std::size_t j = rng.index(live.size());
+                q.cancel(live[j]);  // no-op if already popped
+                live[j] = live.back();
+                live.pop_back();
+            }
+            now += kEpoch;
+            while (!q.empty() && q.next_time() <= now) {
+                benchmark::DoNotOptimize(q.pop());
+            }
+        }
+        while (!q.empty()) {
+            benchmark::DoNotOptimize(q.pop());
+        }
+        live.clear();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            256 * 16);
+}
+BENCHMARK(BM_EventQueueEpochMix);
+
+/// The pre-refactor per-core layout: every field of one core adjacent,
+/// successive cores a full struct apart, so a lane-style sweep that reads
+/// three fields per core drags the whole struct through cache.
+struct FatCoreState {
+    CoreState state = CoreState::Idle;
+    int vf_level = 0;
+    bool reserved = false;
+    std::uint64_t busy_cycles_since_test = 0;
+    std::uint64_t total_busy_cycles = 0;
+    SimDuration total_busy_time = 0;
+    SimDuration total_test_time = 0;
+    SimTime last_checkpoint = 0;
+    SimTime last_state_change = 0;
+    SimTime last_test_end = 0;
+    std::uint64_t tests_completed = 0;
+    std::uint64_t tests_aborted = 0;
+    std::uint64_t tasks_executed = 0;
+    double temp_c = 55.0;
+    double damage = 0.0;
+};
+
+void BM_EpochPowerFillAoS(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Chip chip(1, 1, TechNode::nm16);
+    PowerModel model(chip.tech(), chip.vf_table());
+    std::vector<FatCoreState> cores(n);
+    std::vector<double> out(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        cores[i].state = i % 3 == 0   ? CoreState::Busy
+                         : i % 3 == 1 ? CoreState::Dark
+                                      : CoreState::Idle;
+        cores[i].vf_level = static_cast<int>(i % 3);
+    }
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < n; ++i) {
+            out[i] = model.core_power_w(cores[i].state, cores[i].vf_level,
+                                        cores[i].temp_c);
+        }
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EpochPowerFillAoS)->Arg(256)->Arg(4096);
+
+void BM_EpochPowerFillLanesSoA(benchmark::State& state) {
+    // Same fill over CoreLanes: the three inputs and the output are four
+    // flat arrays, so each iteration touches only the bytes it uses --
+    // the layout PlatformEngine::fill_power_lane runs on.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Chip chip(1, 1, TechNode::nm16);
+    PowerModel model(chip.tech(), chip.vf_table());
+    CoreLanes lanes;
+    lanes.reset(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        lanes.state[i] = i % 3 == 0   ? CoreState::Busy
+                         : i % 3 == 1 ? CoreState::Dark
+                                      : CoreState::Idle;
+        lanes.vf_level[i] = static_cast<int>(i % 3);
+        lanes.temp_c[i] = 55.0;
+    }
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < n; ++i) {
+            lanes.power_w[i] = model.core_power_w(
+                lanes.state[i], lanes.vf_level[i], lanes.temp_c[i]);
+        }
+        benchmark::DoNotOptimize(lanes.power_w.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EpochPowerFillLanesSoA)->Arg(256)->Arg(4096);
 
 void BM_NocXyRoute(benchmark::State& state) {
     const int side = static_cast<int>(state.range(0));

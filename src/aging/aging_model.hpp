@@ -30,7 +30,13 @@ struct AgingParams {
 /// approximated by the state seen at the epoch boundary.
 class AgingTracker {
 public:
-    AgingTracker(std::size_t core_count, AgingParams params = {});
+    /// With `storage`, the tracker binds the caller-owned vector as its
+    /// damage accumulator (resized and zeroed): the platform passes the
+    /// chip's CoreLanes damage lane so criticality and fault acceleration
+    /// read wear in place. `storage` must outlive the tracker. With
+    /// nullptr the tracker owns its buffer (standalone/unit-test use).
+    AgingTracker(std::size_t core_count, AgingParams params = {},
+                 std::vector<double>* storage = nullptr);
 
     /// Integrates damage over [last update, now]. With `exec`, the
     /// per-core integration is sharded across the worker team: core i only
@@ -41,7 +47,7 @@ public:
                 EpochExecutor* exec = nullptr);
 
     double damage(CoreId id) const;
-    std::span<const double> damage_all() const noexcept { return damage_; }
+    std::span<const double> damage_all() const noexcept { return *damage_; }
     double max_damage() const;
     double min_damage() const;
     double mean_damage() const;
@@ -64,7 +70,8 @@ public:
 
 private:
     AgingParams params_;
-    std::vector<double> damage_;
+    std::vector<double> own_;      ///< backing store when none is bound
+    std::vector<double>* damage_;  ///< accumulated wear (own_ or external)
     SimTime last_update_ = 0;
     bool started_ = false;
 };

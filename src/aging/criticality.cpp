@@ -52,15 +52,14 @@ CriticalityEvaluator::CriticalityEvaluator(CriticalityParams params)
                 "at least one criticality weight must be positive");
 }
 
-double CriticalityEvaluator::evaluate(const Core& core, SimTime now,
-                                      double damage_norm) const {
+double CriticalityEvaluator::evaluate_raw(std::uint64_t busy_cycles_since_test,
+                                          SimTime last_test_end, SimTime now,
+                                          double damage_norm) const {
     const double util_term =
-        std::min(static_cast<double>(core.busy_cycles_since_test()) /
+        std::min(static_cast<double>(busy_cycles_since_test) /
                      params_.util_ref_cycles,
                  params_.saturation);
-    const SimTime since = now >= core.last_test_end()
-                              ? now - core.last_test_end()
-                              : 0;
+    const SimTime since = now >= last_test_end ? now - last_test_end : 0;
     const double time_term =
         std::min(static_cast<double>(since) /
                      static_cast<double>(params_.time_ref),
@@ -68,6 +67,12 @@ double CriticalityEvaluator::evaluate(const Core& core, SimTime now,
     const double aging_term = std::clamp(damage_norm, 0.0, 1.0);
     return params_.w_util * util_term + params_.w_time * time_term +
            params_.w_aging * aging_term;
+}
+
+double CriticalityEvaluator::evaluate(const Core& core, SimTime now,
+                                      double damage_norm) const {
+    return evaluate_raw(core.busy_cycles_since_test(), core.last_test_end(),
+                        now, damage_norm);
 }
 
 std::vector<double> CriticalityEvaluator::evaluate_chip(
@@ -86,14 +91,17 @@ void CriticalityEvaluator::evaluate_chip_into(const Chip& chip, SimTime now,
         max_damage = std::max(max_damage, d);
     }
     out.resize(chip.core_count());
+    // Lanes-native fill: read the stress lanes directly instead of going
+    // through per-core views (same arithmetic via evaluate_raw).
+    const CoreLanes& lanes = chip.lanes();
     auto fill = [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-            const Core& c = chip.core(static_cast<CoreId>(i));
             double norm = 0.0;
             if (!damage.empty() && max_damage > 0.0) {
-                norm = damage[c.id()] / max_damage;
+                norm = damage[i] / max_damage;
             }
-            out[i] = evaluate(c, now, norm);
+            out[i] = evaluate_raw(lanes.busy_cycles_since_test[i],
+                                  lanes.last_test_end[i], now, norm);
         }
     };
     if (exec != nullptr && exec->parallel()) {

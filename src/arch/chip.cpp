@@ -14,12 +14,14 @@ Chip::Chip(int width, int height, TechnologyParams params)
     : width_(width), height_(height), tech_(std::move(params)) {
     MCS_REQUIRE(width_ > 0 && height_ > 0, "chip dimensions must be positive");
     vf_table_ = build_vf_table(tech_);
-    cores_.reserve(static_cast<std::size_t>(width_) *
-                   static_cast<std::size_t>(height_));
+    const std::size_t n = static_cast<std::size_t>(width_) *
+                          static_cast<std::size_t>(height_);
+    lanes_.reset(n);
+    cores_.reserve(n);
     for (int y = 0; y < height_; ++y) {
         for (int x = 0; x < width_; ++x) {
             cores_.emplace_back(static_cast<CoreId>(y * width_ + x), x, y,
-                                &vf_table_);
+                                &vf_table_, &lanes_);
         }
     }
 }

@@ -1,5 +1,7 @@
 #include "arch/core.hpp"
 
+#include <string>
+
 #include "util/require.hpp"
 
 namespace mcs {
@@ -15,92 +17,98 @@ const char* to_string(CoreState state) {
     return "?";
 }
 
-Core::Core(CoreId id, int x, int y, const std::vector<VfLevel>* vf_table)
-    : id_(id), x_(x), y_(y), vf_table_(vf_table) {
+Core::Core(CoreId id, int x, int y, const std::vector<VfLevel>* vf_table,
+           CoreLanes* lanes)
+    : id_(id), x_(x), y_(y), vf_table_(vf_table), lanes_(lanes) {
     MCS_REQUIRE(vf_table_ != nullptr && !vf_table_->empty(),
                 "core needs a non-empty VF table");
-    vf_level_ = static_cast<int>(vf_table_->size()) - 1;  // boot at max
+    MCS_REQUIRE(lanes_ != nullptr && id_ < lanes_->size(),
+                "core needs a lanes slot");
+    // Boot at max V/F.
+    lanes_->vf_level[id_] = static_cast<int>(vf_table_->size()) - 1;
 }
 
 double Core::freq_hz() const {
-    return (*vf_table_)[static_cast<std::size_t>(vf_level_)].freq_hz;
+    return (*vf_table_)[static_cast<std::size_t>(vf_level())].freq_hz;
 }
 
 double Core::voltage_v() const {
-    return (*vf_table_)[static_cast<std::size_t>(vf_level_)].voltage_v;
+    return (*vf_table_)[static_cast<std::size_t>(vf_level())].voltage_v;
 }
 
 void Core::checkpoint(SimTime now) {
-    MCS_REQUIRE(now >= last_checkpoint_, "core checkpoint going backwards");
-    const SimDuration span = now - last_checkpoint_;
-    last_checkpoint_ = now;
+    MCS_REQUIRE(now >= lanes_->last_checkpoint[id_],
+                "core checkpoint going backwards");
+    const SimDuration span = now - lanes_->last_checkpoint[id_];
+    lanes_->last_checkpoint[id_] = now;
     if (span == 0) {
         return;
     }
-    if (state_ == CoreState::Busy) {
+    if (state() == CoreState::Busy) {
         const auto cycles = cycles_in(span, freq_hz());
-        busy_cycles_since_test_ += cycles;
-        total_busy_cycles_ += cycles;
-        total_busy_time_ += span;
-    } else if (state_ == CoreState::Testing) {
-        total_test_time_ += span;
+        lanes_->busy_cycles_since_test[id_] += cycles;
+        lanes_->total_busy_cycles[id_] += cycles;
+        lanes_->total_busy_time[id_] += span;
+    } else if (state() == CoreState::Testing) {
+        lanes_->total_test_time[id_] += span;
     }
 }
 
 void Core::transition(SimTime now, CoreState to) {
     checkpoint(now);
-    state_ = to;
-    last_state_change_ = now;
+    lanes_->state[id_] = to;
+    lanes_->last_state_change[id_] = now;
+    lanes_->note_membership_change(id_);
 }
 
 void Core::start_task(SimTime now) {
-    MCS_REQUIRE(state_ == CoreState::Idle,
-                std::string("start_task from state ") + to_string(state_));
+    MCS_REQUIRE(state() == CoreState::Idle,
+                std::string("start_task from state ") + to_string(state()));
     transition(now, CoreState::Busy);
 }
 
 void Core::finish_task(SimTime now) {
-    MCS_REQUIRE(state_ == CoreState::Busy,
-                std::string("finish_task from state ") + to_string(state_));
+    MCS_REQUIRE(state() == CoreState::Busy,
+                std::string("finish_task from state ") + to_string(state()));
     transition(now, CoreState::Idle);
-    ++tasks_executed_;
+    ++lanes_->tasks_executed[id_];
 }
 
 void Core::start_test(SimTime now) {
-    MCS_REQUIRE(state_ == CoreState::Idle,
-                std::string("start_test from state ") + to_string(state_));
+    MCS_REQUIRE(state() == CoreState::Idle,
+                std::string("start_test from state ") + to_string(state()));
     transition(now, CoreState::Testing);
 }
 
 void Core::finish_test(SimTime now, bool completed) {
-    MCS_REQUIRE(state_ == CoreState::Testing,
-                std::string("finish_test from state ") + to_string(state_));
+    MCS_REQUIRE(state() == CoreState::Testing,
+                std::string("finish_test from state ") + to_string(state()));
     transition(now, CoreState::Idle);
     if (completed) {
-        ++tests_completed_;
-        last_test_end_ = now;
-        busy_cycles_since_test_ = 0;
+        ++lanes_->tests_completed[id_];
+        lanes_->last_test_end[id_] = now;
+        lanes_->busy_cycles_since_test[id_] = 0;
     } else {
-        ++tests_aborted_;
+        ++lanes_->tests_aborted[id_];
     }
 }
 
 void Core::mark_faulty(SimTime now) {
-    MCS_REQUIRE(state_ != CoreState::Faulty, "core is already faulty");
+    MCS_REQUIRE(state() != CoreState::Faulty, "core is already faulty");
     transition(now, CoreState::Faulty);
-    reserved_ = false;
+    lanes_->reserved[id_] = 0;
 }
 
 void Core::power_gate(SimTime now) {
-    MCS_REQUIRE(state_ == CoreState::Idle,
-                std::string("power_gate from state ") + to_string(state_));
-    MCS_REQUIRE(!reserved_, "cannot power-gate a reserved core");
+    MCS_REQUIRE(state() == CoreState::Idle,
+                std::string("power_gate from state ") + to_string(state()));
+    MCS_REQUIRE(!reserved(), "cannot power-gate a reserved core");
     transition(now, CoreState::Dark);
 }
 
 void Core::wake(SimTime now) {
-    MCS_REQUIRE(state_ == CoreState::Dark,
-                std::string("wake from state ") + to_string(state_));
+    MCS_REQUIRE(state() == CoreState::Dark,
+                std::string("wake from state ") + to_string(state()));
     transition(now, CoreState::Idle);
 }
 
@@ -109,19 +117,46 @@ void Core::set_vf_level(SimTime now, int level) {
                     level < static_cast<int>(vf_table_->size()),
                 "VF level out of range");
     checkpoint(now);  // integrate at the old frequency first
-    vf_level_ = level;
+    lanes_->vf_level[id_] = level;
+}
+
+void Core::set_reserved(bool reserved) {
+    if ((lanes_->reserved[id_] != 0) == reserved) {
+        return;
+    }
+    lanes_->reserved[id_] = reserved ? 1 : 0;
+    lanes_->note_membership_change(id_);
 }
 
 double Core::busy_fraction(SimTime now) const {
-    if (now <= birth_) {
+    if (now <= lanes_->birth[id_]) {
         return 0.0;
     }
     // Include the in-flight interval since the last checkpoint.
-    SimDuration busy = total_busy_time_;
-    if (state_ == CoreState::Busy && now > last_checkpoint_) {
-        busy += now - last_checkpoint_;
+    SimDuration busy = lanes_->total_busy_time[id_];
+    if (state() == CoreState::Busy && now > lanes_->last_checkpoint[id_]) {
+        busy += now - lanes_->last_checkpoint[id_];
     }
-    return static_cast<double>(busy) / static_cast<double>(now - birth_);
+    return static_cast<double>(busy) /
+           static_cast<double>(now - lanes_->birth[id_]);
+}
+
+void Core::load_state(const PersistedState& s) {
+    lanes_->state[id_] = s.state;
+    lanes_->vf_level[id_] = s.vf_level;
+    lanes_->reserved[id_] = s.reserved ? 1 : 0;
+    lanes_->last_checkpoint[id_] = s.last_checkpoint;
+    lanes_->busy_cycles_since_test[id_] = s.busy_cycles_since_test;
+    lanes_->total_busy_cycles[id_] = s.total_busy_cycles;
+    lanes_->total_busy_time[id_] = s.total_busy_time;
+    lanes_->total_test_time[id_] = s.total_test_time;
+    lanes_->birth[id_] = s.birth;
+    lanes_->last_state_change[id_] = s.last_state_change;
+    lanes_->last_test_end[id_] = s.last_test_end;
+    lanes_->tests_completed[id_] = s.tests_completed;
+    lanes_->tests_aborted[id_] = s.tests_aborted;
+    lanes_->tasks_executed[id_] = s.tasks_executed;
+    lanes_->note_membership_change(id_);
 }
 
 }  // namespace mcs

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "arch/core_lanes.hpp"
 #include "arch/technology.hpp"
 #include "sim/time.hpp"
 
@@ -28,24 +29,34 @@ const char* to_string(CoreState state);
 /// ("checkpointing"), so `busy_cycles_since_test()` is exact even when the
 /// frequency changes mid-task. Higher layers (aging, test criticality) are
 /// built on these counters.
+///
+/// Storage note: Core is a thin indexed view -- all mutable fields live in
+/// the chip-owned CoreLanes struct-of-arrays (slot = core id), so the
+/// per-epoch loops iterate flat lanes while this class keeps the checked
+/// public API. Every state or reservation change funnels through
+/// transition()/set_reserved(), which record the core in the lanes'
+/// membership journal for the patch-on-commit test-candidacy view.
 class Core {
 public:
-    /// `vf_table` must outlive the core (owned by Chip).
-    Core(CoreId id, int x, int y, const std::vector<VfLevel>* vf_table);
+    /// `vf_table` and `lanes` must outlive the core (both owned by Chip).
+    Core(CoreId id, int x, int y, const std::vector<VfLevel>* vf_table,
+         CoreLanes* lanes);
 
     CoreId id() const noexcept { return id_; }
     int x() const noexcept { return x_; }
     int y() const noexcept { return y_; }
 
-    CoreState state() const noexcept { return state_; }
-    bool is_idle() const noexcept { return state_ == CoreState::Idle; }
-    bool is_busy() const noexcept { return state_ == CoreState::Busy; }
-    bool is_testing() const noexcept { return state_ == CoreState::Testing; }
+    CoreState state() const noexcept { return lanes_->state[id_]; }
+    bool is_idle() const noexcept { return state() == CoreState::Idle; }
+    bool is_busy() const noexcept { return state() == CoreState::Busy; }
+    bool is_testing() const noexcept {
+        return state() == CoreState::Testing;
+    }
     bool is_available() const noexcept {
-        return state_ != CoreState::Faulty && state_ != CoreState::Dark;
+        return state() != CoreState::Faulty && state() != CoreState::Dark;
     }
 
-    int vf_level() const noexcept { return vf_level_; }
+    int vf_level() const noexcept { return lanes_->vf_level[id_]; }
     std::size_t vf_level_count() const noexcept { return vf_table_->size(); }
     double freq_hz() const;
     double voltage_v() const;
@@ -65,30 +76,44 @@ public:
     /// Reservation by the runtime mapper: a reserved core belongs to a
     /// mapped application (it may still be Idle between its tasks).
     /// Orthogonal to the execution state.
-    bool reserved() const noexcept { return reserved_; }
-    void set_reserved(bool reserved) noexcept { reserved_ = reserved; }
+    bool reserved() const noexcept { return lanes_->reserved[id_] != 0; }
+    void set_reserved(bool reserved);
 
     /// --- stress / test accounting ---
     std::uint64_t busy_cycles_since_test() const noexcept {
-        return busy_cycles_since_test_;
+        return lanes_->busy_cycles_since_test[id_];
     }
-    SimTime last_test_end() const noexcept { return last_test_end_; }
-    std::uint64_t tests_completed() const noexcept { return tests_completed_; }
-    std::uint64_t tests_aborted() const noexcept { return tests_aborted_; }
-    std::uint64_t tasks_executed() const noexcept { return tasks_executed_; }
+    SimTime last_test_end() const noexcept {
+        return lanes_->last_test_end[id_];
+    }
+    std::uint64_t tests_completed() const noexcept {
+        return lanes_->tests_completed[id_];
+    }
+    std::uint64_t tests_aborted() const noexcept {
+        return lanes_->tests_aborted[id_];
+    }
+    std::uint64_t tasks_executed() const noexcept {
+        return lanes_->tasks_executed[id_];
+    }
 
     std::uint64_t total_busy_cycles() const noexcept {
-        return total_busy_cycles_;
+        return lanes_->total_busy_cycles[id_];
     }
-    SimDuration total_busy_time() const noexcept { return total_busy_time_; }
-    SimDuration total_test_time() const noexcept { return total_test_time_; }
+    SimDuration total_busy_time() const noexcept {
+        return lanes_->total_busy_time[id_];
+    }
+    SimDuration total_test_time() const noexcept {
+        return lanes_->total_test_time[id_];
+    }
 
     /// Lifetime busy fraction in [0,1] up to `now`.
     double busy_fraction(SimTime now) const;
 
     /// Time of the most recent state transition (how long the core has been
     /// in its current state).
-    SimTime last_state_change() const noexcept { return last_state_change_; }
+    SimTime last_state_change() const noexcept {
+        return lanes_->last_state_change[id_];
+    }
 
     /// Integrates counters up to `now` without changing state. Exposed so
     /// periodic observers (aging, metrics) see up-to-date counters.
@@ -113,29 +138,22 @@ public:
         std::uint64_t tasks_executed = 0;
     };
     PersistedState save_state() const noexcept {
-        return {state_,           vf_level_,        reserved_,
-                last_checkpoint_, busy_cycles_since_test_,
-                total_busy_cycles_,                 total_busy_time_,
-                total_test_time_, birth_,           last_state_change_,
-                last_test_end_,   tests_completed_, tests_aborted_,
-                tasks_executed_};
+        return {state(),
+                vf_level(),
+                reserved(),
+                lanes_->last_checkpoint[id_],
+                busy_cycles_since_test(),
+                total_busy_cycles(),
+                total_busy_time(),
+                total_test_time(),
+                lanes_->birth[id_],
+                last_state_change(),
+                last_test_end(),
+                tests_completed(),
+                tests_aborted(),
+                tasks_executed()};
     }
-    void load_state(const PersistedState& s) noexcept {
-        state_ = s.state;
-        vf_level_ = s.vf_level;
-        reserved_ = s.reserved;
-        last_checkpoint_ = s.last_checkpoint;
-        busy_cycles_since_test_ = s.busy_cycles_since_test;
-        total_busy_cycles_ = s.total_busy_cycles;
-        total_busy_time_ = s.total_busy_time;
-        total_test_time_ = s.total_test_time;
-        birth_ = s.birth;
-        last_state_change_ = s.last_state_change;
-        last_test_end_ = s.last_test_end;
-        tests_completed_ = s.tests_completed;
-        tests_aborted_ = s.tests_aborted;
-        tasks_executed_ = s.tasks_executed;
-    }
+    void load_state(const PersistedState& s);
 
 private:
     void transition(SimTime now, CoreState to);
@@ -144,22 +162,7 @@ private:
     int x_;
     int y_;
     const std::vector<VfLevel>* vf_table_;
-
-    CoreState state_ = CoreState::Idle;
-    int vf_level_ = 0;
-    bool reserved_ = false;
-
-    SimTime last_checkpoint_ = 0;
-    std::uint64_t busy_cycles_since_test_ = 0;
-    std::uint64_t total_busy_cycles_ = 0;
-    SimDuration total_busy_time_ = 0;
-    SimDuration total_test_time_ = 0;
-    SimTime birth_ = 0;
-    SimTime last_state_change_ = 0;
-    SimTime last_test_end_ = 0;
-    std::uint64_t tests_completed_ = 0;
-    std::uint64_t tests_aborted_ = 0;
-    std::uint64_t tasks_executed_ = 0;
+    CoreLanes* lanes_;
 };
 
 }  // namespace mcs

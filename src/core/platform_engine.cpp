@@ -26,14 +26,14 @@ PlatformEngine::PlatformEngine(SystemContext& ctx)
       power_model_(ctx.chip.tech(), ctx.chip.vf_table(),
                    activity_with_suite(ctx.cfg.activity, ctx.suite)),
       power_mgr_(ctx.chip, power_model_, ctx.budget, ctx.cfg.power),
-      thermal_(ctx.cfg.width, ctx.cfg.height, ctx.cfg.thermal),
-      aging_(ctx.chip.core_count(), ctx.cfg.aging),
+      thermal_(ctx.cfg.width, ctx.cfg.height, ctx.cfg.thermal,
+               &ctx.chip.lanes().temp_c),
+      aging_(ctx.chip.core_count(), ctx.cfg.aging, &ctx.chip.lanes().damage),
       crit_eval_(ctx.cfg.criticality) {
     if (ctx_.cfg.enable_fault_injection) {
         faults_.emplace(ctx_.chip.core_count(), ctx_.cfg.faults,
                         ctx_.cfg.seed ^ 0x94d049bb133111ebULL);
     }
-    crit_buf_.assign(ctx_.chip.core_count(), 0.0);
     power_mgr_.set_telemetry(nullptr, &ctx_.registry);
     ctx_.power_model = &power_model_;
     ctx_.power_mgr = &power_mgr_;
@@ -45,9 +45,10 @@ PlatformEngine::PlatformEngine(SystemContext& ctx)
 }
 
 const std::vector<double>& PlatformEngine::refresh_criticality(SimTime now) {
-    crit_eval_.evaluate_chip_into(ctx_.chip, now, aging_.damage_all(),
-                                  crit_buf_, &ctx_.epoch);
-    return crit_buf_;
+    std::vector<double>& crit = ctx_.chip.lanes().criticality;
+    crit_eval_.evaluate_chip_into(ctx_.chip, now, aging_.damage_all(), crit,
+                                  &ctx_.epoch);
+    return crit;
 }
 
 double PlatformEngine::core_power_now(const Core& core) const {
@@ -74,10 +75,11 @@ void PlatformEngine::accumulate_energy(SimTime now) {
     // Parallel fill (pure per-core power reads), then a serial commit in
     // core order so the energy sums accumulate in the same floating-point
     // order for every worker count.
-    fill_power_buf();
-    for (const Core& c : ctx_.chip.cores()) {
-        const double p = power_buf_[c.id()];
-        switch (c.state()) {
+    fill_power_lane();
+    const CoreLanes& lanes = ctx_.chip.lanes();
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        const double p = lanes.power_w[i];
+        switch (lanes.state[i]) {
             case CoreState::Busy:
                 ctx_.metrics.energy_busy_j += p * dt_s;
                 break;
@@ -91,13 +93,15 @@ void PlatformEngine::accumulate_energy(SimTime now) {
     }
 }
 
-void PlatformEngine::fill_power_buf() {
-    power_buf_.resize(ctx_.chip.core_count());
+void PlatformEngine::fill_power_lane() {
+    // Lanes-native: reads the state/vf/temperature lanes, writes only the
+    // power lane (the temperature lane is the thermal model's live buffer).
+    CoreLanes& lanes = ctx_.chip.lanes();
     ctx_.epoch.for_slabs(
-        power_buf_.size(), [&](std::size_t begin, std::size_t end) {
+        lanes.size(), [&](std::size_t begin, std::size_t end) {
             for (std::size_t i = begin; i < end; ++i) {
-                power_buf_[i] =
-                    core_power_now(ctx_.chip.core(static_cast<CoreId>(i)));
+                lanes.power_w[i] = power_model_.core_power_w(
+                    lanes.state[i], lanes.vf_level[i], lanes.temp_c[i]);
             }
         });
 }
@@ -110,20 +114,21 @@ void PlatformEngine::power_epoch() {
 }
 
 void PlatformEngine::thermal_epoch() {
-    fill_power_buf();
-    thermal_.step(power_buf_, to_seconds(ctx_.cfg.thermal_epoch),
-                  &ctx_.epoch);
+    fill_power_lane();
+    thermal_.step(ctx_.chip.lanes().power_w,
+                  to_seconds(ctx_.cfg.thermal_epoch), &ctx_.epoch);
     peak_temp_c_ = std::max(peak_temp_c_, thermal_.max_temp_c());
 }
 
 void PlatformEngine::wear_epoch() {
     const SimTime now = ctx_.sim.now();
     ctx_.chip.checkpoint_all(now, &ctx_.epoch);
-    for (const Core& c : ctx_.chip.cores()) {
+    const CoreLanes& lanes = ctx_.chip.lanes();
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
         ++state_samples_;
-        dark_samples_ += c.state() == CoreState::Dark ? 1 : 0;
-        testing_samples_ += c.state() == CoreState::Testing ? 1 : 0;
-        reserved_samples_ += c.reserved() ? 1 : 0;
+        dark_samples_ += lanes.state[i] == CoreState::Dark ? 1 : 0;
+        testing_samples_ += lanes.state[i] == CoreState::Testing ? 1 : 0;
+        reserved_samples_ += lanes.reserved[i] != 0 ? 1 : 0;
     }
     aging_.update(now, ctx_.chip, thermal_.temps_c(), &ctx_.epoch);
     if (faults_) {
@@ -157,11 +162,12 @@ void PlatformEngine::trace_epoch() {
     s.tdp_w = ctx_.budget.tdp_w();
     // Same fill/commit split as accumulate_energy: the observer stream
     // sees sums folded in core order regardless of worker count.
-    fill_power_buf();
-    for (const Core& c : ctx_.chip.cores()) {
-        const double p = power_buf_[c.id()];
+    fill_power_lane();
+    const CoreLanes& lanes = ctx_.chip.lanes();
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        const double p = lanes.power_w[i];
         s.total_power_w += p;
-        switch (c.state()) {
+        switch (lanes.state[i]) {
             case CoreState::Busy:
                 s.workload_power_w += p;
                 ++s.cores_busy;

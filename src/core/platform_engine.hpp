@@ -38,11 +38,11 @@ public:
     void trace_epoch();
 
     // --- substrate services for the sibling engines ---
-    /// Re-evaluates per-core test criticality at `now` and returns the
-    /// shared buffer (valid until the next refresh).
+    /// Re-evaluates per-core test criticality at `now` into the chip's
+    /// criticality lane and returns it (valid until the next refresh).
     const std::vector<double>& refresh_criticality(SimTime now);
     const std::vector<double>& criticality() const noexcept {
-        return crit_buf_;
+        return ctx_.chip.lanes().criticality;
     }
     /// Current power draw of one core through the power model.
     double core_power_now(const Core& core) const;
@@ -73,22 +73,24 @@ public:
     void load_state(const telemetry::JsonValue& doc);
 
 private:
-    /// Sharded fill of power_buf_[i] = core_power_now(core i) across the
-    /// epoch worker team (pure per-core reads; disjoint writes).
-    void fill_power_buf();
+    /// Sharded fill of the chip's power lane: power_w[i] = current draw of
+    /// core i across the epoch worker team (pure per-core reads of the
+    /// state/vf/temperature lanes; disjoint writes).
+    void fill_power_lane();
 
     SystemContext& ctx_;
     PowerModel power_model_;
     PowerManager power_mgr_;
+    // Thermal and aging bind the chip's temp_c / damage lanes as their
+    // backing storage (declared after ctx_, whose chip owns the lanes), so
+    // the epoch fills below and the sibling engines read them in place.
     ThermalModel thermal_;
     AgingTracker aging_;
     CriticalityEvaluator crit_eval_;
     std::optional<FaultInjector> faults_;
 
-    // scratch buffers (reused across periodic epochs)
-    std::vector<double> power_buf_;
+    // scratch buffer (reused across wear epochs)
     std::vector<double> accel_buf_;
-    std::vector<double> crit_buf_;
 
     // accumulators
     std::uint64_t state_samples_ = 0;

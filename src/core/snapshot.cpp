@@ -463,6 +463,7 @@ void ManycoreSystem::write_snapshot(std::ostream& out,
     w.field("horizon", horizon);
     w.field("now", now);
     w.field("executed", sim.events_executed());
+    w.field("cancelled", sim.events_cancelled());
 
     w.key("budget");
     w.begin_object();
@@ -651,6 +652,9 @@ void ManycoreSystem::restore(const telemetry::JsonValue& doc,
     //    Each dispatch schedules exactly one event, so the rebuilt queue
     //    breaks timestamp ties exactly as the captured one did.
     ctx_->sim.restore_clock(now, executed);
+    // Older snapshots predate the cancellation counter; they restore as 0.
+    ctx_->sim.restore_cancelled(
+        doc.has("cancelled") ? doc.at("cancelled").u64() : 0);
     const auto& events = doc.at("events").array;
     std::uint64_t prev_seq = 0;
     bool first = true;

@@ -199,6 +199,8 @@ RunMetrics ManycoreSystem::finalize() {
     test_->finalize_into(m, end);
     platform_->finalize_into(m, end);
 
+    ctx_->registry.counter("sim.events_cancelled")
+        .inc(ctx_->sim.events_cancelled());
     ctx_->registry.gauge("system.peak_temp_c", telemetry::GaugeMerge::Max)
         .set(platform_->peak_temp_c());
     ctx_->registry.gauge("system.mean_power_w", telemetry::GaugeMerge::Mean)

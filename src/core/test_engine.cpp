@@ -54,6 +54,8 @@ TestEngine::TestEngine(SystemContext& ctx)
     test_progress_.assign(ctx_.chip.core_count(), 0);
     last_test_done_.assign(ctx_.chip.core_count(), 0);
     last_test_abort_.assign(ctx_.chip.core_count(), 0);
+    candidacy_.bind(&ctx_.chip.lanes(), &last_test_abort_,
+                    ctx_.cfg.test_retry_backoff);
     ctx_.link_tester = link_tester_ ? &*link_tester_ : nullptr;
     ctx_.test = this;
 }
@@ -68,40 +70,25 @@ void TestEngine::test_epoch() {
     sctx.power_slack_w = ctx_.power_mgr->headroom_w();
     sctx.tests_running = tests_running_;
     sctx.vf_table = &ctx_.chip.vf_table();
-    // Sharded candidate assembly: every core's candidacy and fields are
-    // pure reads, computed into per-core scratch slots; the commit loop
-    // then pushes flagged slots in core order, so the candidate list is
-    // identical for any worker count.
-    const std::size_t cores = ctx_.chip.core_count();
-    cand_flag_.assign(cores, 0);
-    cand_buf_.resize(cores);
-    ctx_.epoch.for_slabs(cores, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-            const Core& c = ctx_.chip.core(static_cast<CoreId>(i));
-            if (c.reserved()) {
-                continue;
+    // Candidate ids come from the patched candidacy view (no chip rescan;
+    // equivalence argument in core/test_candidacy.hpp). The per-candidate
+    // field reads are pure, so the fill is sharded into per-member scratch
+    // slots; the commit loop then pushes the slots in member (= core)
+    // order, so the candidate list is identical for any worker count.
+    const std::vector<CoreId>& members = candidacy_.members(now);
+    const CoreLanes& lanes = ctx_.chip.lanes();
+    cand_buf_.resize(members.size());
+    ctx_.epoch.for_slabs(
+        members.size(), [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const CoreId id = members[i];
+                cand_buf_[i] = TestCandidate{
+                    id, crit[id], lanes.state[id] == CoreState::Dark,
+                    now - lanes.last_state_change[id], lanes.temp_c[id],
+                    ctx_.idle_predictor->predict_remaining(id, now)};
             }
-            if (c.state() != CoreState::Idle &&
-                c.state() != CoreState::Dark) {
-                continue;
-            }
-            if (last_test_abort_[c.id()] != 0 &&
-                now - last_test_abort_[c.id()] <
-                    ctx_.cfg.test_retry_backoff) {
-                continue;  // cool down after an aborted session
-            }
-            cand_flag_[i] = 1;
-            cand_buf_[i] = TestCandidate{
-                c.id(), crit[c.id()], c.state() == CoreState::Dark,
-                now - c.last_state_change(), ctx_.thermal->temp_c(c.id()),
-                ctx_.idle_predictor->predict_remaining(c.id(), now)};
-        }
-    });
-    for (std::size_t i = 0; i < cores; ++i) {
-        if (cand_flag_[i]) {
-            sctx.candidates.push_back(cand_buf_[i]);
-        }
-    }
+        });
+    sctx.candidates.assign(cand_buf_.begin(), cand_buf_.end());
     sctx.test_power_w = [this](CoreId core, int level) {
         const Core& c = ctx_.chip.core(core);
         const double temp = ctx_.thermal->temp_c(core);
@@ -443,6 +430,9 @@ void TestEngine::load_state(const telemetry::JsonValue& doc) {
                                  link.at("escaped").u64(),
                                  link.at("corrupted").u64());
     }
+    // The abort stamps (and, via Core::load_state, every state lane) were
+    // just rewritten wholesale; rebuild the candidate view from scratch.
+    candidacy_.invalidate();
 }
 
 void TestEngine::append_event_manifest(

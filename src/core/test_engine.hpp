@@ -15,6 +15,7 @@
 
 #include "core/snapshot.hpp"
 #include "core/system_context.hpp"
+#include "core/test_candidacy.hpp"
 #include "core/test_scheduler.hpp"
 #include "noc/link_test.hpp"
 
@@ -29,8 +30,10 @@ public:
     TestEngine& operator=(const TestEngine&) = delete;
 
     /// One test epoch: refresh criticality, assemble the SchedulerContext
-    /// (idle/dark candidates minus abort backoff), run the policy, then
-    /// schedule link tests on overdue idle links.
+    /// from the patched candidacy view (idle/dark candidates minus abort
+    /// backoff -- maintained incrementally from the lanes membership
+    /// journal, no per-epoch chip rescan), run the policy, then schedule
+    /// link tests on overdue idle links.
     void test_epoch();
 
     /// Starts an SBST session on `core` at `vf_level` (wakes a dark core,
@@ -66,6 +69,14 @@ public:
     TestScheduler& scheduler() noexcept { return *scheduler_; }
     const LinkTester* link_tester() const noexcept {
         return link_tester_ ? &*link_tester_ : nullptr;
+    }
+    /// Candidacy maintenance counters (full chip rescans vs journal
+    /// patches); accessor-only, gated by the hot-path bench.
+    std::uint64_t candidacy_rescans() const noexcept {
+        return candidacy_.rescans();
+    }
+    std::uint64_t candidacy_patches() const noexcept {
+        return candidacy_.patches();
     }
 
     /// Writes the test-owned slice of the end-of-run metrics (coverage
@@ -118,11 +129,14 @@ private:
     std::vector<SimTime> last_test_abort_;
     int tests_running_ = 0;
 
-    /// Scratch for the sharded candidate assembly: slot i holds core i's
-    /// candidacy flag and (if set) its fields; the commit loop pushes the
-    /// flagged slots into SchedulerContext in core order. Quiescent between
-    /// epochs (checkpoints never see a live fill).
-    std::vector<std::uint8_t> cand_flag_;
+    /// Incrementally maintained candidate set (sorted by core id); the
+    /// per-epoch work is draining the lanes membership journal instead of
+    /// rescanning the chip. Mutable through members() only.
+    TestCandidacyView candidacy_;
+    /// Scratch for the sharded candidate-field fill: slot i holds the
+    /// fields of the i-th member; the commit loop pushes the slots in
+    /// member (= core) order. Quiescent between epochs (checkpoints never
+    /// see a live fill).
     std::vector<TestCandidate> cand_buf_;
 };
 

@@ -61,6 +61,11 @@ public:
     bool idle() const noexcept { return queue_.empty(); }
     std::size_t pending_events() const noexcept { return queue_.pending(); }
     std::uint64_t events_executed() const noexcept { return executed_; }
+    /// Lifetime count of cancelled events (exported to the metrics
+    /// registry as `sim.events_cancelled` at finalize).
+    std::uint64_t events_cancelled() const noexcept {
+        return queue_.cancelled_count();
+    }
 
     // ---- snapshot support -------------------------------------------------
     // Capture reads pending-event identities; restore rebuilds the queue in
@@ -81,6 +86,12 @@ public:
     /// Fast-forwards a freshly constructed simulator to a checkpointed
     /// clock. Requires that nothing has been scheduled or executed yet.
     void restore_clock(SimTime now, std::uint64_t executed);
+
+    /// Restores the lifetime cancellation count from a checkpoint (kept
+    /// separate from restore_clock: older snapshots lack the field).
+    void restore_cancelled(std::uint64_t cancelled) {
+        queue_.restore_cancelled_count(cancelled);
+    }
 
     /// Attaches an (optional, non-owning) event tracer: its clock is bound
     /// to this simulator's `now()` and run_until() marks its span. Pass

@@ -7,12 +7,20 @@
 namespace mcs {
 namespace {
 
+CoreLanes make_lanes(std::size_t n) {
+    CoreLanes lanes;
+    lanes.reset(n);
+    return lanes;
+}
+
 class CoreTest : public ::testing::Test {
 protected:
     CoreTest() : table_(build_vf_table(technology(TechNode::nm16))),
-                 core_(7, 3, 1, &table_) {}
+                 lanes_(make_lanes(8)),
+                 core_(7, 3, 1, &table_, &lanes_) {}
 
     std::vector<VfLevel> table_;
+    CoreLanes lanes_;
     Core core_;
 };
 
@@ -145,9 +153,17 @@ TEST_F(CoreTest, StateNames) {
 }
 
 TEST(CoreCtor, RejectsMissingTable) {
-    EXPECT_THROW(Core(0, 0, 0, nullptr), RequireError);
+    CoreLanes lanes = make_lanes(1);
+    EXPECT_THROW(Core(0, 0, 0, nullptr, &lanes), RequireError);
     std::vector<VfLevel> empty;
-    EXPECT_THROW(Core(0, 0, 0, &empty), RequireError);
+    EXPECT_THROW(Core(0, 0, 0, &empty, &lanes), RequireError);
+}
+
+TEST(CoreCtor, RejectsMissingLanesSlot) {
+    std::vector<VfLevel> table = build_vf_table(technology(TechNode::nm16));
+    EXPECT_THROW(Core(0, 0, 0, &table, nullptr), RequireError);
+    CoreLanes lanes = make_lanes(2);
+    EXPECT_THROW(Core(2, 0, 0, &table, &lanes), RequireError);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "core/test_engine.hpp"
 #include "core/workload_engine.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace mcs {
 namespace {
@@ -199,6 +200,105 @@ TEST(TestEngineSeams, AbortBackoffFiltersCandidates) {
     sim.run_until(past + 1);
     te.test_epoch();
     EXPECT_EQ(probe->seen, (std::vector<CoreId>{0, 1, 2, 3}));
+}
+
+// Differential for the patch-on-commit candidacy view: under a real
+// workload plus randomized test-session churn (starts and aborts driven
+// from inside the scheduler hook), the candidate set offered to the policy
+// every epoch must equal a fresh whole-chip predicate scan, while the
+// maintenance counters prove the engine never rescanned after boot.
+TEST(TestEngineSeams, PatchedCandidacyMatchesFreshScan) {
+    SystemConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.mapper = MapperKind::FirstFit;
+    cfg.seed = 1234;
+    cfg.workload.graphs.min_tasks = 2;
+    cfg.workload.graphs.max_tasks = 6;
+    const double capacity = 16.0 * technology(cfg.node).max_freq_hz;
+    cfg.workload.arrival_rate_hz =
+        rate_for_occupancy(0.6, cfg.workload.graphs, capacity);
+
+    struct ChurnProbe final : TestScheduler {
+        ManycoreSystem* sys = nullptr;
+        Rng rng{9001};
+        std::size_t checks = 0;
+        std::size_t mismatches = 0;
+        std::size_t started = 0;
+        std::size_t aborted = 0;
+        CoreId last_started = kInvalidCore;
+
+        void epoch(SchedulerContext& sctx) override {
+            TestEngine& te = sys->test_engine();
+            // Fresh whole-chip scan of the published predicate.
+            std::vector<CoreId> fresh;
+            const SimDuration backoff = sys->config().test_retry_backoff;
+            const CoreId n = static_cast<CoreId>(sys->chip().core_count());
+            for (CoreId i = 0; i < n; ++i) {
+                const Core& c = sys->chip().core(i);
+                if (c.reserved()) continue;
+                if (c.state() != CoreState::Idle &&
+                    c.state() != CoreState::Dark) {
+                    continue;
+                }
+                const SimTime ab = te.last_abort(i);
+                if (ab != 0 && sctx.now - ab < backoff) continue;
+                fresh.push_back(i);
+            }
+            std::vector<CoreId> patched;
+            for (const TestCandidate& c : sctx.candidates) {
+                patched.push_back(c.core);
+            }
+            ++checks;
+            if (patched != fresh) {
+                ++mismatches;
+            }
+            // Randomized churn: sometimes abort the in-flight session,
+            // sometimes start one on a random candidate.
+            if (last_started != kInvalidCore &&
+                te.test_active(last_started) && rng.uniform() < 0.5) {
+                te.abort_test(last_started);
+                ++aborted;
+                last_started = kInvalidCore;
+            }
+            if (!sctx.candidates.empty() && rng.uniform() < 0.7) {
+                const TestCandidate& pick =
+                    sctx.candidates[rng.index(sctx.candidates.size())];
+                if (!te.test_active(pick.core)) {
+                    sctx.start_test(pick.core, 0);
+                    ++started;
+                    last_started = pick.core;
+                }
+            }
+        }
+        std::string_view name() const override { return "churn-probe"; }
+    };
+    auto probe = std::make_shared<ChurnProbe>();
+    cfg.scheduler_factory = [probe]() {
+        struct Fwd final : TestScheduler {
+            std::shared_ptr<ChurnProbe> inner;
+            explicit Fwd(std::shared_ptr<ChurnProbe> p)
+                : inner(std::move(p)) {}
+            void epoch(SchedulerContext& sctx) override {
+                inner->epoch(sctx);
+            }
+            std::string_view name() const override { return inner->name(); }
+        };
+        return std::unique_ptr<TestScheduler>(new Fwd(probe));
+    };
+    ManycoreSystem sys(cfg);
+    probe->sys = &sys;
+    sys.run(400 * kMillisecond);
+
+    const TestEngine& te = sys.test_engine();
+    EXPECT_GT(probe->checks, 10u);
+    EXPECT_EQ(probe->mismatches, 0u);
+    EXPECT_GT(probe->started, 0u);
+    EXPECT_GT(probe->aborted, 0u);  // backoff/cooling path exercised
+    // The whole run performed exactly the boot rescan; every epoch after
+    // ran on journal patches alone.
+    EXPECT_EQ(te.candidacy_rescans(), 1u);
+    EXPECT_GT(te.candidacy_patches(), 0u);
 }
 
 TEST(WorkloadEngineSeams, QosQueuesServeHardRealTimeFirst) {

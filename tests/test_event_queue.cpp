@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -178,6 +179,192 @@ TEST_P(EventQueueFuzz, MatchesReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
                          ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+TEST(EventQueue, CancelReclaimsStorageEagerly) {
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 2000; ++i) {
+        ids.push_back(q.schedule(static_cast<SimTime>(100 + i % 7), [] {}));
+    }
+    for (int i = 0; i < 2000; i += 2) {
+        q.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    // The old heap kept cancelled entries until they surfaced; the calendar
+    // queue reclaims the slot inside cancel() itself.
+    EXPECT_EQ(q.stored_entries(), q.pending());
+    EXPECT_EQ(q.pending(), 1000u);
+    EXPECT_EQ(q.cancelled_count(), 1000u);
+    while (!q.empty()) {
+        q.pop();
+        EXPECT_EQ(q.stored_entries(), q.pending());
+    }
+}
+
+TEST(EventQueue, CancelledCountRestores) {
+    EventQueue q;
+    q.cancel(q.schedule(5, [] {}));
+    EXPECT_EQ(q.cancelled_count(), 1u);
+    q.restore_cancelled_count(42);
+    EXPECT_EQ(q.cancelled_count(), 42u);
+    q.cancel(q.schedule(6, [] {}));
+    EXPECT_EQ(q.cancelled_count(), 43u);
+}
+
+// Determinism property test: randomized schedule/cancel interleavings at
+// epoch-quantized timestamps (many equal-time ties), then the FULL pop
+// order -- including FIFO order within a timestamp, witnessed by payload
+// identity -- must match a reference heap model ordered by (when, seq).
+class EventQueueDeterminism
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueDeterminism, PopOrderMatchesReferenceHeap) {
+    Rng rng(GetParam());
+    constexpr SimTime kEpoch = 1000;  // quantum: forces heavy tie-breaking
+    EventQueue q;
+    std::vector<int> popped;
+    // Reference model: (when, seq) -> payload, std::map iteration order is
+    // exactly the strict (when, seq) pop order the queue promises.
+    std::map<std::pair<SimTime, std::uint64_t>, int> model;
+    std::vector<std::pair<EventId, std::pair<SimTime, std::uint64_t>>> live;
+    SimTime clock = 0;
+    int payload = 0;
+    for (int step = 0; step < 4000; ++step) {
+        const double action = rng.uniform();
+        if (action < 0.55) {
+            // Epoch-quantized: land on one of the next few epoch marks.
+            const SimTime t =
+                (clock / kEpoch + 1 + rng.uniform_int(0, 4)) * kEpoch;
+            const int p = payload++;
+            const std::uint64_t seq = q.next_seq();
+            const EventId id = q.schedule(t, [&popped, p] {
+                popped.push_back(p);
+            });
+            EXPECT_EQ(id.seq, seq);  // next_seq() predicted the assignment
+            model[{t, seq}] = p;
+            live.push_back({id, {t, seq}});
+        } else if (action < 0.75 && !live.empty()) {
+            const std::size_t pick = rng.index(live.size());
+            const auto [id, key] = live[pick];
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+            EXPECT_TRUE(q.cancel(id));
+            model.erase(key);
+        } else if (!q.empty()) {
+            auto ref = model.begin();
+            const auto [t, cb] = q.pop();
+            ASSERT_EQ(t, ref->first.first);
+            cb();
+            ASSERT_FALSE(popped.empty());
+            // Payload identity proves FIFO within the shared timestamp.
+            ASSERT_EQ(popped.back(), ref->second);
+            clock = t;
+            model.erase(ref);
+            std::erase_if(live, [&](const auto& h) {
+                return !q.is_pending(h.first);
+            });
+        }
+        ASSERT_EQ(q.pending(), model.size());
+        ASSERT_EQ(q.stored_entries(), model.size());
+    }
+    // Drain: the remaining pop order must equal the model's key order.
+    while (!q.empty()) {
+        auto ref = model.begin();
+        const auto [t, cb] = q.pop();
+        ASSERT_EQ(t, ref->first.first);
+        cb();
+        ASSERT_EQ(popped.back(), ref->second);
+        model.erase(ref);
+    }
+    EXPECT_TRUE(model.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueDeterminism,
+                         ::testing::Values(7u, 99u, 2026u, 31337u));
+
+// Snapshot-style rebuild: replaying the pending manifest in ascending
+// captured-seq order into a fresh queue (fresh seqs) preserves the pop
+// order, and next_seq() advances contiguously -- the contract the snapshot
+// restore path (core/snapshot.cpp) relies on.
+TEST(EventQueue, ManifestReplayPreservesOrderAndSeqContinuity) {
+    Rng rng(77);
+    EventQueue q;
+    std::vector<std::pair<EventId, int>> handles;
+    int payload = 0;
+    for (int i = 0; i < 500; ++i) {
+        const SimTime t = (1 + rng.uniform_int(0, 19)) * 1000;
+        const int p = payload++;
+        handles.push_back({q.schedule(t, [p] {}), p});
+    }
+    for (int i = 0; i < 500; i += 3) {
+        q.cancel(handles[static_cast<std::size_t>(i)].first);
+    }
+    for (int i = 0; i < 100 && !q.empty(); ++i) {
+        q.pop();
+    }
+    // Capture the manifest: pending events in ascending seq order (handles
+    // were pushed in schedule order, i.e. ascending seq).
+    std::vector<std::pair<SimTime, std::uint64_t>> manifest;
+    for (const auto& [id, p] : handles) {
+        if (q.is_pending(id)) {
+            manifest.push_back({q.time_of(id), id.seq});
+        }
+    }
+    // Replay into a fresh queue; restored seqs are fresh but ascending in
+    // captured-seq order, so the (when, seq) pop order is preserved.
+    EventQueue restored;
+    std::uint64_t expect_seq = restored.next_seq();
+    for (const auto& [when, old_seq] : manifest) {
+        const EventId id = restored.schedule(when, [] {});
+        EXPECT_EQ(id.seq, expect_seq);  // contiguous assignment
+        ++expect_seq;
+    }
+    EXPECT_EQ(restored.next_seq(), expect_seq);
+    EXPECT_EQ(restored.pending(), manifest.size());
+    // Both queues drain in the same (when, original capture order).
+    std::size_t at = 0;
+    std::sort(manifest.begin(), manifest.end());
+    while (!q.empty()) {
+        const SimTime t_old = q.pop().first;
+        const SimTime t_new = restored.pop().first;
+        ASSERT_EQ(t_old, t_new);
+        ASSERT_EQ(t_old, manifest[at].first);
+        ++at;
+    }
+    EXPECT_TRUE(restored.empty());
+}
+
+// Threshold stress: drive the population across grow/shrink boundaries and
+// verify pop order stays strict (when, seq) throughout.
+TEST(EventQueue, ResizeThresholdsPreserveOrder) {
+    Rng rng(5150);
+    EventQueue q;
+    std::map<std::pair<SimTime, std::uint64_t>, bool> model;
+    const std::size_t boot_buckets = q.bucket_count();
+    // Grow phase: push far past the boot capacity.
+    for (int i = 0; i < 5000; ++i) {
+        const SimTime t = (1 + rng.uniform_int(0, 99)) * 500;
+        const EventId id = q.schedule(t, [] {});
+        model[{t, id.seq}] = true;
+    }
+    EXPECT_GT(q.bucket_count(), boot_buckets);
+    // Shrink phase: drain most of it back down.
+    SimTime last = 0;
+    std::uint64_t last_seq = 0;
+    for (int i = 0; i < 4900; ++i) {
+        auto ref = model.begin();
+        const auto [t, cb] = q.pop();
+        ASSERT_EQ(t, ref->first.first);
+        ASSERT_TRUE(t > last || (t == last && ref->first.second > last_seq));
+        last = t;
+        last_seq = ref->first.second;
+        model.erase(ref);
+    }
+    EXPECT_LT(q.bucket_count(), 5000u);
+    while (!q.empty()) {
+        auto ref = model.begin();
+        ASSERT_EQ(q.pop().first, ref->first.first);
+        model.erase(ref);
+    }
+}
 
 }  // namespace
 }  // namespace mcs

@@ -210,6 +210,13 @@ def main():
         "without regenerating the rest of the suite",
     )
     ap.add_argument(
+        "--require",
+        default=None,
+        help="comma-separated bench names that MUST be present in --new-dir; "
+        "fails fast if a CI glob silently stopped running one of them "
+        "(unlike --only, does not restrict the gate to these names)",
+    )
+    ap.add_argument(
         "--update",
         action="store_true",
         help="copy new reports over the baselines instead of comparing",
@@ -250,6 +257,16 @@ def main():
     if not new:
         print(f"error: no BENCH_*.json reports in {args.new_dir}", file=sys.stderr)
         return 2
+    if args.require:
+        required = {n.strip() for n in args.require.split(",") if n.strip()}
+        absent = required - set(new)
+        if absent:
+            print(
+                f"error: --require bench(es) absent from {args.new_dir}: "
+                f"{', '.join(sorted(absent))}",
+                file=sys.stderr,
+            )
+            return 2
 
     baseline_dir = pathlib.Path(args.baseline_dir)
     if args.update:

@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Guard the include surface of the public façade header.
+"""Guard the include surface of layering-sensitive headers.
 
-The god-object decomposition pruned src/core/system.hpp from 21 direct
-project includes down to 14: the engine, chip, simulator and mapper-impl
-headers moved behind forward declarations so façade consumers stop
-recompiling on every internal change. This check keeps that from silently
-regressing -- it fails when the header grows past the budget or when one of
-the deliberately-hidden headers reappears.
+Two kinds of rule, one per guarded header:
+
+  * src/core/system.hpp -- the god-object decomposition pruned the public
+    façade from 21 direct project includes down to 14: the engine, chip,
+    simulator and mapper-impl headers moved behind forward declarations so
+    façade consumers stop recompiling on every internal change. The check
+    fails when the header grows past its budget or when one of the
+    deliberately-hidden headers reappears.
+
+  * src/sim/event_queue.hpp -- the simulation substrate must stay below the
+    architecture/engine layers: the calendar queue is a pure (time, seq,
+    callback) container and must never reach up into arch/ or core/
+    headers. A forbidden *prefix* guards the whole subtree, so a new
+    core/foo.hpp cannot slip in unnamed.
 
 Usage: check_includes.py [--root REPO_ROOT]
 Exit code 0 on success, 1 on violation (with a per-violation message).
@@ -15,35 +23,90 @@ Exit code 0 on success, 1 on violation (with a per-violation message).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pathlib
 import re
 import sys
 
-HEADER = "src/core/system.hpp"
 
-# Direct project includes allowed in the façade header. The budget has a
-# one-include headroom over the current count so a legitimately needed
-# value-type header does not require touching this file in the same PR.
-MAX_PROJECT_INCLUDES = 15
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    header: str
+    # Budget for direct project includes; carries one-include headroom over
+    # the current count so a legitimately needed value-type header does not
+    # require touching this file in the same PR. None = no budget.
+    max_project_includes: int | None = None
+    # Exact headers that must never be included. If one of these comes
+    # back, incomplete-type firewalls are broken -- fix the code, do not
+    # widen this list.
+    forbidden: tuple[str, ...] = ()
+    # Directory prefixes (e.g. "core/") that must never be included --
+    # layering guards where the whole subtree is off limits.
+    forbidden_prefixes: tuple[str, ...] = ()
 
-# Headers the refactor intentionally removed from the façade: engines and
-# heavyweight internals are reachable only by forward declaration. If one of
-# these comes back, incomplete-type firewalls are broken -- fix the code,
-# do not widen this list.
-FORBIDDEN = (
-    "core/platform_engine.hpp",
-    "core/workload_engine.hpp",
-    "core/test_engine.hpp",
-    "core/system_context.hpp",
-    "core/system_observer.hpp",
-    "arch/chip.hpp",
-    "sim/simulator.hpp",
-    "mapping/mapper.hpp",
-    "mapping/view_cache.hpp",
-    "telemetry/observer_adapter.hpp",
+
+RULES = (
+    Rule(
+        header="src/core/system.hpp",
+        max_project_includes=15,
+        forbidden=(
+            "core/platform_engine.hpp",
+            "core/workload_engine.hpp",
+            "core/test_engine.hpp",
+            "core/system_context.hpp",
+            "core/system_observer.hpp",
+            "arch/chip.hpp",
+            "sim/simulator.hpp",
+            "mapping/mapper.hpp",
+            "mapping/view_cache.hpp",
+            "telemetry/observer_adapter.hpp",
+        ),
+    ),
+    Rule(
+        header="src/sim/event_queue.hpp",
+        forbidden_prefixes=("arch/", "core/"),
+    ),
 )
 
 PROJECT_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def check_rule(root: pathlib.Path, rule: Rule, errors: list[str]) -> str:
+    header = root / rule.header
+    if not header.is_file():
+        errors.append(f"{header} not found")
+        return ""
+
+    includes = [
+        m.group(1)
+        for line in header.read_text(encoding="utf-8").splitlines()
+        if (m := PROJECT_INCLUDE.match(line))
+    ]
+
+    budget = rule.max_project_includes
+    if budget is not None and len(includes) > budget:
+        listing = "\n".join(f"    {inc}" for inc in includes)
+        errors.append(
+            f"{rule.header} has {len(includes)} direct project includes "
+            f"(budget: {budget}). Prefer a forward declaration "
+            f"and an out-of-line accessor.\n{listing}"
+        )
+    for inc in includes:
+        if inc in rule.forbidden:
+            errors.append(
+                f"{rule.header} includes {inc}, which must only be "
+                f"forward-declared (see docs/architecture.md)."
+            )
+        for prefix in rule.forbidden_prefixes:
+            if inc.startswith(prefix):
+                errors.append(
+                    f"{rule.header} includes {inc}: the {prefix} layer is "
+                    f"above this header (see docs/hot_paths.md)."
+                )
+
+    if budget is not None:
+        return f"{rule.header} OK ({len(includes)}/{budget} project includes)"
+    return f"{rule.header} OK ({len(includes)} project includes)"
 
 
 def main() -> int:
@@ -56,41 +119,15 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    header = args.root / HEADER
-    if not header.is_file():
-        print(f"check_includes: {header} not found", file=sys.stderr)
-        return 1
-
-    includes = [
-        m.group(1)
-        for line in header.read_text(encoding="utf-8").splitlines()
-        if (m := PROJECT_INCLUDE.match(line))
-    ]
-
-    errors = []
-    if len(includes) > MAX_PROJECT_INCLUDES:
-        listing = "\n".join(f"    {inc}" for inc in includes)
-        errors.append(
-            f"{HEADER} has {len(includes)} direct project includes "
-            f"(budget: {MAX_PROJECT_INCLUDES}). Prefer a forward declaration "
-            f"and an out-of-line accessor.\n{listing}"
-        )
-    for inc in includes:
-        if inc in FORBIDDEN:
-            errors.append(
-                f"{HEADER} includes {inc}, which the façade must only "
-                f"forward-declare (see docs/architecture.md)."
-            )
+    errors: list[str] = []
+    summaries = [check_rule(args.root, rule, errors) for rule in RULES]
 
     if errors:
         for err in errors:
             print(f"check_includes: {err}", file=sys.stderr)
         return 1
-
-    print(
-        f"check_includes: {HEADER} OK "
-        f"({len(includes)}/{MAX_PROJECT_INCLUDES} project includes)"
-    )
+    for summary in summaries:
+        print(f"check_includes: {summary}")
     return 0
 
 
