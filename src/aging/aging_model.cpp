@@ -88,6 +88,12 @@ double AgingTracker::mean_damage() const {
     return sum / static_cast<double>(damage_->size());
 }
 
+void AgingTracker::add_damage(CoreId id, double amount) {
+    MCS_REQUIRE(id < damage_->size(), "core id out of range");
+    MCS_REQUIRE(amount >= 0.0, "wear increment must be non-negative");
+    (*damage_)[id] += amount;
+}
+
 double AgingTracker::fault_acceleration(CoreId id) const {
     // Linear-plus-quadratic escalation: pristine core -> 1.0; damage 1.0
     // (end of nominal life) -> 1 + 50 + 400 = hundreds of times the base

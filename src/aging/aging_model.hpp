@@ -56,6 +56,11 @@ public:
     /// pristine core, growing with damage.
     double fault_acceleration(CoreId id) const;
 
+    /// Adds `amount` of wear to one core directly (scenario directive:
+    /// accelerated-aging stress). Bypasses the state/temperature
+    /// integration; the continuous model continues from the raised level.
+    void add_damage(CoreId id, double amount);
+
     const AgingParams& params() const noexcept { return params_; }
 
     /// Instantaneous damage rate (1/s) for a state/temperature combination;

@@ -20,7 +20,7 @@ const std::set<std::string>& known_keys() {
         // Keys consumed by the CLI itself, accepted here so a shared file
         // can hold both.
         "seconds", "config", "out", "out_dir", "trace", "trace_capacity",
-        "report", "power_trace", "quiet",
+        "report", "power_trace", "quiet", "scenario",
         // Checkpoint / restore keys (consumed by the CLI and the factory).
         "checkpoint", "checkpoint_at", "restore", "restore_relax",
     };
@@ -41,6 +41,7 @@ SchedulerKind parse_scheduler(const std::string& name) {
     if (name == "periodic") return SchedulerKind::Periodic;
     if (name == "greedy") return SchedulerKind::Greedy;
     if (name == "none") return SchedulerKind::None;
+    if (name == "deadline") return SchedulerKind::DeadlineAware;
     MCS_REQUIRE(false, "unknown scheduler: " + name);
     return SchedulerKind::PowerAware;
 }
@@ -52,6 +53,7 @@ MapperKind parse_mapper(const std::string& name) {
     if (name == "contiguous") return MapperKind::Contiguous;
     if (name == "random") return MapperKind::Random;
     if (name == "first-fit") return MapperKind::FirstFit;
+    if (name == "reliability-weighted") return MapperKind::ReliabilityWeighted;
     MCS_REQUIRE(false, "unknown mapper: " + name);
     return MapperKind::TestAware;
 }

@@ -22,14 +22,16 @@ namespace mcs {
 ///   min_cycles, max_cycles           task length range
 ///   graph_file                       fixed task-graph library file
 ///                                    (app/graph_io.hpp format)
-///   scheduler (power-aware)          power-aware | periodic | greedy | none
-///   test_period_ms (1000)            periodic-scheduler period
+///   scheduler (power-aware)          power-aware | periodic | greedy |
+///                                    deadline | none
+///   test_period_ms (1000)            periodic/deadline-scheduler period
 ///   guard_band (0.04)                PA guard band fraction of TDP
 ///   criticality_threshold (0.5)
 ///   criticality_mode (utilization)   utilization | time | hybrid
 ///   vf_policy (rotate-all)           rotate-all | max-only | min-only
 ///   mapper (test-aware)              test-aware | util-oriented |
-///                                    contiguous | random | first-fit
+///                                    contiguous | random | first-fit |
+///                                    reliability-weighted
 ///   abort_tests (true)               mapper may abort in-flight tests
 ///   segmented (false)                aborted sessions resume per-routine
 ///   sessions                         abortable | atomic | segmented — sets

@@ -153,6 +153,27 @@ void PlatformEngine::wear_epoch() {
     ctx_.test->wear_step(now, to_seconds(ctx_.cfg.wear_epoch));
 }
 
+bool PlatformEngine::force_fault(CoreId core, FunctionalUnit unit,
+                                 FaultKind kind) {
+    if (!faults_) {
+        return false;
+    }
+    if (!faults_->force_fault(core, unit, kind, ctx_.sim.now())) {
+        return false;
+    }
+    // Same consequence as a stochastic arrival: partial segmented-suite
+    // progress ran on a then-healthy core and is void.
+    ctx_.test->invalidate_progress(core);
+    return true;
+}
+
+void PlatformEngine::inject_wear(std::span<const CoreId> cores,
+                                 double damage) {
+    for (CoreId id : cores) {
+        aging_.add_damage(id, damage);
+    }
+}
+
 void PlatformEngine::trace_epoch() {
     if (!ctx_.observers.wants_trace_samples()) {
         return;

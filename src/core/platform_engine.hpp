@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "aging/aging_model.hpp"
@@ -58,6 +59,17 @@ public:
         return faults_ ? &*faults_ : nullptr;
     }
     double peak_temp_c() const noexcept { return peak_temp_c_; }
+
+    // --- scenario-directive seams ---
+    /// Plants a specific latent fault now (no RNG draw; the stochastic
+    /// arrival streams are unperturbed) and invalidates any partial
+    /// segmented-suite progress on the core, exactly as a stochastic
+    /// arrival would. Returns false when fault injection is disabled or
+    /// the core already carries a latent fault.
+    bool force_fault(CoreId core, FunctionalUnit unit, FaultKind kind);
+    /// Adds `damage` of wear to each listed core (accelerated-aging
+    /// stress); the continuous wear model continues from the raised level.
+    void inject_wear(std::span<const CoreId> cores, double damage);
 
     /// Writes the platform-owned slice of the end-of-run metrics
     /// (state-residency fractions, power/energy, thermal, aging, faults,

@@ -201,6 +201,101 @@ void PeriodicTestScheduler::load_state(const telemetry::JsonValue& doc) {
     read_core_map(doc, "due", due_);
 }
 
+DeadlineAwareTestScheduler::DeadlineAwareTestScheduler(
+    SimDuration period, double guard_band_fraction, int max_concurrent_tests)
+    : period_(period),
+      guard_band_fraction_(guard_band_fraction),
+      max_concurrent_(max_concurrent_tests) {
+    MCS_REQUIRE(period_ > 0, "test period must be positive");
+    MCS_REQUIRE(guard_band_fraction_ >= 0.0 && guard_band_fraction_ < 1.0,
+                "guard band must be in [0,1)");
+    MCS_REQUIRE(max_concurrent_ > 0, "max concurrent tests must be positive");
+}
+
+void DeadlineAwareTestScheduler::epoch(SchedulerContext& ctx) {
+    if (ctx.candidates.empty()) {
+        return;
+    }
+    const int top = static_cast<int>(ctx.vf_table->size()) - 1;
+    // First-seen cores get a staggered first deadline (same thundering-herd
+    // avoidance as the periodic baseline, shifted one period out).
+    for (const TestCandidate& cand : ctx.candidates) {
+        deadline_.try_emplace(cand.core,
+                              period_ + period_ * (cand.core % 16) / 16);
+    }
+    // Earliest deadline first; ties by core id for determinism.
+    std::sort(ctx.candidates.begin(), ctx.candidates.end(),
+              [this](const TestCandidate& a, const TestCandidate& b) {
+                  const SimTime da = deadline_.at(a.core);
+                  const SimTime db = deadline_.at(b.core);
+                  if (da != db) {
+                      return da < db;
+                  }
+                  return a.core < b.core;
+              });
+    const double guard = guard_band_fraction_ * ctx.tdp_w;
+    const SimDuration session = ctx.test_duration ? ctx.test_duration(top) : 0;
+    const auto margin = static_cast<SimDuration>(
+        kLaxityFactor * static_cast<double>(session));
+    double slack = ctx.power_slack_w;
+    int running = ctx.tests_running;
+    for (const TestCandidate& cand : ctx.candidates) {
+        if (running >= max_concurrent_) {
+            break;
+        }
+        SimTime& dl = deadline_.at(cand.core);
+        // Deadlines the core sailed past (busy, or every admission attempt
+        // was power-rejected) are counted once per slipped period and the
+        // cadence keeps its staggered grid.
+        while (dl < ctx.now) {
+            ++misses_;
+            dl += period_;
+        }
+        if (ctx.now + margin < dl) {
+            continue;  // laxity left: starting later still meets the deadline
+        }
+        const double power = ctx.test_power_w(cand.core, top);
+        if (power + guard > slack) {
+            ++rejected_power_;
+            if (ctx.tracer != nullptr) {
+                ctx.tracer->record(ctx.now,
+                                   telemetry::TraceCategory::Session,
+                                   telemetry::TracePhase::Instant,
+                                   "test_reject_power", cand.core, top,
+                                   static_cast<std::int64_t>(power * 1e3));
+            }
+            continue;  // a cheaper candidate might still fit under the guard
+        }
+        ctx.start_test(cand.core, top);
+        dl += period_;
+        slack -= power;
+        ++running;
+        ++admitted_;
+    }
+}
+
+void DeadlineAwareTestScheduler::export_telemetry(
+    telemetry::MetricsRegistry& registry) const {
+    registry.counter("scheduler.tests_admitted").inc(admitted_);
+    registry.counter("scheduler.tests_rejected_power").inc(rejected_power_);
+    registry.counter("scheduler.deadline_misses").inc(misses_);
+}
+
+void DeadlineAwareTestScheduler::save_state(telemetry::JsonWriter& w) const {
+    write_core_map(w, "deadline", deadline_);
+    w.field("admitted", admitted_);
+    w.field("rejected_power", rejected_power_);
+    w.field("misses", misses_);
+}
+
+void DeadlineAwareTestScheduler::load_state(
+    const telemetry::JsonValue& doc) {
+    read_core_map(doc, "deadline", deadline_);
+    admitted_ = doc.at("admitted").u64();
+    rejected_power_ = doc.at("rejected_power").u64();
+    misses_ = doc.at("misses").u64();
+}
+
 GreedyTestScheduler::GreedyTestScheduler(SimDuration min_gap)
     : min_gap_(min_gap) {}
 

@@ -97,6 +97,46 @@ private:
     std::unordered_map<CoreId, SimTime> last_start_;
 };
 
+/// Deadline-aware policy (policy zoo): every core carries a rolling test
+/// deadline one period out; each epoch the earliest deadlines are served
+/// first (EDF order), a core is started once its laxity is gone (waiting
+/// another epoch would miss the deadline), and admission still respects the
+/// power slack minus the same guard band the paper's policy uses. Sits
+/// between the power-oblivious periodic baseline (hard cadence, no power
+/// awareness) and PA-OTS (power-aware, no cadence guarantee).
+class DeadlineAwareTestScheduler : public TestScheduler {
+public:
+    DeadlineAwareTestScheduler(
+        SimDuration period, double guard_band_fraction,
+        int max_concurrent_tests = std::numeric_limits<int>::max());
+
+    void epoch(SchedulerContext& ctx) override;
+    std::string_view name() const override { return "deadline"; }
+    void export_telemetry(
+        telemetry::MetricsRegistry& registry) const override;
+    void save_state(telemetry::JsonWriter& w) const override;
+    void load_state(const telemetry::JsonValue& doc) override;
+
+    SimDuration period() const noexcept { return period_; }
+    std::uint64_t admitted() const noexcept { return admitted_; }
+    std::uint64_t rejected_power() const noexcept { return rejected_power_; }
+    std::uint64_t deadline_misses() const noexcept { return misses_; }
+
+private:
+    /// Urgency margin: a test is started once `now + kLaxityEpochs *
+    /// session duration` reaches the deadline, leaving a couple of epochs of
+    /// slack for power-rejection retries before the deadline actually slips.
+    static constexpr double kLaxityFactor = 2.0;
+
+    SimDuration period_;
+    double guard_band_fraction_;
+    int max_concurrent_;
+    std::unordered_map<CoreId, SimTime> deadline_;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t rejected_power_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
 /// No online testing at all (throughput reference).
 class NullTestScheduler : public TestScheduler {
 public:

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/platform_engine.hpp"
+#include "core/scenario_hook.hpp"
 #include "core/system.hpp"
 #include "core/system_context.hpp"
 #include "core/test_engine.hpp"
@@ -440,6 +441,9 @@ void ManycoreSystem::write_snapshot(std::ostream& out,
     }
     workload_->append_event_manifest(events);
     test_->append_event_manifest(events);
+    if (scenario_ != nullptr) {
+        scenario_->append_event_manifest(events);
+    }
     MCS_REQUIRE(events.size() == sim.pending_events(),
                 "snapshot manifest does not cover every pending event");
     for (const SnapshotEvent& e : events) {
@@ -535,6 +539,10 @@ void ManycoreSystem::write_snapshot(std::ostream& out,
     test_->save_state(w);
     w.key("platform");
     platform_->save_state(w);
+    if (scenario_ != nullptr) {
+        w.key("scenario");
+        scenario_->save_state(w);
+    }
 
     w.key("events");
     w.begin_array();
@@ -576,10 +584,29 @@ void ManycoreSystem::restore(const telemetry::JsonValue& doc,
     MCS_REQUIRE(now > 0 && now < restored_horizon_,
                 "snapshot clock outside the captured run");
 
+    // A snapshot of a scenario run only restores into a system with the
+    // matching driver attached (and vice versa): the driver re-creates
+    // injected applications and replays applied side effects below, which
+    // a bare system cannot do.
+    MCS_REQUIRE(doc.has("scenario") == (scenario_ != nullptr),
+                doc.has("scenario")
+                    ? "snapshot was captured with a scenario attached; "
+                      "attach the same scenario before restore"
+                    : "a scenario is attached but the snapshot was captured "
+                      "without one");
+
     // 1. Regenerate the arrival trace under the *snapshot's* seed: the
     //    per-app runtime state loaded below indexes into it, and a forked
     //    replica must continue the captured workload, not invent a new one.
     workload_->restore_workload(restored_horizon_, doc.at("seed").u64());
+    if (scenario_ != nullptr) {
+        // The driver's replay position loads first so reinject_restored
+        // knows which directives had fired; the injected applications must
+        // be re-appended before the workload engine's per-app state loads
+        // (load_state checks the app count).
+        scenario_->load_state(doc.at("scenario"));
+        scenario_->reinject_restored();
+    }
 
     // 2. Substrate state.
     const telemetry::JsonValue& budget = doc.at("budget");
@@ -647,6 +674,12 @@ void ManycoreSystem::restore(const telemetry::JsonValue& doc,
     workload_->load_state(doc.at("workload"));
     test_->load_state(doc.at("test"));
     platform_->load_state(doc.at("platform"));
+    if (scenario_ != nullptr) {
+        // Applied side effects that live outside the persisted state (the
+        // budget's TDP is constructed from config, so a mid-run set_budget
+        // directive must be replayed onto the restored budget).
+        scenario_->reapply_restored();
+    }
 
     // 3. Clock, then the event manifest in ascending captured sequence.
     //    Each dispatch schedules exactly one event, so the rebuilt queue
@@ -695,6 +728,11 @@ void ManycoreSystem::restore(const telemetry::JsonValue& doc,
             test_->schedule_restored_session(static_cast<CoreId>(a), when);
         } else if (kind == "link_test_complete") {
             test_->schedule_restored_link_test(static_cast<LinkId>(a), when);
+        } else if (kind == "scenario") {
+            MCS_REQUIRE(scenario_ != nullptr,
+                        "snapshot has a pending scenario directive but no "
+                        "scenario is attached");
+            scenario_->schedule_restored_directive(a, when);
         } else {
             MCS_REQUIRE(false, "unknown snapshot event kind");
         }

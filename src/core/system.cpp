@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/platform_engine.hpp"
+#include "core/scenario_hook.hpp"
 #include "core/system_context.hpp"
 #include "core/test_engine.hpp"
 #include "core/workload_engine.hpp"
@@ -19,6 +20,7 @@ const char* to_string(SchedulerKind kind) {
         case SchedulerKind::Periodic: return "periodic";
         case SchedulerKind::Greedy: return "greedy";
         case SchedulerKind::None: return "none";
+        case SchedulerKind::DeadlineAware: return "deadline";
     }
     return "?";
 }
@@ -31,6 +33,7 @@ const char* to_string(MapperKind kind) {
         case MapperKind::Contiguous: return "contiguous";
         case MapperKind::Random: return "random";
         case MapperKind::FirstFit: return "first-fit";
+        case MapperKind::ReliabilityWeighted: return "reliability-weighted";
     }
     return "?";
 }
@@ -62,6 +65,15 @@ void ManycoreSystem::set_tracer(telemetry::Tracer* tracer) {
     ctx_->sim.set_tracer(tracer);
     ctx_->power_mgr->set_telemetry(tracer, &ctx_->registry);
     telemetry_obs_->set_tracer(tracer);
+}
+
+void ManycoreSystem::attach_scenario(std::unique_ptr<ScenarioDriver> driver) {
+    MCS_REQUIRE(!ran_ && !restored_,
+                "attach_scenario must precede restore()/run()");
+    MCS_REQUIRE(driver != nullptr, "scenario driver must not be null");
+    MCS_REQUIRE(scenario_ == nullptr, "a scenario is already attached");
+    driver->bind(*this);
+    scenario_ = std::move(driver);
 }
 
 void ManycoreSystem::add_observer(SystemObserver* observer) {
@@ -148,6 +160,12 @@ RunMetrics ManycoreSystem::run(SimDuration horizon) {
             register_epoch(slot,
                            ctx_->sim.now() + epoch_period(cfg_, slot));
         }
+        // The scenario's first directive event enters the queue after the
+        // epochs (part of the registration-order contract; directive times
+        // are validated against the horizon here).
+        if (scenario_ != nullptr) {
+            scenario_->begin(horizon);
+        }
         if (ctx_->sim.tracer() != nullptr) {
             ctx_->sim.tracer()->record(
                 ctx_->sim.now(), telemetry::TraceCategory::Sim,
@@ -220,6 +238,7 @@ const Network& ManycoreSystem::network() const noexcept { return ctx_->noc; }
 const PowerBudget& ManycoreSystem::budget() const noexcept {
     return ctx_->budget;
 }
+PowerBudget& ManycoreSystem::budget() noexcept { return ctx_->budget; }
 const FaultInjector* ManycoreSystem::fault_injector() const noexcept {
     return platform_->fault_injector();
 }

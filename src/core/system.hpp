@@ -28,6 +28,7 @@
 namespace mcs {
 
 class Mapper;
+class ScenarioDriver;
 class Simulator;
 class SystemObserver;
 struct SystemContext;
@@ -39,7 +40,7 @@ namespace telemetry {
 class TelemetryObserver;
 }  // namespace telemetry
 
-enum class SchedulerKind { PowerAware, Periodic, Greedy, None };
+enum class SchedulerKind { PowerAware, Periodic, Greedy, None, DeadlineAware };
 enum class MapperKind {
     TestAware,
     ThermalAware,
@@ -47,6 +48,7 @@ enum class MapperKind {
     Contiguous,
     Random,
     FirstFit,
+    ReliabilityWeighted,
 };
 
 const char* to_string(SchedulerKind kind);
@@ -188,6 +190,14 @@ public:
     void add_observer(SystemObserver* observer);
     void remove_observer(SystemObserver* observer);
 
+    /// Attaches a declarative scenario driver (timed directives replayed
+    /// through the engine seams; see src/scenario/ and docs/scenarios.md).
+    /// The façade takes ownership, binds the driver to this system, starts
+    /// it from run(), and carries its replay position through snapshots.
+    /// Must be called before restore()/run(); at most one driver.
+    void attach_scenario(std::unique_ptr<ScenarioDriver> driver);
+    const ScenarioDriver* scenario() const noexcept { return scenario_.get(); }
+
     /// Live metrics registry for this run: "power.*" counters are bumped by
     /// the power manager as it actuates, "system.*" counters/histograms by
     /// the workload and test paths, and "scheduler.*" counters are exported
@@ -207,6 +217,8 @@ public:
     Simulator& simulator() noexcept;
     const Network& network() const noexcept;
     const PowerBudget& budget() const noexcept;
+    /// Mutable budget access (scenario directives retarget the TDP mid-run).
+    PowerBudget& budget() noexcept;
     const FaultInjector* fault_injector() const noexcept;
     const LinkTester* link_tester() const noexcept;
     const AgingTracker& aging() const noexcept;
@@ -239,6 +251,7 @@ private:
     std::unique_ptr<WorkloadEngine> workload_;
     std::unique_ptr<TestEngine> test_;
     std::unique_ptr<telemetry::TelemetryObserver> telemetry_obs_;
+    std::unique_ptr<ScenarioDriver> scenario_;
     std::vector<Checkpoint> checkpoints_;
     /// Periodic ids of the five registered epochs, in the canonical
     /// registration order (0 = none; Simulator ids start at 1).

@@ -34,6 +34,11 @@ std::unique_ptr<TestScheduler> make_scheduler(const SystemConfig& cfg) {
             return std::make_unique<GreedyTestScheduler>();
         case SchedulerKind::None:
             return std::make_unique<NullTestScheduler>();
+        case SchedulerKind::DeadlineAware:
+            return std::make_unique<DeadlineAwareTestScheduler>(
+                cfg.periodic_test_period,
+                cfg.power_aware.guard_band_fraction,
+                cfg.power_aware.max_concurrent_tests);
     }
     MCS_REQUIRE(false, "unknown scheduler kind");
     return nullptr;

@@ -8,6 +8,7 @@
 #include "core/test_engine.hpp"
 #include "thermal/thermal_model.hpp"
 #include "mapping/contiguous_mapper.hpp"
+#include "mapping/reliability_mapper.hpp"
 #include "noc/link_test.hpp"
 #include "power/power_manager.hpp"
 #include "telemetry/json.hpp"
@@ -40,6 +41,8 @@ std::unique_ptr<Mapper> make_mapper(const SystemConfig& cfg) {
             return std::make_unique<RandomMapper>();
         case MapperKind::FirstFit:
             return std::make_unique<FirstFitMapper>();
+        case MapperKind::ReliabilityWeighted:
+            return std::make_unique<ReliabilityWeightedMapper>();
     }
     MCS_REQUIRE(false, "unknown mapper kind");
     return nullptr;

@@ -12,6 +12,11 @@ PowerBudget::PowerBudget(double tdp_w, double violation_margin_w)
     MCS_REQUIRE(margin_w_ >= 0.0, "violation margin must be non-negative");
 }
 
+void PowerBudget::set_tdp(double tdp_w) {
+    MCS_REQUIRE(tdp_w > 0.0, "TDP must be positive");
+    tdp_w_ = tdp_w;
+}
+
 void PowerBudget::record(SimTime, double power_w) {
     last_power_w_ = power_w;
     ++samples_;

@@ -15,6 +15,12 @@ public:
 
     double tdp_w() const noexcept { return tdp_w_; }
 
+    /// Retargets the budget mid-run (scenario directive: a rack-level power
+    /// cut or thermal derating changes the chip's allowance). Violation
+    /// accounting simply continues against the new cap; the PID setpoint
+    /// follows automatically because it is derived from tdp_w() per epoch.
+    void set_tdp(double tdp_w);
+
     /// Records a power sample at `now`; updates violation accounting.
     void record(SimTime now, double power_w);
 

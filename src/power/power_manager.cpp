@@ -336,6 +336,17 @@ void PowerManager::touch(SimTime now, CoreId id) {
     last_active_[id] = now;
 }
 
+void PowerManager::force_vf(SimTime now, CoreId id, int level) {
+    Core& c = chip_.core(id);
+    MCS_REQUIRE(c.state() == CoreState::Idle ||
+                    c.state() == CoreState::Busy,
+                "force_vf targets an Idle or Busy core");
+    MCS_REQUIRE(level >= 0 &&
+                    static_cast<std::size_t>(level) < c.vf_level_count(),
+                "force_vf level out of range");
+    change_vf(now, c, level);
+}
+
 
 PowerManager::PersistedState PowerManager::save_state() const {
     PersistedState st;

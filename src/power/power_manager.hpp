@@ -107,6 +107,13 @@ public:
     /// gating leaves it alone this epoch.
     void touch(SimTime now, CoreId id);
 
+    /// Externally imposed DVFS transition (scenario directive): moves an
+    /// Idle/Busy core to `level` through the same path the capping
+    /// controller uses, so the transition is traced, busy tasks are
+    /// rescheduled via the listener, and the next control epoch simply
+    /// continues from the new operating point.
+    void force_vf(SimTime now, CoreId id, int level);
+
     double setpoint_w() const;
     double measured_power_w() const noexcept { return measured_power_w_; }
     double committed_power_w() const noexcept { return committed_power_w_; }

@@ -68,6 +68,22 @@ std::vector<CoreId> FaultInjector::step(SimTime now, double dt_s,
     return fresh;
 }
 
+bool FaultInjector::force_fault(CoreId core, FunctionalUnit unit,
+                                FaultKind kind, SimTime now) {
+    MCS_REQUIRE(core < latent_.size(), "core id out of range");
+    if (latent_[core].has_value()) {
+        return false;  // one latent fault per core, as in step()
+    }
+    Fault f;
+    f.core = core;
+    f.unit = unit;
+    f.kind = kind;
+    f.injected = now;
+    latent_[core] = history_.size();
+    history_.push_back(f);
+    return true;
+}
+
 bool FaultInjector::has_latent_fault(CoreId core) const {
     MCS_REQUIRE(core < latent_.size(), "core id out of range");
     return latent_[core].has_value();

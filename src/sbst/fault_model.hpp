@@ -79,6 +79,14 @@ public:
     /// The core's latent fault, or nullopt.
     std::optional<Fault> latent_fault(CoreId core) const;
 
+    /// Plants a specific latent fault (scenario directive), bypassing the
+    /// stochastic arrival process: no RNG draw happens, so the Poisson
+    /// streams are unperturbed. Returns false (and changes nothing) when
+    /// the core already carries a latent fault -- the one-latent-fault
+    /// invariant matches step().
+    bool force_fault(CoreId core, FunctionalUnit unit, FaultKind kind,
+                     SimTime now);
+
     /// True if a fault of `kind` manifests during a session run at
     /// `vf_level` out of `vf_level_count` levels.
     bool manifests_at(FaultKind kind, int vf_level,

@@ -1,0 +1,29 @@
+#pragma once
+
+// Config-level glue for scenarios: the `scenario=<path>` key attaches a
+// ScenarioPlayer to a system built from the same key=value configuration
+// that drives everything else, so scenarios compose with --sweep cells,
+// restore= forks, and the serve/bench harnesses without new plumbing.
+
+#include <memory>
+
+#include "core/system_factory.hpp"
+
+namespace mcs {
+
+/// If `cfg` carries `scenario=<path>`, loads the spec and attaches a
+/// player to `sys`; otherwise does nothing. Must be called before
+/// restore()/run() (the façade enforces this). Returns whether a scenario
+/// was attached.
+bool attach_scenario_from(ManycoreSystem& sys, const Config& cfg);
+
+/// make_system() plus scenario attachment, in the order restore requires
+/// (attach first, then restore, so a snapshot captured mid-scenario can
+/// reload its replay position).
+std::unique_ptr<ManycoreSystem> make_system_with_scenario(const Config& cfg);
+
+/// Builds and runs one (possibly scenario-driven) system; drop-in
+/// replacement for run_system as a campaign replica function.
+RunMetrics run_system_with_scenario(const Config& cfg, SimDuration horizon);
+
+}  // namespace mcs

@@ -65,6 +65,7 @@
 #include "core/system_factory.hpp"
 #include "runner/campaign_runner.hpp"
 #include "runner/result_sink.hpp"
+#include "scenario/scenario_runner.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/tracer.hpp"
 #include "util/csv.hpp"
@@ -149,6 +150,12 @@ int run_sweep(const Config& args) {
 
     CampaignSpec spec = CampaignSpec::from_config(spec_cfg);
     CampaignRunner runner(std::move(spec));
+    // Scenario-aware replicas: a `scenario=` key (in the spec base or per
+    // cell) attaches the named spec to every replica; without the key this
+    // is exactly the default replica path.
+    runner.set_replica_fn([](const Config& cfg, double secs) {
+        return run_system_with_scenario(cfg, from_seconds(secs));
+    });
     if (!quiet) {
         std::printf("mcs_sim: sweep %s | %zu cells x %d replicas = %zu "
                     "runs | %.1f s horizon\n",
@@ -221,8 +228,11 @@ int run_single(const Config& args) {
         tracer.emplace(trace_capacity);
         sys.set_tracer(&*tracer);
     }
-    // Restore after the tracer is attached (reloads the captured ring) and
-    // before any checkpoint registration.
+    // Scenario before restore (a snapshot captured mid-scenario reloads
+    // its replay position into the attached player); restore after the
+    // tracer is attached (reloads the captured ring) and before any
+    // checkpoint registration.
+    attach_scenario_from(sys, args);
     apply_restore(sys, args);
     SimDuration horizon = from_seconds(seconds);
     if (sys.restored() && !args.has("seconds")) {
